@@ -1,0 +1,370 @@
+// Command kmembench regenerates every experiment of McKenney &
+// Slingwine's 1993 USENIX paper on the simulated shared-memory
+// multiprocessor. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured-vs-paper results.
+//
+// Usage:
+//
+//	kmembench bestcase  [-cpus 1,2,...] [-seconds 0.05] [-size 128] [-log]
+//	kmembench worstcase [-sizes 16,...,16384] [-pages 2048]
+//	kmembench dlm       [-cpus 4] [-ops 20000] [-resources 2000] [-skew 1.1]
+//	kmembench insns
+//	kmembench analysis  [-ops 128]
+//	kmembench ablate    [-param target|split|radix|lazybuddy|all]
+//	kmembench all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kmem/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "bestcase":
+		err = cmdBestCase(args)
+	case "worstcase":
+		err = cmdWorstCase(args)
+	case "dlm":
+		err = cmdDLM(args)
+	case "insns":
+		err = cmdInsns(args)
+	case "analysis":
+		err = cmdAnalysis(args)
+	case "ablate":
+		err = cmdAblate(args)
+	case "cyclic":
+		err = cmdCyclic(args)
+	case "projection":
+		err = cmdProjection(args)
+	case "all":
+		err = cmdAll()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "kmembench: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kmembench %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `kmembench regenerates the paper's evaluation:
+  bestcase   Figures 7 and 8: alloc/free pairs/s vs CPUs, four allocators
+  worstcase  Figure 9: exhaust-free-repeat sweep over block sizes
+  dlm        distributed-lock-manager per-layer miss rates
+  insns      instruction-count table (cookie 13/13, standard 35/32)
+  analysis   allocb/freeb off-chip access study (Analysis section)
+  ablate     design-choice ablations (A1-A5 in DESIGN.md)
+  cyclic     the day/night commercial workload (design goal 6)
+  projection scaling under a widening CPU/memory gap (the paper's closing claim)
+  all        everything above with default settings`)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseSizes(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func cmdBestCase(args []string) error {
+	fs := flag.NewFlagSet("bestcase", flag.ExitOnError)
+	cpus := fs.String("cpus", "1,2,4,8,12,16,20,25", "comma-separated CPU counts")
+	seconds := fs.Float64("seconds", 0.05, "virtual seconds per point")
+	size := fs.Uint64("size", 128, "block size")
+	logY := fs.Bool("log", false, "semilog plot (Figure 8)")
+	csv := fs.String("csv", "", "also write the series data as CSV to this file")
+	allocs := fs.String("allocators", strings.Join(bench.AllocatorNames, ","), "allocators to run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts, err := parseInts(*cpus)
+	if err != nil {
+		return err
+	}
+	names := strings.Split(*allocs, ",")
+	res, err := bench.RunBestCase(names, counts, *size, *seconds)
+	if err != nil {
+		return err
+	}
+	res.Figure(*logY).Fprint(os.Stdout)
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			return err
+		}
+		if err := res.Figure(*logY).WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("(series written to %s)\n", *csv)
+	}
+	fmt.Println()
+	res.SpeedupTable().Fprint(os.Stdout)
+	if r, err := res.Ratio("cookie", "oldkma", 0); err == nil {
+		fmt.Printf("\ncookie/oldkma at %d CPU(s): %.1fx (paper: 15x)\n", counts[0], r)
+	}
+	if r, err := res.Ratio("cookie", "oldkma", len(counts)-1); err == nil {
+		fmt.Printf("cookie/oldkma at %d CPUs: %.0fx (paper: >1000x)\n", counts[len(counts)-1], r)
+	}
+	return nil
+}
+
+func cmdWorstCase(args []string) error {
+	fs := flag.NewFlagSet("worstcase", flag.ExitOnError)
+	sizes := fs.String("sizes", "16,32,64,128,256,512,1024,2048,4096,8192,16384", "block sizes")
+	pages := fs.Int64("pages", 2048, "physical pages")
+	csv := fs.String("csv", "", "also write the series data as CSV to this file")
+	alloc := fs.String("allocator", "newkma", "allocator to run (mk demonstrates the wedge)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	szs, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	if *alloc != "newkma" && *alloc != "cookie" {
+		rows, err := bench.RunWorstCaseAny(*alloc, szs, *pages)
+		if err != nil {
+			return err
+		}
+		bench.WorstCaseAnyTable(*alloc, rows).Fprint(os.Stdout)
+		return nil
+	}
+	res, err := bench.RunWorstCase(szs, *pages)
+	if err != nil {
+		return err
+	}
+	res.Figure().Fprint(os.Stdout)
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			return err
+		}
+		if err := res.Figure().WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("(series written to %s)\n", *csv)
+	}
+	fmt.Println("\nNote: the whole sweep ran on one system with no reboot and no sleeps —")
+	fmt.Println("each size reused memory the previous size had fragmented (online coalescing).")
+	return nil
+}
+
+func cmdDLM(args []string) error {
+	fs := flag.NewFlagSet("dlm", flag.ExitOnError)
+	cfg := bench.DefaultDLMConfig()
+	fs.IntVar(&cfg.CPUs, "cpus", cfg.CPUs, "cluster nodes (one per CPU)")
+	fs.IntVar(&cfg.OpsPerNode, "ops", cfg.OpsPerNode, "lock requests per node")
+	res := fs.Uint64("resources", cfg.Resources, "resource id space")
+	skew := fs.Float64("skew", cfg.ZipfSkew, "resource Zipf skew")
+	seed := fs.Int64("seed", cfg.Seed, "workload seed")
+	scale := fs.Bool("scale", false, "also sweep cluster sizes 1..8")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg.Resources, cfg.ZipfSkew, cfg.Seed = *res, *skew, *seed
+	out, err := bench.RunDLM(cfg)
+	if err != nil {
+		return err
+	}
+	out.Table().Fprint(os.Stdout)
+	fmt.Println("\nPaper (4-CPU DLM): per-CPU miss 2.1-7.8%, global miss 1.2-3.0%, combined 0.02-0.14%.")
+	if *scale {
+		fmt.Println()
+		rows, err := bench.RunDLMScaling([]int{1, 2, 4, 8}, cfg.OpsPerNode/2)
+		if err != nil {
+			return err
+		}
+		bench.DLMScaleTable(rows).Fprint(os.Stdout)
+	}
+	return nil
+}
+
+func cmdInsns(args []string) error {
+	fs := flag.NewFlagSet("insns", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := bench.RunInsnCounts()
+	if err != nil {
+		return err
+	}
+	bench.InsnTable(rows).Fprint(os.Stdout)
+	return nil
+}
+
+func cmdAnalysis(args []string) error {
+	fs := flag.NewFlagSet("analysis", flag.ExitOnError)
+	ops := fs.Int("ops", 128, "operations to trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	old, new_, err := bench.RunAnalysis(*ops)
+	if err != nil {
+		return err
+	}
+	bench.AnalysisTable(old, new_).Fprint(os.Stdout)
+	fmt.Println()
+	bench.HotLineTable().Fprint(os.Stdout)
+	return nil
+}
+
+func cmdAblate(args []string) error {
+	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
+	param := fs.String("param", "all", "target|split|radix|lazybuddy|tlb|all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	run := func(p string) error {
+		switch p {
+		case "target":
+			rows, err := bench.AblateTarget([]int{1, 2, 5, 10, 20, 40}, 0.05)
+			if err != nil {
+				return err
+			}
+			bench.TargetTable(rows).Fprint(os.Stdout)
+		case "split":
+			rows, err := bench.AblateSplitFreelist(0.05)
+			if err != nil {
+				return err
+			}
+			bench.SplitTable(rows).Fprint(os.Stdout)
+		case "radix":
+			rows, err := bench.AblateRadix(40)
+			if err != nil {
+				return err
+			}
+			bench.RadixTable(rows).Fprint(os.Stdout)
+		case "lazybuddy":
+			rows, err := bench.AblateLazyBuddy(0.05)
+			if err != nil {
+				return err
+			}
+			bench.LazyTable(rows).Fprint(os.Stdout)
+		case "tlb":
+			rows, err := bench.AblateTLB(0.05)
+			if err != nil {
+				return err
+			}
+			bench.TLBTable(rows).Fprint(os.Stdout)
+		default:
+			return fmt.Errorf("unknown ablation %q", p)
+		}
+		fmt.Println()
+		return nil
+	}
+	if *param == "all" {
+		for _, p := range []string{"target", "split", "radix", "lazybuddy", "tlb"} {
+			if err := run(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return run(*param)
+}
+
+func cmdCyclic(args []string) error {
+	fs := flag.NewFlagSet("cyclic", flag.ExitOnError)
+	cycles := fs.Int("cycles", 3, "day/night cycles to run")
+	pages := fs.Int64("pages", 192, "physical pages (tight on purpose)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunCyclic(*cycles, *pages)
+	if err != nil {
+		return err
+	}
+	res.Table().Fprint(os.Stdout)
+	fmt.Println("\nAn allocator without online coalescing cannot complete this cycle without")
+	fmt.Println("a reboot between phases (see internal/mk's TestNoCoalescingAcrossSizes).")
+	return nil
+}
+
+func cmdProjection(args []string) error {
+	fs := flag.NewFlagSet("projection", flag.ExitOnError)
+	seconds := fs.Float64("seconds", 0.05, "virtual seconds per point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := bench.RunProjection(*seconds)
+	if err != nil {
+		return err
+	}
+	bench.ProjectionTable(rows).Fprint(os.Stdout)
+	return nil
+}
+
+func cmdAll() error {
+	fmt.Println("=== Figures 7 & 8: best-case scaling =================================")
+	if err := cmdBestCase(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Figure 9: worst-case sweep =======================================")
+	if err := cmdWorstCase(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Instruction counts ===============================================")
+	if err := cmdInsns(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Analysis: allocb/freeb ===========================================")
+	if err := cmdAnalysis(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== DLM miss rates ===================================================")
+	if err := cmdDLM(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Cyclic day/night workload ========================================")
+	if err := cmdCyclic(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Projection: widening CPU/memory gap ==============================")
+	if err := cmdProjection(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Ablations ========================================================")
+	return cmdAblate(nil)
+}

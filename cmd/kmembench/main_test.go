@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 25 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad int accepted")
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("16,4096, 16384")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 16384 {
+		t.Fatalf("parseSizes = %v", got)
+	}
+	if _, err := parseSizes("-1"); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestSubcommandsRunSmall(t *testing.T) {
+	// Tiny parameterizations of each subcommand: the full pipelines must
+	// execute end to end.
+	if err := cmdBestCase([]string{"-cpus", "1,2", "-seconds", "0.002"}); err != nil {
+		t.Fatalf("bestcase: %v", err)
+	}
+	if err := cmdWorstCase([]string{"-sizes", "64,4096", "-pages", "64"}); err != nil {
+		t.Fatalf("worstcase: %v", err)
+	}
+	if err := cmdDLM([]string{"-ops", "300"}); err != nil {
+		t.Fatalf("dlm: %v", err)
+	}
+	if err := cmdInsns(nil); err != nil {
+		t.Fatalf("insns: %v", err)
+	}
+	if err := cmdAnalysis([]string{"-ops", "8"}); err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+	if err := cmdAblate([]string{"-param", "split"}); err != nil {
+		t.Fatalf("ablate: %v", err)
+	}
+	if err := cmdAblate([]string{"-param", "nope"}); err == nil {
+		t.Fatal("unknown ablation accepted")
+	}
+}

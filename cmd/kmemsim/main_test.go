@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kmem/internal/workload"
+)
+
+func TestParseDist(t *testing.T) {
+	cases := []struct {
+		spec string
+		max  uint64
+	}{
+		{"fixed:128", 128},
+		{"uniform:16:4096", 4096},
+		{"choice:32,64,256", 256},
+	}
+	for _, tc := range cases {
+		d, err := parseDist(tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if d.Max() != tc.max {
+			t.Fatalf("%s: Max = %d, want %d", tc.spec, d.Max(), tc.max)
+		}
+	}
+	for _, bad := range []string{"", "fixed", "fixed:x", "uniform:1", "uniform:9:3", "uniform:0:5", "choice:", "zipf:2"} {
+		if _, err := parseDist(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestRunSynthesizeAndReplay(t *testing.T) {
+	if err := run("cookie", 2, 2000, 50, "fixed:64", 1, 2048, "", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRecordThenReplayFile(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.kmtr")
+	if err := run("cookie", 2, 1000, 40, "choice:32,64", 7, 2048, trace, "", false); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("newkma", 0, 0, 0, "", 0, 2048, "", trace, true); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}

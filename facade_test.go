@@ -1,0 +1,115 @@
+package kmem
+
+import (
+	"strings"
+	"testing"
+
+	"kmem/internal/machine"
+)
+
+func TestMachineConfigOverride(t *testing.T) {
+	mc := machine.DefaultConfig()
+	mc.NumCPUs = 3
+	mc.MemBytes = 8 << 20
+	mc.PhysPages = 64
+	mc.HzMHz = 100
+	s, err := NewSystem(Config{
+		MachineConfig: &mc,
+		// These must be ignored when MachineConfig is set.
+		CPUs:      9,
+		PhysPages: 9999,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCPUs() != 3 {
+		t.Fatalf("NumCPUs = %d, want 3 from MachineConfig", s.NumCPUs())
+	}
+	if got := s.Machine().Config().HzMHz; got != 100 {
+		t.Fatalf("HzMHz = %d", got)
+	}
+}
+
+func TestFacadeZeroedAndDump(t *testing.T) {
+	s, err := NewSystem(Config{CPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.CPU(0)
+	b, err := s.AllocZeroed(c, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.Bytes(b, 100) {
+		if v != 0 {
+			t.Fatalf("byte %d = %#x", i, v)
+		}
+	}
+	ck, _ := s.GetCookie(64)
+	zb, err := s.AllocCookieZeroed(c, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FreeCookie(c, zb, ck)
+	s.Free(c, b, 100)
+
+	var sb strings.Builder
+	s.Dump(&sb)
+	if !strings.Contains(sb.String(), "kmem allocator:") {
+		t.Fatal("dump missing header")
+	}
+}
+
+func TestFacadeDrainCPU(t *testing.T) {
+	s, err := NewSystem(Config{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := s.CPU(0)
+	b, _ := s.Alloc(c0, 64)
+	s.Free(c0, b, 64)
+	st := s.Stats(c0)
+	if st.Classes[2].HeldPerCPU == 0 {
+		t.Fatal("nothing cached before drain")
+	}
+	s.DrainCPU(c0, 0)
+	st = s.Stats(c0)
+	if st.Classes[2].HeldPerCPU != 0 {
+		t.Fatalf("cache survived drain: %d", st.Classes[2].HeldPerCPU)
+	}
+}
+
+func TestFacadeDebugOwnership(t *testing.T) {
+	s, err := NewSystem(Config{Mode: Native, CPUs: 1, DebugOwnership: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.CPU(0)
+	b, err := s.Alloc(c, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Free(c, b, 64)
+}
+
+func TestFacadeClassIntrospection(t *testing.T) {
+	s, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClasses() != 9 {
+		t.Fatalf("NumClasses = %d", s.NumClasses())
+	}
+	if s.ClassSize(0) != 16 || s.ClassSize(8) != 4096 {
+		t.Fatalf("class sizes: %d..%d", s.ClassSize(0), s.ClassSize(8))
+	}
+	if s.Target(0) != 10 || s.Target(8) != 2 {
+		t.Fatalf("targets: %d..%d (paper: 10 down to 2)", s.Target(0), s.Target(8))
+	}
+}
+
+func TestFacadeBadConfig(t *testing.T) {
+	if _, err := NewSystem(Config{Classes: []uint32{7}}); err == nil {
+		t.Fatal("bad class list accepted")
+	}
+}

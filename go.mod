@@ -1,0 +1,3 @@
+module kmem
+
+go 1.22

@@ -1,0 +1,29 @@
+// Package allocif defines the common interface the paper's allocator and
+// every baseline implement, so benchmarks and conformance tests can treat
+// them uniformly.
+package allocif
+
+import (
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+// Allocator is the System V kmem_alloc/kmem_free shape shared by all
+// implementations. The CPU handle identifies the executing processor;
+// lock-based baselines ignore it except for cost accounting.
+type Allocator interface {
+	// Name identifies the allocator in benchmark output ("cookie",
+	// "newkma", "mk", "oldkma", "lazybuddy").
+	Name() string
+	// Alloc returns a block of at least size bytes.
+	Alloc(c *machine.CPU, size uint64) (arena.Addr, error)
+	// Free returns a block allocated with the same size.
+	Free(c *machine.CPU, addr arena.Addr, size uint64)
+}
+
+// Coalescer is implemented by allocators that can return fully free
+// memory to the system (the paper's allocator; not MK).
+type Coalescer interface {
+	// DrainAll flushes every internal cache so free memory coalesces.
+	DrainAll(c *machine.CPU)
+}

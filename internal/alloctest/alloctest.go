@@ -1,0 +1,338 @@
+// Package alloctest is a conformance suite run against every allocator in
+// the repository — the paper's allocator (standard and cookie interfaces)
+// and all three baselines — so that correctness claims hold uniformly
+// before performance is compared.
+package alloctest
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kmem/internal/allocif"
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+// Instance is one allocator under test plus its capabilities.
+type Instance struct {
+	A allocif.Allocator
+	M *machine.Machine
+	// MaxSize is the largest request the allocator accepts.
+	MaxSize uint64
+	// Coalesces is true when memory exhausted by one size can serve a
+	// different size afterwards (the paper's design goal 6; MK fails it).
+	Coalesces bool
+	// Check audits internal consistency; may be nil.
+	Check func() error
+}
+
+// Factory builds a fresh Instance on a machine with the given shape.
+type Factory func(t *testing.T, ncpu int, physPages int64) Instance
+
+// Run executes the full conformance suite.
+func Run(t *testing.T, f Factory) {
+	t.Run("RoundTrip", func(t *testing.T) { testRoundTrip(t, f) })
+	t.Run("DistinctBlocks", func(t *testing.T) { testDistinct(t, f) })
+	t.Run("WriteIntegrity", func(t *testing.T) { testWriteIntegrity(t, f) })
+	t.Run("RandomStress", func(t *testing.T) { testRandomStress(t, f) })
+	t.Run("ExhaustRecoverSameSize", func(t *testing.T) { testExhaustRecover(t, f) })
+	t.Run("CrossSizeReuse", func(t *testing.T) { testCrossSizeReuse(t, f) })
+	t.Run("MultiCPU", func(t *testing.T) { testMultiCPU(t, f) })
+	t.Run("QuickProperties", func(t *testing.T) { testQuickProperties(t, f) })
+}
+
+// testQuickProperties property-tests the allocator contract: for any op
+// sequence, live blocks never overlap and their contents survive.
+func testQuickProperties(t *testing.T, f Factory) {
+	in := f(t, 1, 2048)
+	c := in.M.CPU(0)
+	type rec struct {
+		b    arena.Addr
+		size uint64
+		pat  byte
+	}
+	var live []rec
+	prop := func(sizes []uint16, frees []uint8) bool {
+		for i, s := range sizes {
+			size := uint64(s)%in.MaxSize + 1
+			b, err := in.A.Alloc(c, size)
+			if err != nil {
+				continue
+			}
+			pat := byte(i*13 + 7)
+			in.M.Mem().Fill(b, size, pat)
+			live = append(live, rec{b, size, pat})
+		}
+		// Overlap check against every other live block.
+		for i := range live {
+			for j := i + 1; j < len(live); j++ {
+				a, b := live[i], live[j]
+				if a.b < b.b+arena.Addr(b.size) && b.b < a.b+arena.Addr(a.size) {
+					t.Logf("overlap: [%#x,+%d) and [%#x,+%d)", a.b, a.size, b.b, b.size)
+					return false
+				}
+			}
+		}
+		// Content check, then free a random subset.
+		for _, fi := range frees {
+			if len(live) == 0 {
+				break
+			}
+			i := int(fi) % len(live)
+			r := live[i]
+			if off, ok := in.M.Mem().CheckFill(r.b, r.size, r.pat); !ok {
+				t.Logf("block %#x corrupted at +%d", r.b, off)
+				return false
+			}
+			in.A.Free(c, r.b, r.size)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range live {
+		in.A.Free(c, r.b, r.size)
+	}
+	check(t, in)
+}
+
+func check(t *testing.T, in Instance) {
+	t.Helper()
+	if in.Check != nil {
+		if err := in.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func testRoundTrip(t *testing.T, f Factory) {
+	in := f(t, 1, 1024)
+	c := in.M.CPU(0)
+	for _, size := range []uint64{1, 16, 17, 100, 1000, in.MaxSize} {
+		b, err := in.A.Alloc(c, size)
+		if err != nil {
+			t.Fatalf("Alloc(%d): %v", size, err)
+		}
+		in.M.Mem().Fill(b, size, 0x3c)
+		if off, ok := in.M.Mem().CheckFill(b, size, 0x3c); !ok {
+			t.Fatalf("size %d: payload readback failed at %d", size, off)
+		}
+		in.A.Free(c, b, size)
+	}
+	check(t, in)
+}
+
+func testDistinct(t *testing.T, f Factory) {
+	in := f(t, 1, 1024)
+	c := in.M.CPU(0)
+	seen := map[arena.Addr]bool{}
+	var bs []arena.Addr
+	for i := 0; i < 500; i++ {
+		b, err := in.A.Alloc(c, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[b] {
+			t.Fatalf("block %#x issued twice", b)
+		}
+		seen[b] = true
+		bs = append(bs, b)
+	}
+	for _, b := range bs {
+		in.A.Free(c, b, 64)
+	}
+	check(t, in)
+}
+
+func testWriteIntegrity(t *testing.T, f Factory) {
+	in := f(t, 1, 2048)
+	c := in.M.CPU(0)
+	type rec struct {
+		b    arena.Addr
+		size uint64
+		pat  byte
+	}
+	var live []rec
+	sizes := []uint64{16, 33, 64, 129, 500, 1024, 4000}
+	for i := 0; i < 400; i++ {
+		size := sizes[i%len(sizes)]
+		if size > in.MaxSize {
+			size = in.MaxSize
+		}
+		b, err := in.A.Alloc(c, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pat := byte(i*7 + 1)
+		in.M.Mem().Fill(b, size, pat)
+		live = append(live, rec{b, size, pat})
+	}
+	for _, r := range live {
+		if off, ok := in.M.Mem().CheckFill(r.b, r.size, r.pat); !ok {
+			t.Fatalf("block %#x size %d corrupted at +%d", r.b, r.size, off)
+		}
+		in.A.Free(c, r.b, r.size)
+	}
+	check(t, in)
+}
+
+func testRandomStress(t *testing.T, f Factory) {
+	in := f(t, 1, 2048)
+	c := in.M.CPU(0)
+	rng := rand.New(rand.NewSource(12345))
+	type rec struct {
+		b    arena.Addr
+		size uint64
+	}
+	var live []rec
+	for op := 0; op < 20000; op++ {
+		if len(live) == 0 || (rng.Intn(5) < 3 && len(live) < 400) {
+			size := uint64(rng.Intn(int(in.MaxSize))) + 1
+			b, err := in.A.Alloc(c, size)
+			if err != nil {
+				if errors.Is(err, nil) {
+					t.Fatal("nil error with failed alloc")
+				}
+				continue // exhaustion under stress is legal
+			}
+			live = append(live, rec{b, size})
+		} else {
+			i := rng.Intn(len(live))
+			in.A.Free(c, live[i].b, live[i].size)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if op%5000 == 0 {
+			check(t, in)
+		}
+	}
+	for _, r := range live {
+		in.A.Free(c, r.b, r.size)
+	}
+	check(t, in)
+}
+
+func testExhaustRecover(t *testing.T, f Factory) {
+	in := f(t, 1, 128)
+	c := in.M.CPU(0)
+	size := uint64(1024)
+	var bs []arena.Addr
+	for {
+		b, err := in.A.Alloc(c, size)
+		if err != nil {
+			break
+		}
+		bs = append(bs, b)
+		if len(bs) > 1<<20 {
+			t.Fatal("allocator never reported exhaustion")
+		}
+	}
+	if len(bs) == 0 {
+		t.Fatal("nothing allocated before exhaustion")
+	}
+	for _, b := range bs {
+		in.A.Free(c, b, size)
+	}
+	// The same size must be fully allocatable again.
+	for i := 0; i < len(bs); i++ {
+		b, err := in.A.Alloc(c, size)
+		if err != nil {
+			t.Fatalf("allocation %d/%d failed after recovery: %v", i, len(bs), err)
+		}
+		defer in.A.Free(c, b, size)
+	}
+	check(t, in)
+}
+
+func testCrossSizeReuse(t *testing.T, f Factory) {
+	in := f(t, 1, 128)
+	if !in.Coalesces {
+		t.Skip("allocator does not coalesce (the paper's point about MK)")
+	}
+	c := in.M.CPU(0)
+	// Phase 1: exhaust with small blocks.
+	var bs []arena.Addr
+	for {
+		b, err := in.A.Alloc(c, 32)
+		if err != nil {
+			break
+		}
+		bs = append(bs, b)
+	}
+	for _, b := range bs {
+		in.A.Free(c, b, 32)
+	}
+	if d, ok := in.A.(allocif.Coalescer); ok {
+		d.DrainAll(c)
+	}
+	// Phase 2: a large-block workload must find the memory again. Cap
+	// the block size well under total physical memory so several fit.
+	size := in.MaxSize
+	if cap := 16 * in.M.Config().PageBytes; size > cap {
+		size = cap
+	}
+	got := 0
+	var big []arena.Addr
+	for {
+		b, err := in.A.Alloc(c, size)
+		if err != nil {
+			break
+		}
+		big = append(big, b)
+		got++
+	}
+	if got < 4 {
+		t.Fatalf("only %d blocks of %d after size shift; coalescing failed", got, size)
+	}
+	for _, b := range big {
+		in.A.Free(c, b, size)
+	}
+	check(t, in)
+}
+
+func testMultiCPU(t *testing.T, f Factory) {
+	in := f(t, 4, 2048)
+	type rec struct {
+		b    arena.Addr
+		size uint64
+	}
+	held := make([][]rec, 4)
+	rngs := make([]*rand.Rand, 4)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(int64(i + 1)))
+	}
+	ops := make([]int, 4)
+	in.M.Run(func(c *machine.CPU) bool {
+		id := c.ID()
+		if ops[id] >= 3000 {
+			return false
+		}
+		ops[id]++
+		rng := rngs[id]
+		h := held[id]
+		if len(h) == 0 || (rng.Intn(2) == 0 && len(h) < 50) {
+			size := uint64(16 << rng.Intn(6))
+			b, err := in.A.Alloc(c, size)
+			if err == nil {
+				held[id] = append(h, rec{b, size})
+			}
+		} else {
+			i := rng.Intn(len(h))
+			in.A.Free(c, h[i].b, h[i].size)
+			h[i] = h[len(h)-1]
+			held[id] = h[:len(h)-1]
+		}
+		return true
+	})
+	for id, h := range held {
+		for _, r := range h {
+			in.A.Free(in.M.CPU(id), r.b, r.size)
+		}
+	}
+	check(t, in)
+}

@@ -1,0 +1,123 @@
+// Package arena provides the flat byte arena that stands in for kernel
+// virtual address space.
+//
+// Every block the allocator hands out is a range of bytes inside a single
+// Arena, identified by its offset (an Addr). Freelist links are threaded
+// through the blocks themselves, exactly as in the DYNIX kernel the paper
+// describes: the first 8 bytes of a free block hold the address of the next
+// free block. Keeping the links inside the managed memory means that
+// overlap, corruption and use-after-free bugs show up as broken freelists
+// in tests rather than hiding behind Go's garbage collector.
+//
+// Addr 0 is reserved as the nil address (NilAddr); the arena never hands
+// out byte 0, so a zero link always terminates a list.
+package arena
+
+import "fmt"
+
+// Addr is an offset into an Arena, playing the role of a kernel virtual
+// address. The zero value is NilAddr and never addresses usable memory.
+type Addr = uint64
+
+// NilAddr is the null pointer of the arena address space.
+const NilAddr Addr = 0
+
+// Arena is a contiguous span of simulated kernel virtual address space.
+// It performs no allocation policy of its own; allocators carve it up.
+//
+// Concurrent access to disjoint ranges is safe (the backing store is a
+// plain byte slice). Callers are responsible for ownership of ranges, just
+// as kernel code is responsible for the memory it has allocated.
+type Arena struct {
+	mem []byte
+}
+
+// New returns an Arena of the given size in bytes. Size must be a
+// multiple of 8 and at least 16; New panics otherwise, since a misshapen
+// arena indicates a configuration bug rather than a runtime condition.
+func New(size uint64) *Arena {
+	if size < 16 || size%8 != 0 {
+		panic(fmt.Sprintf("arena: invalid size %d", size))
+	}
+	return &Arena{mem: make([]byte, size)}
+}
+
+// Size returns the total size of the arena in bytes.
+func (a *Arena) Size() uint64 { return uint64(len(a.mem)) }
+
+// check panics if [addr, addr+n) is not a valid, non-nil range.
+func (a *Arena) check(addr Addr, n uint64) {
+	if addr == NilAddr || addr+n > uint64(len(a.mem)) || addr+n < addr {
+		panic(fmt.Sprintf("arena: access [%#x,+%d) outside arena of size %d", addr, n, len(a.mem)))
+	}
+}
+
+// Load64 reads the 8-byte little-endian word at addr. It is how freelist
+// links stored inside blocks are followed.
+func (a *Arena) Load64(addr Addr) uint64 {
+	a.check(addr, 8)
+	b := a.mem[addr : addr+8 : addr+8]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Store64 writes the 8-byte little-endian word v at addr.
+func (a *Arena) Store64(addr Addr, v uint64) {
+	a.check(addr, 8)
+	b := a.mem[addr : addr+8 : addr+8]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// Load32 reads the 4-byte little-endian word at addr.
+func (a *Arena) Load32(addr Addr) uint32 {
+	a.check(addr, 4)
+	b := a.mem[addr : addr+4 : addr+4]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Store32 writes the 4-byte little-endian word v at addr.
+func (a *Arena) Store32(addr Addr, v uint32) {
+	a.check(addr, 4)
+	b := a.mem[addr : addr+4 : addr+4]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// Bytes returns the n bytes starting at addr as a mutable slice view of
+// the arena. The caller must own [addr, addr+n).
+func (a *Arena) Bytes(addr Addr, n uint64) []byte {
+	a.check(addr, n)
+	return a.mem[addr : addr+n : addr+n]
+}
+
+// Fill sets every byte of [addr, addr+n) to pattern. Allocators use it to
+// poison freed memory in debug configurations and tests use it to verify
+// write integrity of allocated blocks.
+func (a *Arena) Fill(addr Addr, n uint64, pattern byte) {
+	b := a.Bytes(addr, n)
+	for i := range b {
+		b[i] = pattern
+	}
+}
+
+// CheckFill reports whether every byte of [addr, addr+n) equals pattern,
+// returning the offset of the first mismatch (relative to addr) and false
+// if not.
+func (a *Arena) CheckFill(addr Addr, n uint64, pattern byte) (uint64, bool) {
+	b := a.Bytes(addr, n)
+	for i := range b {
+		if b[i] != pattern {
+			return uint64(i), false
+		}
+	}
+	return 0, true
+}

@@ -1,0 +1,103 @@
+package arena
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	a := New(4096)
+	a.Store64(8, 0xdeadbeefcafef00d)
+	if got := a.Load64(8); got != 0xdeadbeefcafef00d {
+		t.Fatalf("Load64 = %#x", got)
+	}
+	a.Store32(16, 0x12345678)
+	if got := a.Load32(16); got != 0x12345678 {
+		t.Fatalf("Load32 = %#x", got)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	a := New(64)
+	a.Store64(8, 0x0102030405060708)
+	b := a.Bytes(8, 8)
+	want := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, b[i], want[i])
+		}
+	}
+}
+
+func TestQuickRoundTrip64(t *testing.T) {
+	a := New(1 << 16)
+	f := func(off uint16, v uint64) bool {
+		addr := Addr(off)%((1<<16)-8) + 8
+		a.Store64(addr, v)
+		return a.Load64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTrip32(t *testing.T) {
+	a := New(1 << 16)
+	f := func(off uint16, v uint32) bool {
+		addr := Addr(off)%((1<<16)-8) + 4
+		a.Store32(addr, v)
+		return a.Load32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSize(t *testing.T) {
+	a := New(1 << 20)
+	if a.Size() != 1<<20 {
+		t.Fatalf("Size = %d", a.Size())
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestBoundsChecks(t *testing.T) {
+	a := New(4096)
+	mustPanic(t, "nil load", func() { a.Load64(0) })
+	mustPanic(t, "oob load", func() { a.Load64(4095) })
+	mustPanic(t, "oob store", func() { a.Store64(4090, 1) })
+	mustPanic(t, "wrap", func() { a.Bytes(^uint64(0)-4, 16) })
+	mustPanic(t, "bad size", func() { New(7) })
+	mustPanic(t, "tiny", func() { New(8) })
+}
+
+func TestFillCheckFill(t *testing.T) {
+	a := New(4096)
+	a.Fill(64, 128, 0xab)
+	if off, ok := a.CheckFill(64, 128, 0xab); !ok {
+		t.Fatalf("CheckFill failed at %d", off)
+	}
+	a.Bytes(64, 128)[77] = 0
+	off, ok := a.CheckFill(64, 128, 0xab)
+	if ok || off != 77 {
+		t.Fatalf("CheckFill = (%d, %v), want (77, false)", off, ok)
+	}
+}
+
+func TestBytesAliasesArena(t *testing.T) {
+	a := New(4096)
+	b := a.Bytes(100, 8)
+	b[0] = 0x5a
+	if got := a.Bytes(100, 1)[0]; got != 0x5a {
+		t.Fatalf("Bytes view not aliased: %#x", got)
+	}
+}

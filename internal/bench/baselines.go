@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"kmem/internal/allocif"
+	"kmem/internal/lazybuddy"
+	"kmem/internal/machine"
+	"kmem/internal/mk"
+	"kmem/internal/oldkma"
+)
+
+// The baseline constructors live here so setup.go stays free of direct
+// baseline imports.
+
+func newMK(m *machine.Machine) (allocif.Allocator, error) {
+	return mk.New(m)
+}
+
+func newOldKMA(m *machine.Machine) (allocif.Allocator, error) {
+	return oldkma.New(m)
+}
+
+func newLazyBuddy(m *machine.Machine) (allocif.Allocator, error) {
+	return lazybuddy.New(m)
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+
+	"kmem/internal/workload"
+)
+
+func TestReplayAllAllocators(t *testing.T) {
+	tr := workload.Synthesize(3, 4, 20000, 150, workload.Uniform{Lo: 16, Hi: 2048})
+	var results []*ReplayResult
+	for _, name := range append(append([]string{}, AllocatorNames...), "lazybuddy") {
+		res, err := Replay(tr, name, 4, 8192)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Failures != 0 {
+			t.Errorf("%s: %d failures with ample memory", name, res.Failures)
+		}
+		results = append(results, res)
+	}
+	// The per-CPU allocator must beat every lock-based baseline on the
+	// identical operation sequence.
+	cookie := results[0]
+	for _, r := range results[2:] { // skip newkma (same allocator, std iface)
+		if cookie.OpsPerSec <= r.OpsPerSec {
+			t.Errorf("cookie (%.0f ops/s) did not beat %s (%.0f ops/s)",
+				cookie.OpsPerSec, r.Allocator, r.OpsPerSec)
+		}
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	tr := workload.Synthesize(9, 2, 5000, 80, workload.Fixed(256))
+	a, err := Replay(tr, "cookie", 2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(tr, "cookie", 2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VirtualSec != b.VirtualSec || a.OpsPerSec != b.OpsPerSec {
+		t.Fatalf("replay not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestReplayCrossCPUHandles(t *testing.T) {
+	// Alloc on CPU 0, free on CPU 1 with handle reuse: exercises the
+	// stall-and-retry paths.
+	rec := workload.NewRecorder()
+	for i := 0; i < 200; i++ {
+		h := rec.Alloc(0, 128)
+		rec.Free(1, h) // recorder reuses the handle immediately
+	}
+	tr := rec.Trace()
+	if err := tr.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(tr, "newkma", 2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("%d failures", res.Failures)
+	}
+}
+
+func TestReplayRejectsBadTrace(t *testing.T) {
+	tr := &workload.Trace{Events: []workload.Event{{Kind: workload.EvFree, Handle: 3}}}
+	if _, err := Replay(tr, "cookie", 1, 128); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+}

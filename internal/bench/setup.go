@@ -1,0 +1,52 @@
+// Package bench is the experiment harness: it reconstructs every table
+// and figure of the paper's evaluation on the simulated machine, and the
+// ablations listed in DESIGN.md. cmd/kmembench and the repository's
+// bench_test.go both drive it.
+package bench
+
+import (
+	"fmt"
+
+	"kmem/internal/allocif"
+	"kmem/internal/core"
+	"kmem/internal/machine"
+)
+
+// AllocatorNames lists the four allocators of Figures 7 and 8, top trace
+// first.
+var AllocatorNames = []string{"cookie", "newkma", "mk", "oldkma"}
+
+// MachineFor returns the simulated-machine configuration used by the
+// experiments, overriding CPU count and memory shape.
+func MachineFor(ncpu int, memBytes uint64, physPages int64) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.NumCPUs = ncpu
+	cfg.MemBytes = memBytes
+	cfg.PhysPages = physPages
+	return cfg
+}
+
+// BuildAllocator constructs the named allocator on machine m.
+func BuildAllocator(m *machine.Machine, name string) (allocif.Allocator, error) {
+	switch name {
+	case "cookie":
+		a, err := core.New(m, core.Params{RadixSort: true})
+		if err != nil {
+			return nil, err
+		}
+		return allocif.NewCookieKMA(a), nil
+	case "newkma":
+		a, err := core.New(m, core.Params{RadixSort: true})
+		if err != nil {
+			return nil, err
+		}
+		return allocif.NewKMA{Allocator: a}, nil
+	case "mk":
+		return newMK(m)
+	case "oldkma":
+		return newOldKMA(m)
+	case "lazybuddy":
+		return newLazyBuddy(m)
+	}
+	return nil, fmt.Errorf("bench: unknown allocator %q", name)
+}

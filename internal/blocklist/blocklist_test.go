@@ -1,0 +1,200 @@
+package blocklist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+func testCPU(t *testing.T) (*machine.CPU, *arena.Arena) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.MemBytes = 1 << 20
+	cfg.PhysPages = 16
+	m := machine.New(cfg)
+	return m.CPU(0), m.Mem()
+}
+
+// blocks returns n block addresses spaced size bytes apart from base.
+func blocks(base arena.Addr, n int, size uint64) []arena.Addr {
+	out := make([]arena.Addr, n)
+	for i := range out {
+		out[i] = base + arena.Addr(i)*arena.Addr(size)
+	}
+	return out
+}
+
+func TestPushPopLIFO(t *testing.T) {
+	c, a := testCPU(t)
+	var l List
+	bs := blocks(64, 5, 32)
+	for _, b := range bs {
+		l.Push(c, a, b)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	l.Validate(a)
+	for i := 4; i >= 0; i-- {
+		if got := l.Pop(c, a); got != bs[i] {
+			t.Fatalf("pop %d = %#x, want %#x", i, got, bs[i])
+		}
+	}
+	if !l.Empty() {
+		t.Fatal("not empty")
+	}
+}
+
+func TestTakeIsConstantTimeMove(t *testing.T) {
+	c, a := testCPU(t)
+	var l List
+	for _, b := range blocks(64, 3, 32) {
+		l.Push(c, a, b)
+	}
+	m := l.Take()
+	if !l.Empty() || m.Len() != 3 {
+		t.Fatalf("take: src %d dst %d", l.Len(), m.Len())
+	}
+	m.Validate(a)
+}
+
+func TestSplitOff(t *testing.T) {
+	c, a := testCPU(t)
+	var l List
+	bs := blocks(64, 10, 32)
+	for _, b := range bs {
+		l.Push(c, a, b)
+	}
+	front := l.SplitOff(c, a, 4)
+	if front.Len() != 4 || l.Len() != 6 {
+		t.Fatalf("split: front %d rest %d", front.Len(), l.Len())
+	}
+	front.Validate(a)
+	l.Validate(a)
+	// Front must hold the four most recently pushed blocks.
+	for i := 9; i >= 6; i-- {
+		if got := front.Pop(c, a); got != bs[i] {
+			t.Fatalf("front pop = %#x, want %#x", got, bs[i])
+		}
+	}
+}
+
+func TestSplitOffAll(t *testing.T) {
+	c, a := testCPU(t)
+	var l List
+	for _, b := range blocks(64, 3, 32) {
+		l.Push(c, a, b)
+	}
+	out := l.SplitOff(c, a, 3)
+	if out.Len() != 3 || !l.Empty() {
+		t.Fatal("SplitOff(all) wrong")
+	}
+	out.Validate(a)
+}
+
+func TestAppend(t *testing.T) {
+	c, a := testCPU(t)
+	var l, m List
+	for _, b := range blocks(64, 3, 32) {
+		l.Push(c, a, b)
+	}
+	for _, b := range blocks(1024, 4, 32) {
+		m.Push(c, a, b)
+	}
+	l.Append(c, a, m)
+	if l.Len() != 7 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	l.Validate(a)
+}
+
+func TestPanics(t *testing.T) {
+	c, a := testCPU(t)
+	var l List
+	for name, f := range map[string]func(){
+		"pop empty":     func() { (&List{}).Pop(c, a) },
+		"push nil":      func() { l.Push(c, a, arena.NilAddr) },
+		"split zero":    func() { (&List{}).SplitOff(c, a, 0) },
+		"split toolong": func() { l2 := List{}; l2.Push(c, a, 64); l2.SplitOff(c, a, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestQuickPushPopSequences property-tests that any interleaving of
+// pushes and pops behaves like a stack of addresses.
+func TestQuickPushPopSequences(t *testing.T) {
+	c, a := testCPU(t)
+	f := func(ops []bool) bool {
+		var l List
+		var ref []arena.Addr
+		next := arena.Addr(64)
+		for _, push := range ops {
+			if push || len(ref) == 0 {
+				l.Push(c, a, next)
+				ref = append(ref, next)
+				next += 32
+			} else {
+				want := ref[len(ref)-1]
+				ref = ref[:len(ref)-1]
+				if l.Pop(c, a) != want {
+					return false
+				}
+			}
+			if l.Len() != len(ref) {
+				return false
+			}
+		}
+		l.Validate(a)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSplitOffPreservesBlocks property-tests that SplitOff never
+// loses or duplicates a block.
+func TestQuickSplitOffPreservesBlocks(t *testing.T) {
+	c, a := testCPU(t)
+	f := func(n uint8, k uint8) bool {
+		total := int(n%40) + 1
+		cut := int(k)%total + 1
+		var l List
+		want := map[arena.Addr]bool{}
+		for i := 0; i < total; i++ {
+			b := arena.Addr(64 + i*32)
+			l.Push(c, a, b)
+			want[b] = true
+		}
+		front := l.SplitOff(c, a, cut)
+		got := map[arena.Addr]bool{}
+		for !front.Empty() {
+			got[front.Pop(c, a)] = true
+		}
+		for !l.Empty() {
+			got[l.Pop(c, a)] = true
+		}
+		if len(got) != total {
+			return false
+		}
+		for b := range want {
+			if !got[b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

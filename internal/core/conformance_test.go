@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"testing"
+
+	"kmem/internal/allocif"
+	"kmem/internal/alloctest"
+	"kmem/internal/core"
+	"kmem/internal/machine"
+)
+
+func factory(cookie bool) alloctest.Factory {
+	return func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
+		cfg := machine.DefaultConfig()
+		cfg.NumCPUs = ncpu
+		cfg.MemBytes = 16 << 20
+		cfg.PhysPages = physPages
+		m := machine.New(cfg)
+		a, err := core.New(m, core.Params{RadixSort: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var iface allocif.Allocator
+		if cookie {
+			iface = allocif.NewCookieKMA(a)
+		} else {
+			iface = allocif.NewKMA{Allocator: a}
+		}
+		return alloctest.Instance{
+			A:         iface,
+			M:         m,
+			MaxSize:   1 << 20, // the large path serves beyond the classes
+			Coalesces: true,
+			Check:     a.CheckConsistency,
+		}
+	}
+}
+
+func TestConformanceStandard(t *testing.T) {
+	alloctest.Run(t, factory(false))
+}
+
+func TestConformanceCookie(t *testing.T) {
+	alloctest.Run(t, factory(true))
+}

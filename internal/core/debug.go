@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"kmem/internal/arena"
+)
+
+// CheckConsistency audits every data structure of the allocator and
+// returns the first inconsistency found (nil when sound):
+//
+//   - vmblk page maps partition cleanly into header pages, free spans
+//     with matching boundary tags, allocated spans, and split pages;
+//   - every split page's freelist length matches its descriptor's free
+//     count, with every link inside the page and block-aligned;
+//   - no block appears on two freelists (page, global or per-CPU) —
+//     a double free or list corruption would trip this;
+//   - cached blocks belong to split pages of the correct class;
+//   - physical-page accounting agrees with the sum of mapped spans.
+//
+// CheckConsistency must only be called on a quiescent allocator (no
+// concurrent operations); it takes no locks and charges no simulated
+// cycles.
+func (a *Allocator) CheckConsistency() error {
+	pageBytes := a.m.Config().PageBytes
+	seen := make(map[arena.Addr]string)
+	note := func(b arena.Addr, where string) error {
+		if prev, dup := seen[b]; dup {
+			return fmt.Errorf("kmem: block %#x on both %s and %s", b, prev, where)
+		}
+		seen[b] = where
+		return nil
+	}
+
+	var mappedPages int64
+	splitByClass := make(map[int32]int, 64) // page -> class for cache validation
+
+	for _, vb := range a.vm.dope {
+		if vb == nil {
+			continue
+		}
+		mappedPages += int64(vb.headerPages)
+		i := vb.dataStart()
+		for i < vb.end() {
+			pd := &vb.pds[i-vb.firstPage]
+			switch pd.state {
+			case pdFreeHead:
+				n := int32(pd.spanPages)
+				if n < 1 || i+n > vb.end() {
+					return fmt.Errorf("kmem: free span at page %d has bad length %d", i, n)
+				}
+				if n > 1 {
+					tail := &vb.pds[i+n-1-vb.firstPage]
+					if tail.state != pdFreeTail || tail.spanPages != uint32(n) {
+						return fmt.Errorf("kmem: free span at page %d length %d: tail tag %s/%d",
+							i, n, pdStateName(tail.state), tail.spanPages)
+					}
+				}
+				i += n
+			case pdAllocHead:
+				n := int32(pd.spanPages)
+				if n < 1 || i+n > vb.end() {
+					return fmt.Errorf("kmem: alloc span at page %d has bad length %d", i, n)
+				}
+				for j := int32(1); j < n; j++ {
+					mid := &vb.pds[i+j-vb.firstPage]
+					if mid.state != pdAllocMid {
+						return fmt.Errorf("kmem: alloc span at page %d: interior page %d is %s",
+							i, i+j, pdStateName(mid.state))
+					}
+				}
+				mappedPages += int64(n)
+				i += n
+			case pdSplit:
+				cls := int(pd.class)
+				if cls < 0 || cls >= len(a.classes) {
+					return fmt.Errorf("kmem: split page %d has bad class %d", i, pd.class)
+				}
+				size := uint64(a.classes[cls].size)
+				perPage := pageBytes / size
+				if uint64(pd.nFree) > perPage {
+					return fmt.Errorf("kmem: split page %d has %d free of %d", i, pd.nFree, perPage)
+				}
+				base := a.vm.pageAddr(i)
+				count := uint64(0)
+				for b := pd.freeHead; b != arena.NilAddr; b = a.mem.Load64(b) {
+					if b < base || b >= base+pageBytes || (b-base)%size != 0 {
+						return fmt.Errorf("kmem: split page %d freelist link %#x outside page", i, b)
+					}
+					if err := note(b, fmt.Sprintf("page %d freelist", i)); err != nil {
+						return err
+					}
+					count++
+					if count > perPage {
+						return fmt.Errorf("kmem: split page %d freelist longer than page", i)
+					}
+				}
+				if count != uint64(pd.nFree) {
+					return fmt.Errorf("kmem: split page %d freelist has %d blocks, descriptor says %d",
+						i, count, pd.nFree)
+				}
+				splitByClass[i] = cls
+				mappedPages++
+				i++
+			default:
+				return fmt.Errorf("kmem: page %d in unexpected state %s", i, pdStateName(pd.state))
+			}
+		}
+	}
+
+	// Radix buckets: each filed page must be split, with the matching
+	// free count, in this class.
+	for cls := range a.classes {
+		p := a.classes[cls].pages
+		checkList := func(l *pdList, wantFree int) error {
+			for pg := l.head; pg != -1; {
+				pd := a.vm.pdOf(pg)
+				if pd.state != pdSplit || int(pd.class) != cls {
+					return fmt.Errorf("kmem: class %d bucket holds page %d (%s class %d)",
+						cls, pg, pdStateName(pd.state), pd.class)
+				}
+				if wantFree >= 0 && int(pd.nFree) != wantFree {
+					return fmt.Errorf("kmem: class %d bucket %d holds page %d with %d free",
+						cls, wantFree, pg, pd.nFree)
+				}
+				if pd.nFree == 0 {
+					return fmt.Errorf("kmem: class %d list holds empty page %d", cls, pg)
+				}
+				pg = pd.next
+			}
+			return nil
+		}
+		if a.params.RadixSort {
+			for k := 1; k < len(p.buckets); k++ {
+				if err := checkList(&p.buckets[k], k); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := checkList(&p.fifo, -1); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Cached blocks at the global and per-CPU layers: each must sit in a
+	// split page of its class and appear only once anywhere.
+	checkCached := func(head arena.Addr, n int, cls int, where string) error {
+		count := 0
+		for b := head; b != arena.NilAddr; b = a.mem.Load64(b) {
+			pg := int32(b >> a.pageShift)
+			pcls, ok := splitByClass[pg]
+			if !ok || pcls != cls {
+				return fmt.Errorf("kmem: %s holds block %#x not in a class-%d split page", where, b, cls)
+			}
+			if err := note(b, where); err != nil {
+				return err
+			}
+			count++
+			if count > n {
+				return fmt.Errorf("kmem: %s longer than declared %d", where, n)
+			}
+		}
+		if count != n {
+			return fmt.Errorf("kmem: %s has %d blocks, declared %d", where, count, n)
+		}
+		return nil
+	}
+	for cls := range a.classes {
+		g := a.classes[cls].global
+		for li, l := range g.lists {
+			if err := checkCached(l.Head(), l.Len(), cls, fmt.Sprintf("class %d global list %d", cls, li)); err != nil {
+				return err
+			}
+		}
+		if err := checkCached(g.bucket.Head(), g.bucket.Len(), cls, fmt.Sprintf("class %d global bucket", cls)); err != nil {
+			return err
+		}
+		for cpu := range a.percpu {
+			pc := &a.percpu[cpu][cls]
+			if err := checkCached(pc.main.Head(), pc.main.Len(), cls, fmt.Sprintf("cpu %d class %d main", cpu, cls)); err != nil {
+				return err
+			}
+			if err := checkCached(pc.aux.Head(), pc.aux.Len(), cls, fmt.Sprintf("cpu %d class %d aux", cpu, cls)); err != nil {
+				return err
+			}
+		}
+	}
+
+	if got := a.m.Phys().Mapped(); got != mappedPages {
+		return fmt.Errorf("kmem: physmem reports %d mapped pages, structures account for %d",
+			got, mappedPages)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Dump writes a human-readable snapshot of every layer to w: per-class
+// cache occupancy, global-pool contents, page-pool occupancy histograms,
+// and the vmblk layer's span map. Like CheckConsistency, it must only be
+// called on a quiescent allocator; it takes no locks and charges nothing.
+func (a *Allocator) Dump(w io.Writer) {
+	fmt.Fprintf(w, "kmem allocator: %d CPUs, %d size classes, page %d bytes, vmblk %d bytes\n",
+		len(a.percpu), len(a.classes), a.m.Config().PageBytes, uint64(1)<<a.vmblkShift)
+
+	for cls := range a.classes {
+		cs := &a.classes[cls]
+		fmt.Fprintf(w, "\nclass %d: size %d, target %d, gbltarget %d\n",
+			cls, cs.size, cs.target, cs.gbltarget)
+		for cpu := range a.percpu {
+			pc := &a.percpu[cpu][cls]
+			if pc.allocs == 0 && pc.held() == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  cpu %d: main %d + aux %d cached; %d allocs, %d frees, %d refills, %d spills\n",
+				cpu, pc.main.Len(), pc.aux.Len(), pc.allocs, pc.frees, pc.allocRefills, pc.freeSpills)
+		}
+		g := cs.global
+		fmt.Fprintf(w, "  global: %d full lists + %d in bucket; %d gets (%d refills), %d puts (%d spills)\n",
+			len(g.lists), g.bucket.Len(), g.gets, g.refills, g.puts, g.spills)
+
+		p := cs.pages
+		fmt.Fprintf(w, "  pages: %d carved, %d released; split-page occupancy:",
+			p.pageAllocs, p.pageFrees)
+		// Histogram of free counts over split pages.
+		counts := map[int]int{}
+		for _, vb := range a.vm.dope {
+			if vb == nil {
+				continue
+			}
+			for i := vb.dataStart(); i < vb.end(); i++ {
+				pd := &vb.pds[i-vb.firstPage]
+				if pd.state == pdSplit && int(pd.class) == cls {
+					counts[int(pd.nFree)]++
+				}
+			}
+		}
+		if len(counts) == 0 {
+			fmt.Fprintf(w, " none\n")
+		} else {
+			fmt.Fprintln(w)
+			for free := 0; free <= p.blocksPerPage; free++ {
+				if n := counts[free]; n > 0 {
+					fmt.Fprintf(w, "    %4d pages with %d/%d blocks free\n", n, free, p.blocksPerPage)
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "\nvmblk layer: %d vmblks, %d span allocs, %d span frees, %d large allocs\n",
+		a.vm.vmblkCreates, a.vm.spanAllocs, a.vm.spanFrees, a.vm.largeAllocs)
+	for idx, vb := range a.vm.dope {
+		if vb == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  vmblk %d @ %#x: %d header pages; map:", idx, vb.base, vb.headerPages)
+		i := vb.dataStart()
+		for i < vb.end() {
+			pd := &vb.pds[i-vb.firstPage]
+			switch pd.state {
+			case pdFreeHead:
+				n := int32(pd.spanPages)
+				fmt.Fprintf(w, " free[%d]", n)
+				i += n
+			case pdAllocHead:
+				n := int32(pd.spanPages)
+				fmt.Fprintf(w, " alloc[%d]", n)
+				i += n
+			case pdSplit:
+				run := int32(0)
+				for i+run < vb.end() && vb.pds[i+run-vb.firstPage].state == pdSplit {
+					run++
+				}
+				fmt.Fprintf(w, " split[%d]", run)
+				i += run
+			default:
+				fmt.Fprintf(w, " %s[1]", pdStateName(pd.state))
+				i++
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	ph := a.m.Phys().Stats()
+	fmt.Fprintf(w, "physical: %d/%d pages mapped (high water %d), %d map failures, %d reclaims\n",
+		ph.Mapped, ph.Capacity, ph.HighWater, ph.Failures, a.reclaims.Load())
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"kmem/internal/blocklist"
+	"kmem/internal/machine"
+)
+
+// globalPool is one size class's global layer. Its only purpose is to
+// support the case where "one CPU allocates buffers of a given size,
+// which are then passed to other CPUs that free them": freed buffers can
+// flow back to the allocating CPU without the expense of coalescing.
+//
+// Free blocks are kept as a stack of target-sized lists (gblfree in the
+// paper's Figure 3), so whole lists move to and from the per-CPU layer
+// with a constant number of operations. Odd-sized lists arriving during
+// low-memory operation or cache flushes land on the bucket list, which
+// regroups blocks into target-sized lists.
+type globalPool struct {
+	al        *Allocator
+	cls       int
+	target    int
+	gbltarget int // capacity/batch parameter, in units of target-sized lists
+
+	lk   *machine.SpinLock
+	line machine.Line
+
+	lists  []blocklist.List
+	bucket blocklist.List
+
+	// stats
+	gets    uint64
+	puts    uint64
+	refills uint64 // gets that had to reach the coalesce-to-page layer
+	spills  uint64 // puts that pushed excess down to the coalesce-to-page layer
+}
+
+func newGlobalPool(a *Allocator, cls int, target, gbltarget int) *globalPool {
+	return &globalPool{
+		al:        a,
+		cls:       cls,
+		target:    target,
+		gbltarget: gbltarget,
+		lk:        machine.NewSpinLock(a.m),
+		line:      a.m.NewMetaLine(),
+	}
+}
+
+// capacityLists is the high-water mark: beyond it, excess lists are sent
+// to the coalesce-to-page layer ("the number of blocks in the global
+// layer ranges up to twice gbltarget").
+func (g *globalPool) capacityLists() int { return 2 * g.gbltarget }
+
+// getList hands one list of up to target blocks to a per-CPU cache. When
+// the pool is empty it refills with gbltarget lists from the
+// coalesce-to-page layer, so only one in gbltarget global accesses incurs
+// coalescing-layer overhead. An empty result means low memory.
+func (g *globalPool) getList(c *machine.CPU) (blocklist.List, error) {
+	g.lk.Acquire(c)
+	c.Work(insnGlobalOp)
+	c.Read(g.line)
+	g.gets++
+
+	if len(g.lists) == 0 && g.bucket.Empty() {
+		g.refills++
+		fresh, err := g.al.classes[g.cls].pages.getLists(c, g.gbltarget, g.target)
+		if err != nil && len(fresh) == 0 {
+			c.Write(g.line)
+			g.lk.Release(c)
+			return blocklist.List{}, err
+		}
+		g.lists = append(g.lists, fresh...)
+	}
+
+	var out blocklist.List
+	if n := len(g.lists); n > 0 {
+		out = g.lists[n-1]
+		g.lists = g.lists[:n-1]
+	} else {
+		// Low-memory operation: hand out the (odd-sized) bucket list.
+		out = g.bucket.Take()
+	}
+	c.Write(g.line)
+	g.lk.Release(c)
+	if out.Empty() {
+		return out, ErrNoMemory
+	}
+	return out, nil
+}
+
+// getOne hands a single block to a per-CPU cache — used only by the
+// no-split-freelist ablation (A2), which exchanges blocks one at a time.
+func (g *globalPool) getOne(c *machine.CPU) (blocklist.List, error) {
+	g.lk.Acquire(c)
+	c.Work(insnGlobalOp)
+	c.Read(g.line)
+	g.gets++
+
+	if len(g.lists) == 0 && g.bucket.Empty() {
+		g.refills++
+		fresh, err := g.al.classes[g.cls].pages.getLists(c, g.gbltarget, g.target)
+		if err != nil && len(fresh) == 0 {
+			c.Write(g.line)
+			g.lk.Release(c)
+			return blocklist.List{}, err
+		}
+		g.lists = append(g.lists, fresh...)
+	}
+
+	var out blocklist.List
+	if !g.bucket.Empty() {
+		out.Push(c, g.al.mem, g.bucket.Pop(c, g.al.mem))
+	} else if n := len(g.lists); n > 0 {
+		top := &g.lists[n-1]
+		out.Push(c, g.al.mem, top.Pop(c, g.al.mem))
+		if top.Empty() {
+			g.lists = g.lists[:n-1]
+		}
+	}
+	c.Write(g.line)
+	g.lk.Release(c)
+	if out.Empty() {
+		return out, ErrNoMemory
+	}
+	return out, nil
+}
+
+// putList accepts a list of blocks from a per-CPU cache (normally exactly
+// target blocks; odd sizes go to the bucket list and are regrouped).
+// When the pool exceeds its capacity, gbltarget lists are pushed down to
+// the coalesce-to-page layer.
+func (g *globalPool) putList(c *machine.CPU, l blocklist.List) {
+	if l.Empty() {
+		return
+	}
+	g.lk.Acquire(c)
+	c.Work(insnGlobalOp)
+	c.Read(g.line)
+	g.puts++
+
+	if l.Len() == g.target {
+		g.lists = append(g.lists, l)
+	} else {
+		g.bucket.Append(c, g.al.mem, l)
+		for g.bucket.Len() >= g.target {
+			g.lists = append(g.lists, g.bucket.SplitOff(c, g.al.mem, g.target))
+		}
+	}
+
+	var spill []blocklist.List
+	if len(g.lists) > g.capacityLists() {
+		g.spills++
+		n := g.gbltarget
+		if n > len(g.lists) {
+			n = len(g.lists)
+		}
+		spill = append(spill, g.lists[len(g.lists)-n:]...)
+		g.lists = g.lists[:len(g.lists)-n]
+	}
+	c.Write(g.line)
+	g.lk.Release(c)
+
+	// Push the excess to the coalescing layer outside the global lock;
+	// each block is examined individually there.
+	for _, s := range spill {
+		g.al.classes[g.cls].pages.putBlocks(c, s)
+	}
+}
+
+// drainAll pushes every block in the pool down to the coalesce-to-page
+// layer. The low-memory reclaim path uses it to let fully-free pages be
+// released for other sizes and for user processes.
+func (g *globalPool) drainAll(c *machine.CPU) {
+	g.lk.Acquire(c)
+	c.Read(g.line)
+	all := g.lists
+	g.lists = nil
+	bucket := g.bucket.Take()
+	c.Write(g.line)
+	g.lk.Release(c)
+
+	for _, l := range all {
+		g.al.classes[g.cls].pages.putBlocks(c, l)
+	}
+	if !bucket.Empty() {
+		g.al.classes[g.cls].pages.putBlocks(c, bucket)
+	}
+}
+
+// blocksHeld reports the number of blocks currently in the pool. Used by
+// stats and tests.
+func (g *globalPool) blocksHeld(c *machine.CPU) int {
+	g.lk.Acquire(c)
+	n := g.bucket.Len()
+	for _, l := range g.lists {
+		n += l.Len()
+	}
+	g.lk.Release(c)
+	return n
+}

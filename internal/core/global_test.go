@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"kmem/internal/arena"
+	"kmem/internal/blocklist"
+)
+
+// Unit tests for globalPool paths not covered by the integration tests.
+
+func TestGetOnePrefersBucket(t *testing.T) {
+	a, m := testAllocator(t, 1, 1024, Params{RadixSort: true, DisableSplitFreelist: true})
+	c := m.CPU(0)
+	cls := a.classFor(64)
+	g := a.classes[cls].global
+
+	// Prime the global layer through normal traffic.
+	var bs []arena.Addr
+	for i := 0; i < 60; i++ {
+		b, err := a.Alloc(c, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs = append(bs, b)
+	}
+	for _, b := range bs {
+		a.Free(c, b, 64)
+	}
+	a.DrainCPU(c, 0)
+
+	// Inject an odd-sized list into the bucket via a partial drain: the
+	// pool now has full lists and possibly bucket remainder. getOne must
+	// return exactly one block regardless.
+	held := g.blocksHeld(c)
+	if held == 0 {
+		t.Fatal("nothing in global pool")
+	}
+	lst, err := g.getOne(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lst.Len() != 1 {
+		t.Fatalf("getOne returned %d blocks", lst.Len())
+	}
+	if got := g.blocksHeld(c); got != held-1 {
+		t.Fatalf("pool went from %d to %d", held, got)
+	}
+	// Return the block.
+	b := lst.Pop(c, a.mem)
+	a.Free(c, b, 64)
+	checkOK(t, a)
+}
+
+func TestGetOneRefillsWhenEmpty(t *testing.T) {
+	a, m := testAllocator(t, 1, 1024, Params{RadixSort: true, DisableSplitFreelist: true})
+	c := m.CPU(0)
+	cls := a.classFor(64)
+	g := a.classes[cls].global
+	if g.blocksHeld(c) != 0 {
+		t.Fatal("pool not empty at start")
+	}
+	lst, err := g.getOne(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lst.Len() != 1 {
+		t.Fatalf("getOne returned %d blocks", lst.Len())
+	}
+	st := a.Stats(c).Classes[cls]
+	if st.GlobalRefills != 1 {
+		t.Fatalf("refills = %d", st.GlobalRefills)
+	}
+	b := lst.Pop(c, a.mem)
+	a.Free(c, b, 64)
+	checkOK(t, a)
+}
+
+func TestGetOneExhausted(t *testing.T) {
+	a, m := testAllocator(t, 1, 8, Params{RadixSort: true, DisableSplitFreelist: true}) // header only
+	c := m.CPU(0)
+	cls := a.classFor(64)
+	g := a.classes[cls].global
+	if _, err := g.getOne(c); err == nil {
+		t.Fatal("getOne on starved machine succeeded")
+	} else if !errors.Is(err, ErrNoMemory) && !errors.Is(err, errNoVA) {
+		// physmem error is also acceptable; what matters is failure.
+		t.Logf("error: %v", err)
+	}
+}
+
+func TestPutListOddSizesRegroup(t *testing.T) {
+	a, m := testAllocator(t, 1, 1024, Params{RadixSort: true})
+	c := m.CPU(0)
+	cls := a.classFor(32)
+	g := a.classes[cls].global
+	target := a.classes[cls].target
+
+	// Hand the pool several odd-sized lists directly.
+	mkList := func(n int) (l blocklist.List) {
+		for i := 0; i < n; i++ {
+			b, err := a.Alloc(c, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.Push(c, a.mem, b)
+		}
+		return l
+	}
+	a.DrainCPU(c, 0) // keep the per-CPU cache out of the picture
+	l1 := mkList(target - 1)
+	l2 := mkList(target + 3)
+	a.DrainCPU(c, 0)
+	before := g.blocksHeld(c)
+	g.putList(c, l1)
+	g.putList(c, l2)
+	after := g.blocksHeld(c)
+	if after-before != 2*target+2 {
+		t.Fatalf("pool grew by %d, want %d", after-before, 2*target+2)
+	}
+	g.lk.Acquire(c)
+	for i, lst := range g.lists {
+		if lst.Len() != target {
+			t.Fatalf("list %d has %d blocks", i, lst.Len())
+		}
+	}
+	g.lk.Release(c)
+	a.DrainAll(c)
+	checkOK(t, a)
+}
+
+func TestDumpFIFOMode(t *testing.T) {
+	a, m := testAllocator(t, 1, 1024, Params{RadixSort: false})
+	c := m.CPU(0)
+	b, _ := a.Alloc(c, 256)
+	var sb dumpBuilder
+	a.Dump(&sb)
+	a.Free(c, b, 256)
+	if len(sb.data) == 0 {
+		t.Fatal("empty dump")
+	}
+}
+
+// dumpBuilder is a minimal io.Writer.
+type dumpBuilder struct{ data []byte }
+
+func (d *dumpBuilder) Write(p []byte) (int, error) {
+	d.data = append(d.data, p...)
+	return len(p), nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import "kmem/internal/machine"
+
+// reclaim is the low-memory path behind design goal 5: it must be
+// possible for "any given CPU ... to allocate the last remaining buffer,
+// although the allocator is permitted to incur more overhead in this
+// hopefully infrequent low-memory situation".
+//
+// Blocks can be stranded in two kinds of cache: other CPUs' per-CPU
+// caches (up to 2*target blocks per CPU per class) and the global pools
+// (up to 2*gbltarget lists per class). Reclaim flushes both, all the way
+// down to the coalesce-to-page layer, so that fully-free pages are
+// released and the physical memory becomes available to whichever size
+// class (or large request) is starving.
+//
+// In a real kernel the per-CPU flushes would be requested by IPI; in this
+// reproduction the requesting CPU performs each flush directly under the
+// owner's IntrLock (a real mutex in native mode, an interrupt-disable
+// cost charge in the deterministic simulator) and is charged the work.
+func (a *Allocator) reclaim(c *machine.CPU) {
+	c.Work(insnReclaim)
+	a.reclaims.Add(1)
+
+	// Flush every CPU's caches for every class into the global pools.
+	for cpu := range a.percpu {
+		il := &a.intr[cpu]
+		for cls := range a.classes {
+			il.Acquire(c)
+			main, aux := a.percpu[cpu][cls].takeAll(c)
+			il.Release(c)
+			if !main.Empty() {
+				a.classes[cls].global.putList(c, main)
+			}
+			if !aux.Empty() {
+				a.classes[cls].global.putList(c, aux)
+			}
+		}
+	}
+
+	// Push every global pool's contents down to the coalesce-to-page
+	// layer; pages whose blocks are all free are released immediately,
+	// returning physical memory to the system.
+	for cls := range a.classes {
+		a.classes[cls].global.drainAll(c)
+	}
+}
+
+// Reclaims reports how many times the low-memory path has run.
+func (a *Allocator) Reclaims() uint64 { return a.reclaims.Load() }
+
+// DrainCPU flushes CPU cpu's caches for every class into the global
+// layer. Callers use it to return cached memory when a CPU goes idle;
+// tests use it to reach deterministic states.
+func (a *Allocator) DrainCPU(c *machine.CPU, cpu int) {
+	il := &a.intr[cpu]
+	for cls := range a.classes {
+		il.Acquire(c)
+		main, aux := a.percpu[cpu][cls].takeAll(c)
+		il.Release(c)
+		if !main.Empty() {
+			a.classes[cls].global.putList(c, main)
+		}
+		if !aux.Empty() {
+			a.classes[cls].global.putList(c, aux)
+		}
+	}
+}
+
+// DrainAll flushes every cache at every layer, leaving all free memory
+// coalesced into pages and free spans. After DrainAll on a quiescent
+// allocator with no outstanding blocks, every page is returned to the
+// system and physical usage drops to the vmblk headers alone.
+func (a *Allocator) DrainAll(c *machine.CPU) {
+	for cpu := range a.percpu {
+		a.DrainCPU(c, cpu)
+	}
+	for cls := range a.classes {
+		a.classes[cls].global.drainAll(c)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+// nativeAllocator builds an allocator in Native mode: real goroutines,
+// real mutexes, no cost model. These tests are what the race detector
+// sees.
+func nativeAllocator(t *testing.T, ncpu int, physPages int64) (*Allocator, *machine.Machine) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Mode = machine.Native
+	cfg.NumCPUs = ncpu
+	cfg.MemBytes = 32 << 20
+	cfg.PhysPages = physPages
+	m := machine.New(cfg)
+	a, err := New(m, Params{RadixSort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, m
+}
+
+func TestNativeConcurrentSameCPUDiscipline(t *testing.T) {
+	// One goroutine per CPU, each hammering its own handle.
+	a, m := nativeAllocator(t, 8, 4096)
+	var wg sync.WaitGroup
+	for i := 0; i < m.NumCPUs(); i++ {
+		wg.Add(1)
+		go func(c *machine.CPU) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c.ID())))
+			var held []arena.Addr
+			var sizes []uint64
+			for op := 0; op < 20000; op++ {
+				if len(held) == 0 || (rng.Intn(2) == 0 && len(held) < 64) {
+					sz := uint64(16 << rng.Intn(8))
+					b, err := a.Alloc(c, sz)
+					if err != nil {
+						t.Errorf("alloc: %v", err)
+						return
+					}
+					held = append(held, b)
+					sizes = append(sizes, sz)
+				} else {
+					i := rng.Intn(len(held))
+					a.Free(c, held[i], sizes[i])
+					held[i] = held[len(held)-1]
+					sizes[i] = sizes[len(sizes)-1]
+					held = held[:len(held)-1]
+					sizes = sizes[:len(sizes)-1]
+				}
+			}
+			for i, b := range held {
+				a.Free(c, b, sizes[i])
+			}
+		}(m.CPU(i))
+	}
+	wg.Wait()
+	a.DrainAll(m.CPU(0))
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeProducerConsumer(t *testing.T) {
+	// Blocks allocated on one CPU, freed on another, through a channel —
+	// the traffic pattern the global layer exists for.
+	a, m := nativeAllocator(t, 4, 4096)
+	ck, err := a.GetCookie(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan arena.Addr, 256)
+	var wg sync.WaitGroup
+
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(c *machine.CPU) {
+			defer wg.Done()
+			for i := 0; i < 30000; i++ {
+				b, err := a.AllocCookie(c, ck)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				m.Mem().Store64(b+8, uint64(b))
+				ch <- b
+			}
+		}(m.CPU(p))
+	}
+	for p := 2; p < 4; p++ {
+		wg.Add(1)
+		go func(c *machine.CPU) {
+			defer wg.Done()
+			for i := 0; i < 30000; i++ {
+				b := <-ch
+				if got := m.Mem().Load64(b + 8); got != uint64(b) {
+					t.Errorf("block %#x corrupted: %#x", b, got)
+					return
+				}
+				a.FreeCookie(c, b, ck)
+			}
+		}(m.CPU(p))
+	}
+	wg.Wait()
+	a.DrainAll(m.CPU(0))
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeLowMemoryContention(t *testing.T) {
+	// Tight physical memory with many CPUs: reclaim runs concurrently
+	// with allocation on other CPUs.
+	a, m := nativeAllocator(t, 8, 160)
+	var wg sync.WaitGroup
+	for i := 0; i < m.NumCPUs(); i++ {
+		wg.Add(1)
+		go func(c *machine.CPU) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(42 + c.ID())))
+			var held []arena.Addr
+			for op := 0; op < 4000; op++ {
+				if rng.Intn(3) != 0 && len(held) < 32 {
+					b, err := a.Alloc(c, 2048)
+					if err == nil {
+						held = append(held, b)
+					}
+					// ErrNoMemory is expected here; what matters is that
+					// nothing corrupts and frees still succeed.
+				} else if len(held) > 0 {
+					a.Free(c, held[len(held)-1], 2048)
+					held = held[:len(held)-1]
+				}
+			}
+			for _, b := range held {
+				a.Free(c, b, 2048)
+			}
+		}(m.CPU(i))
+	}
+	wg.Wait()
+	a.DrainAll(m.CPU(0))
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeLargeAndSmallMix(t *testing.T) {
+	a, m := nativeAllocator(t, 4, 4096)
+	var wg sync.WaitGroup
+	for i := 0; i < m.NumCPUs(); i++ {
+		wg.Add(1)
+		go func(c *machine.CPU) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7 * (c.ID() + 1))))
+			for op := 0; op < 3000; op++ {
+				sz := uint64(1) << (4 + rng.Intn(12)) // 16B .. 32KB
+				b, err := a.Alloc(c, sz)
+				if err != nil {
+					t.Errorf("alloc %d: %v", sz, err)
+					return
+				}
+				a.Free(c, b, sz)
+			}
+		}(m.CPU(i))
+	}
+	wg.Wait()
+	a.DrainAll(m.CPU(0))
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeStatsDuringTraffic(t *testing.T) {
+	// Stats snapshots must be safe while other CPUs allocate.
+	a, m := nativeAllocator(t, 4, 4096)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 1; i < 4; i++ {
+		wg.Add(1)
+		go func(c *machine.CPU) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b, err := a.Alloc(c, 64)
+				if err == nil {
+					a.Free(c, b, 64)
+				}
+			}
+		}(m.CPU(i))
+	}
+	c0 := m.CPU(0)
+	for i := 0; i < 200; i++ {
+		st := a.Stats(c0)
+		if len(st.Classes) != len(DefaultClasses) {
+			t.Fatalf("bad snapshot: %d classes", len(st.Classes))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

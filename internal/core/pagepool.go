@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"kmem/internal/arena"
+	"kmem/internal/blocklist"
+	"kmem/internal/machine"
+)
+
+// pagePool is one size class's coalesce-to-page layer. It gathers blocks
+// of its size and coalesces them into pages: each split page's descriptor
+// carries a per-page freelist and a count of free blocks, so the layer
+// "can immediately determine when all of the blocks in a given page have
+// been freed up" — no mark-and-sweep, no offline sorting. Pages with free
+// blocks are kept on a radix-sorted freelist (indexed by free count) so
+// that "pages with the fewest free blocks will be allocated from most
+// frequently", giving nearly-free pages time to drain completely.
+type pagePool struct {
+	al            *Allocator
+	cls           int
+	size          uint32
+	blocksPerPage int
+
+	lk   *machine.SpinLock
+	line machine.Line
+
+	// buckets[k] lists split pages with exactly k free blocks
+	// (1 <= k <= blocksPerPage). minHint accelerates the
+	// fewest-free-first scan.
+	buckets []pdList
+	minHint int
+
+	// fifo replaces buckets when Params.RadixSort is false (ablation A3).
+	fifo pdList
+
+	// stats
+	blockGets  uint64
+	blockPuts  uint64
+	pageAllocs uint64
+	pageFrees  uint64
+}
+
+func newPagePool(a *Allocator, cls int, size uint32) *pagePool {
+	p := &pagePool{
+		al:            a,
+		cls:           cls,
+		size:          size,
+		blocksPerPage: int(a.m.Config().PageBytes / uint64(size)),
+		lk:            machine.NewSpinLock(a.m),
+		line:          a.m.NewMetaLine(),
+		fifo:          newPdList(),
+	}
+	p.buckets = make([]pdList, p.blocksPerPage+1)
+	for i := range p.buckets {
+		p.buckets[i] = newPdList()
+	}
+	p.minHint = p.blocksPerPage + 1
+	return p
+}
+
+// pickPage returns a split page with free blocks — the one with the
+// fewest free blocks under the paper's radix policy, or FIFO order under
+// the ablation — or -1 when none exists.
+func (p *pagePool) pickPage(c *machine.CPU) int32 {
+	if !p.al.params.RadixSort {
+		return p.fifo.head
+	}
+	for k := p.minHint; k <= p.blocksPerPage; k++ {
+		c.Work(1)
+		if !p.buckets[k].empty() {
+			p.minHint = k
+			return p.buckets[k].head
+		}
+	}
+	p.minHint = p.blocksPerPage + 1
+	return -1
+}
+
+// fileIn places page pg (with nFree free blocks) on the proper list.
+func (p *pagePool) fileIn(c *machine.CPU, pg int32, nFree int) {
+	if nFree <= 0 || nFree > p.blocksPerPage {
+		panic(fmt.Sprintf("kmem: fileIn nFree=%d", nFree))
+	}
+	if p.al.params.RadixSort {
+		p.al.vm.pdPush(c, &p.buckets[nFree], pg)
+		if nFree < p.minHint {
+			p.minHint = nFree
+		}
+	} else {
+		p.al.vm.pdPush(c, &p.fifo, pg)
+	}
+}
+
+// fileOut removes page pg (currently filed with nFree free blocks).
+func (p *pagePool) fileOut(c *machine.CPU, pg int32, nFree int) {
+	if p.al.params.RadixSort {
+		p.al.vm.pdRemove(c, &p.buckets[nFree], pg)
+	} else {
+		p.al.vm.pdRemove(c, &p.fifo, pg)
+	}
+}
+
+// refile moves page pg between radix buckets after its free count changed
+// from oldFree to newFree. Under FIFO the page stays put.
+func (p *pagePool) refile(c *machine.CPU, pg int32, oldFree, newFree int) {
+	if !p.al.params.RadixSort {
+		return
+	}
+	p.fileOut(c, pg, oldFree)
+	p.fileIn(c, pg, newFree)
+}
+
+// carvePage obtains one page from the vmblk layer and splits it into
+// blocks, building the per-page freelist inside the page itself.
+func (p *pagePool) carvePage(c *machine.CPU) (int32, error) {
+	pg, err := p.al.vm.allocPages(c, 1)
+	if err != nil {
+		return -1, err
+	}
+	c.Work(insnPageSetup)
+	pd := p.al.vm.pdOf(pg)
+	pd.state = pdSplit
+	pd.class = int8(p.cls)
+	pd.spanPages = 1
+	base := p.al.vm.pageAddr(pg)
+	mem := p.al.mem
+	// Link the blocks front-to-back so the freelist ascends through the
+	// page, as carving code does.
+	var head arena.Addr
+	for i := p.blocksPerPage - 1; i >= 0; i-- {
+		b := base + arena.Addr(i)*arena.Addr(p.size)
+		mem.Store64(b, head)
+		c.WriteAddr(b)
+		if p.al.params.Poison {
+			p.al.poison(b, p.size)
+		}
+		head = b
+	}
+	pd.freeHead = head
+	pd.nFree = uint16(p.blocksPerPage)
+	c.Write(pd.line)
+	p.pageAllocs++
+	p.fileIn(c, pg, p.blocksPerPage)
+	return pg, nil
+}
+
+// getLists fills up to nLists lists of exactly target blocks each (the
+// last may be partial when memory runs low), allocating fresh pages from
+// the vmblk layer as needed. It returns the lists built; an empty result
+// means no memory could be found at this layer.
+func (p *pagePool) getLists(c *machine.CPU, nLists, target int) ([]blocklist.List, error) {
+	p.lk.Acquire(c)
+	defer p.lk.Release(c)
+	c.Read(p.line)
+
+	var out []blocklist.List
+	var cur blocklist.List
+	var lastErr error
+	want := nLists * target
+	got := 0
+	for got < want {
+		pg := p.pickPage(c)
+		if pg == -1 {
+			var err error
+			pg, err = p.carvePage(c)
+			if err != nil {
+				lastErr = err
+				break
+			}
+		}
+		pd := p.al.vm.pdOf(pg)
+		c.Read(pd.line)
+		oldFree := int(pd.nFree)
+		for pd.nFree > 0 && got < want {
+			c.Work(insnPageOp)
+			b := pd.freeHead
+			pd.freeHead = p.al.mem.Load64(b)
+			c.ReadAddr(b)
+			pd.nFree--
+			cur.Push(c, p.al.mem, b)
+			got++
+			p.blockGets++
+			if cur.Len() == target {
+				out = append(out, cur.Take())
+			}
+		}
+		c.Write(pd.line)
+		if pd.nFree == 0 {
+			p.fileOut(c, pg, oldFree)
+		} else {
+			p.refile(c, pg, oldFree, int(pd.nFree))
+		}
+	}
+	if !cur.Empty() {
+		out = append(out, cur.Take())
+	}
+	c.Write(p.line)
+	if len(out) == 0 {
+		if lastErr == nil {
+			lastErr = ErrNoMemory
+		}
+		return nil, lastErr
+	}
+	return out, nil
+}
+
+// putBlocks returns blocks to their pages one at a time (each block must
+// be looked up through the dope vector — the cost the paper notes makes
+// worst-case frees of small blocks dearer than allocations). Pages whose
+// free count reaches blocks-per-page are released to the vmblk layer
+// immediately.
+func (p *pagePool) putBlocks(c *machine.CPU, blocks blocklist.List) {
+	p.lk.Acquire(c)
+	defer p.lk.Release(c)
+	c.Read(p.line)
+	for !blocks.Empty() {
+		b := blocks.Pop(c, p.al.mem)
+		p.putBlockLocked(c, b)
+	}
+	c.Write(p.line)
+}
+
+func (p *pagePool) putBlockLocked(c *machine.CPU, b arena.Addr) {
+	c.Work(insnPageOp)
+	pd, pg := p.al.vm.lookup(c, b)
+	if pd.state != pdSplit || int(pd.class) != p.cls {
+		panic(fmt.Sprintf("kmem: block %#x returned to class %d but page is %s/class %d",
+			b, p.cls, pdStateName(pd.state), pd.class))
+	}
+	oldFree := int(pd.nFree)
+	p.al.mem.Store64(b, pd.freeHead)
+	c.WriteAddr(b)
+	pd.freeHead = b
+	pd.nFree++
+	c.Write(pd.line)
+	p.blockPuts++
+	if int(pd.nFree) == p.blocksPerPage {
+		// Every block in the page is free: give the page back at once.
+		c.Work(insnPageSetup)
+		if oldFree > 0 {
+			p.fileOut(c, pg, oldFree)
+		}
+		pd.freeHead = arena.NilAddr
+		pd.nFree = 0
+		pd.class = -1
+		p.pageFrees++
+		p.al.vm.freePages(c, pg, 1)
+		return
+	}
+	if oldFree == 0 {
+		p.fileIn(c, pg, int(pd.nFree))
+	} else {
+		p.refile(c, pg, oldFree, int(pd.nFree))
+	}
+}

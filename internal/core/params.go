@@ -1,0 +1,157 @@
+// Package core implements the paper's four-layer kernel memory allocator:
+// a per-CPU caching layer over a global layer over a coalesce-to-page
+// layer over a coalesce-to-vmblk layer, plus the cookie-based fast
+// interface. See DESIGN.md for the layer-by-layer description.
+package core
+
+import "fmt"
+
+// DefaultClasses is the paper's "default set of nine power-of-two block
+// sizes (16, 32, 64, 128, 256, 512, 1024, 2048, and 4096 bytes)".
+var DefaultClasses = []uint32{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// Params configures an Allocator.
+type Params struct {
+	// Classes lists the small-block sizes, ascending; each must be a
+	// power of two, at least 16 (room for a link word), at most
+	// PageBytes. Nil selects DefaultClasses.
+	Classes []uint32
+
+	// VmblkShift is log2 of the vmblk size. The paper's implementation
+	// manages "large vmblks of virtual memory (4 megabytes in size for
+	// the current implementation)"; 0 selects 22 (4 MB).
+	VmblkShift uint
+
+	// TargetFor overrides the per-CPU cache target for a block size.
+	// Nil selects DefaultTarget, the paper's heuristic ("ranges from 10
+	// for 16-byte blocks to just 2 for 4096-byte blocks").
+	TargetFor func(size uint32) int
+
+	// GblTargetFor overrides the global-layer target (in units of
+	// target-sized lists) for a block size. Nil selects
+	// DefaultGblTarget (15 for small blocks, as in the paper's
+	// miss-rate analysis).
+	GblTargetFor func(size uint32) int
+
+	// RadixSort selects the paper's radix-sorted page freelists (pages
+	// with the fewest free blocks are allocated from first). When
+	// false, a FIFO page list is used instead — the A3 ablation.
+	RadixSort bool
+
+	// Poison fills freed block payloads with a pattern so that
+	// use-after-free shows up in tests.
+	Poison bool
+
+	// DebugOwnership panics when two goroutines drive the same CPU
+	// handle concurrently — the misuse the per-CPU design forbids, which
+	// Native mode's internal locking would otherwise hide.
+	DebugOwnership bool
+
+	// DisableSplitFreelist replaces the per-CPU split (main/aux)
+	// freelist with a single freelist that exchanges blocks with the
+	// global layer one at a time — the A2 ablation. The paper's design
+	// is the default (false).
+	DisableSplitFreelist bool
+}
+
+// DefaultTarget is the paper's heuristic limiting the memory tied up in
+// per-CPU caches: "This value ranges from 10 for 16-byte blocks to just 2
+// for 4096-byte blocks."
+func DefaultTarget(size uint32) int {
+	t := int(8192 / size)
+	if t > 10 {
+		t = 10
+	}
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// DefaultGblTarget is the global-layer capacity parameter in units of
+// target-sized lists. The paper's value of 15 for small blocks yields the
+// 6.7% (=1/15) worst-case miss rate from the global layer to the
+// coalescing layer.
+func DefaultGblTarget(size uint32) int {
+	g := DefaultTarget(size) * 3 / 2
+	if g < 2 {
+		g = 2
+	}
+	return g
+}
+
+func (p *Params) withDefaults() Params {
+	out := *p
+	if out.Classes == nil {
+		out.Classes = DefaultClasses
+	}
+	if out.VmblkShift == 0 {
+		out.VmblkShift = 22
+	}
+	if out.TargetFor == nil {
+		out.TargetFor = DefaultTarget
+	}
+	if out.GblTargetFor == nil {
+		out.GblTargetFor = DefaultGblTarget
+	}
+	return out
+}
+
+func (p *Params) validate(pageBytes uint64, memBytes uint64) error {
+	if len(p.Classes) == 0 {
+		return fmt.Errorf("core: no size classes")
+	}
+	prev := uint32(0)
+	for _, s := range p.Classes {
+		if s < 16 || s&(s-1) != 0 {
+			return fmt.Errorf("core: size class %d not a power of two >= 16", s)
+		}
+		if s <= prev {
+			return fmt.Errorf("core: size classes not ascending at %d", s)
+		}
+		if uint64(s) > pageBytes {
+			return fmt.Errorf("core: size class %d exceeds page size %d", s, pageBytes)
+		}
+		prev = s
+	}
+	vmblkBytes := uint64(1) << p.VmblkShift
+	if vmblkBytes < 4*pageBytes {
+		return fmt.Errorf("core: vmblk size %d too small for page size %d", vmblkBytes, pageBytes)
+	}
+	if memBytes < vmblkBytes {
+		return fmt.Errorf("core: arena size %d smaller than one vmblk (%d)", memBytes, vmblkBytes)
+	}
+	return nil
+}
+
+// Instruction budgets, calibrated to the paper's Measurements section.
+// Each fast path's total instruction count = the explicit memory accesses
+// it performs (1 instruction each, charged by the access hooks) + the
+// interrupt disable/enable pair (2) + the residual straight-line work
+// charged here. The totals the simulator reports are asserted by
+// TestInstructionCounts to match the paper: cookie alloc/free = 13 each,
+// standard alloc = 35, standard free = 32.
+const (
+	// Cookie alloc: cli/sti (2) + read cache state (1) + pop link (1) +
+	// write cache state (1) + residual 8 = 13.
+	insnCookieAllocResidual = 8
+	// Cookie free: cli/sti (2) + read cache state (1) + push link (1) +
+	// write cache state (1) + residual 8 = 13.
+	insnCookieFreeResidual = 8
+	// Standard alloc adds the function call and the size-to-class table
+	// lookup: +1 table read + 21 residual = 35 total.
+	insnStdAllocExtra = 21
+	// Standard free likewise: +1 table read + 18 residual = 32 total.
+	insnStdFreeExtra = 18
+
+	// Slow-path control-flow budgets (data movement is charged by the
+	// access hooks as it happens).
+	insnRefill    = 20 // per-CPU cache refill/spill bookkeeping
+	insnGlobalOp  = 24 // global-layer list push/pop bookkeeping
+	insnPageOp    = 28 // coalesce-to-page bookkeeping per block
+	insnPageSetup = 40 // carving or releasing one page
+	insnSpanOp    = 48 // span alloc/free incl. boundary-tag merge checks
+	insnDopeLook  = 6  // two-level dope-vector address arithmetic
+	insnLargeOp   = 32 // large-block path bookkeeping
+	insnReclaim   = 400
+)

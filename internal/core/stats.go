@@ -1,0 +1,176 @@
+package core
+
+import (
+	"kmem/internal/machine"
+	"kmem/internal/physmem"
+)
+
+// ClassStats reports one size class's per-layer activity. The miss rates
+// the paper's DLM evaluation uses are derived from these counters: the
+// per-CPU layer's miss rate is the fraction of its accesses that require
+// the global layer, and the global layer's miss rate is the fraction of
+// its accesses that require the coalesce-to-page layer.
+type ClassStats struct {
+	Size      uint32
+	Target    int
+	GblTarget int
+
+	// Per-CPU layer, summed over CPUs.
+	Allocs       uint64
+	Frees        uint64
+	AllocRefills uint64 // allocations that visited the global layer
+	FreeSpills   uint64 // frees that pushed a list to the global layer
+
+	// Global layer.
+	GlobalGets    uint64
+	GlobalPuts    uint64
+	GlobalRefills uint64 // gets that reached the coalesce-to-page layer
+	GlobalSpills  uint64 // puts that reached the coalesce-to-page layer
+	GlobalLock    machine.LockStats
+
+	// Coalesce-to-page layer.
+	BlockGets  uint64
+	BlockPuts  uint64
+	PageAllocs uint64
+	PageFrees  uint64
+
+	// Blocks currently cached at each level.
+	HeldPerCPU int
+	HeldGlobal int
+}
+
+// AllocMissRate returns the fraction of allocations that missed the
+// per-CPU cache (bounded by 1/target).
+func (s ClassStats) AllocMissRate() float64 {
+	if s.Allocs == 0 {
+		return 0
+	}
+	return float64(s.AllocRefills) / float64(s.Allocs)
+}
+
+// FreeMissRate returns the fraction of frees that spilled to the global
+// layer (bounded by 1/target).
+func (s ClassStats) FreeMissRate() float64 {
+	if s.Frees == 0 {
+		return 0
+	}
+	return float64(s.FreeSpills) / float64(s.Frees)
+}
+
+// GlobalGetMissRate returns the fraction of global-layer gets that
+// required the coalescing layer (bounded by 1/gbltarget).
+func (s ClassStats) GlobalGetMissRate() float64 {
+	if s.GlobalGets == 0 {
+		return 0
+	}
+	return float64(s.GlobalRefills) / float64(s.GlobalGets)
+}
+
+// GlobalPutMissRate returns the fraction of global-layer puts that
+// spilled to the coalescing layer.
+func (s ClassStats) GlobalPutMissRate() float64 {
+	if s.GlobalPuts == 0 {
+		return 0
+	}
+	return float64(s.GlobalSpills) / float64(s.GlobalPuts)
+}
+
+// CombinedAllocMissRate returns the fraction of all allocations that
+// reached the coalesce-to-page layer (bounded by 1/(target*gbltarget)).
+func (s ClassStats) CombinedAllocMissRate() float64 {
+	if s.Allocs == 0 {
+		return 0
+	}
+	return float64(s.GlobalRefills) / float64(s.Allocs)
+}
+
+// CombinedFreeMissRate returns the fraction of all frees whose blocks
+// reached the coalesce-to-page layer.
+func (s ClassStats) CombinedFreeMissRate() float64 {
+	if s.Frees == 0 {
+		return 0
+	}
+	return float64(s.GlobalSpills) / float64(s.Frees)
+}
+
+// VMStats reports coalesce-to-vmblk layer activity.
+type VMStats struct {
+	SpanAllocs   uint64
+	SpanFrees    uint64
+	VmblkCreates uint64
+	LargeAllocs  uint64
+	LargeFrees   uint64
+	PagesMapped  uint64
+	PagesUnmap   uint64
+	MapFailures  uint64
+}
+
+// Stats is a full snapshot of the allocator.
+type Stats struct {
+	Classes  []ClassStats
+	VM       VMStats
+	Phys     physmem.Stats
+	Reclaims uint64
+}
+
+// Stats gathers a snapshot. It takes the relevant locks briefly; pass the
+// calling CPU's handle as everywhere else.
+func (a *Allocator) Stats(c *machine.CPU) Stats {
+	out := Stats{Reclaims: a.reclaims.Load()}
+	out.Classes = make([]ClassStats, len(a.classes))
+	for i := range a.classes {
+		cs := &a.classes[i]
+		st := ClassStats{
+			Size:      cs.size,
+			Target:    cs.target,
+			GblTarget: cs.gbltarget,
+		}
+		for cpu := range a.percpu {
+			il := &a.intr[cpu]
+			il.Acquire(c)
+			pc := &a.percpu[cpu][i]
+			st.Allocs += pc.allocs
+			st.Frees += pc.frees
+			st.AllocRefills += pc.allocRefills
+			st.FreeSpills += pc.freeSpills
+			st.HeldPerCPU += pc.held()
+			il.Release(c)
+		}
+		g := cs.global
+		g.lk.Acquire(c)
+		st.GlobalGets = g.gets
+		st.GlobalPuts = g.puts
+		st.GlobalRefills = g.refills
+		st.GlobalSpills = g.spills
+		st.HeldGlobal = g.bucket.Len()
+		for _, l := range g.lists {
+			st.HeldGlobal += l.Len()
+		}
+		g.lk.Release(c)
+		st.GlobalLock = g.lk.Stats()
+
+		p := cs.pages
+		p.lk.Acquire(c)
+		st.BlockGets = p.blockGets
+		st.BlockPuts = p.blockPuts
+		st.PageAllocs = p.pageAllocs
+		st.PageFrees = p.pageFrees
+		p.lk.Release(c)
+
+		out.Classes[i] = st
+	}
+	a.vm.lk.Acquire(c)
+	out.VM = VMStats{
+		SpanAllocs:   a.vm.spanAllocs,
+		SpanFrees:    a.vm.spanFrees,
+		VmblkCreates: a.vm.vmblkCreates,
+		LargeAllocs:  a.vm.largeAllocs,
+		LargeFrees:   a.vm.largeFrees,
+		PagesMapped:  a.vm.pagesMapped,
+		PagesUnmap:   a.vm.pagesUnmap,
+		MapFailures:  a.vm.mapFailures,
+	}
+	a.vm.lk.Release(c)
+	out.Phys = a.m.Phys().Stats()
+	return out
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+	"kmem/internal/workload"
+)
+
+// TestSimStressMixedSizes drives 8 simulated CPUs through 200k mixed
+// operations with periodic full audits and block-conservation checks:
+// for every class, blocks handed out by the page layer must equal blocks
+// returned plus blocks cached plus blocks live.
+func TestSimStressMixedSizes(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumCPUs = 8
+	cfg.MemBytes = 64 << 20
+	cfg.PhysPages = 8192
+	m := machine.New(cfg)
+	a, err := New(m, Params{RadixSort: true, Poison: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type held struct {
+		b    arena.Addr
+		size uint64
+	}
+	liveByCPU := make([][]held, 8)
+	liveCount := make([]map[int]int, 8) // per-CPU, per-class live blocks
+	for i := range liveCount {
+		liveCount[i] = map[int]int{}
+	}
+	rngs := make([]*workloadRand, 8)
+	for i := range rngs {
+		rngs[i] = &workloadRand{r: workload.NewRand(int64(i + 77))}
+	}
+	dist := workload.NewChoice(
+		[]uint64{16, 40, 64, 100, 256, 700, 1024, 3000, 4096, 9000},
+		[]int{8, 6, 6, 5, 4, 3, 3, 2, 2, 1})
+
+	ops := make([]int, 8)
+	audit := 0
+	m.Run(func(c *machine.CPU) bool {
+		id := c.ID()
+		if ops[id] >= 25000 {
+			return false
+		}
+		ops[id]++
+		rng := rngs[id]
+		live := liveByCPU[id]
+		if len(live) == 0 || (rng.intn(7) < 4 && len(live) < 200) {
+			size := dist.Next(rng.r)
+			b, err := a.Alloc(c, size)
+			if err != nil {
+				return true // transient exhaustion is legal
+			}
+			if size <= uint64(a.MaxSmall()) {
+				liveCount[id][a.classFor(size)]++
+			}
+			liveByCPU[id] = append(live, held{b, size})
+		} else {
+			i := rng.intn(len(live))
+			h := live[i]
+			// A third of the frees happen on the next CPU over — but in
+			// the deterministic sim a CPU may only touch its own handle,
+			// so model it by handing the block to that CPU's list and
+			// letting it free later. Free locally here.
+			a.Free(c, h.b, h.size)
+			if h.size <= uint64(a.MaxSmall()) {
+				liveCount[id][a.classFor(h.size)]--
+			}
+			live[i] = live[len(live)-1]
+			liveByCPU[id] = live[:len(live)-1]
+		}
+		// Periodic audits from CPU 0's perspective; the sim is
+		// single-goroutine so this is safe mid-run.
+		if id == 0 && ops[0]%5000 == 0 {
+			audit++
+			if err := a.CheckConsistency(); err != nil {
+				t.Fatalf("audit %d: %v", audit, err)
+			}
+			assertConservation(t, a, m, liveCount)
+		}
+		return true
+	})
+	if audit == 0 {
+		t.Fatal("no audits ran")
+	}
+
+	for id, live := range liveByCPU {
+		c := m.CPU(id)
+		for _, h := range live {
+			a.Free(c, h.b, h.size)
+		}
+	}
+	a.DrainAll(m.CPU(0))
+	checkOK(t, a)
+	st := a.Stats(m.CPU(0))
+	if st.Phys.Mapped != int64(8*st.VM.VmblkCreates) {
+		t.Fatalf("leak after full free: %d mapped, %d vmblks", st.Phys.Mapped, st.VM.VmblkCreates)
+	}
+}
+
+// assertConservation checks per-class block conservation:
+// pageGets - pagePuts == cached + live.
+func assertConservation(t *testing.T, a *Allocator, m *machine.Machine, liveCount []map[int]int) {
+	t.Helper()
+	st := a.Stats(m.CPU(0))
+	for cls, cs := range st.Classes {
+		live := 0
+		for _, lc := range liveCount {
+			live += lc[cls]
+		}
+		outstanding := int(cs.BlockGets) - int(cs.BlockPuts)
+		cached := cs.HeldPerCPU + cs.HeldGlobal
+		if outstanding != cached+live {
+			t.Fatalf("class %d (size %d): %d outstanding from page layer != %d cached + %d live",
+				cls, cs.Size, outstanding, cached, live)
+		}
+	}
+}
+
+// workloadRand is a tiny wrapper so the closure reads naturally.
+type workloadRand struct{ r *rand.Rand }
+
+func (w *workloadRand) intn(n int) int { return w.r.Intn(n) }

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+// ErrNoMemory is returned when an allocation cannot be satisfied even
+// after the low-memory reclaim path has drained every cache.
+var ErrNoMemory = errors.New("kmem: out of memory")
+
+// errNoVA is returned internally when the arena has no further vmblks.
+var errNoVA = errors.New("kmem: kernel virtual address space exhausted")
+
+// pdSize is the virtual-address footprint of one page descriptor inside a
+// vmblk's header, as laid out in Figure 6 of the paper ("a group of page
+// descriptors followed by the corresponding data pages").
+const pdSize = 32
+
+// Page descriptor states.
+const (
+	pdHeader    uint8 = iota // header page holding the page descriptors
+	pdFreeHead               // first page of a free span (physical memory unmapped)
+	pdFreeTail               // last page of a free span (boundary tag)
+	pdAllocHead              // first page of an allocated span
+	pdAllocMid               // interior page of an allocated span
+	pdSplit                  // page carved into blocks by the coalesce-to-page layer
+)
+
+func pdStateName(s uint8) string {
+	switch s {
+	case pdHeader:
+		return "header"
+	case pdFreeHead:
+		return "free-head"
+	case pdFreeTail:
+		return "free-tail"
+	case pdAllocHead:
+		return "alloc-head"
+	case pdAllocMid:
+		return "alloc-mid"
+	case pdSplit:
+		return "split"
+	}
+	return fmt.Sprintf("state(%d)", s)
+}
+
+// pageDesc is the paper's per-page auxiliary data structure. For split
+// pages it holds "the block size, a freelist pointer, and the number of
+// free blocks"; for spans it holds "the boundary-tag information and
+// free-list pointers needed to allocate and coalesce large blocks".
+type pageDesc struct {
+	state     uint8
+	class     int8   // size class, for pdSplit pages
+	nFree     uint16 // free blocks in this page, for pdSplit pages
+	spanPages uint32 // span length in pages, for span head/tail descriptors
+	freeHead  arena.Addr
+	prev      int32 // page-number links for whichever pdList holds this PD
+	next      int32
+	line      machine.Line // cache line of this PD's slot in the vmblk header
+}
+
+// vmblk is one 4 MB (by default) block of kernel virtual address space:
+// header pages holding the page descriptors, then the data pages.
+type vmblk struct {
+	base        arena.Addr
+	firstPage   int32 // global page number of base
+	headerPages int32
+	pages       int32 // total pages including the header
+	pds         []pageDesc
+}
+
+func (vb *vmblk) dataStart() int32 { return vb.firstPage + vb.headerPages }
+func (vb *vmblk) end() int32       { return vb.firstPage + vb.pages }
+
+// pdList is a doubly-linked list of page descriptors, linked by global
+// page number. The radix-sorted page freelists and the span freelists are
+// pdLists.
+type pdList struct{ head int32 }
+
+func newPdList() pdList { return pdList{head: -1} }
+
+func (l *pdList) empty() bool { return l.head == -1 }
+
+// maxSpanBucket: spans of 1..maxSpanBucket-1 pages live in exact-length
+// buckets; longer spans share the final bucket and are searched first-fit.
+const maxSpanBucket = 64
+
+func spanBucket(n int32) int {
+	if n >= maxSpanBucket {
+		return maxSpanBucket
+	}
+	return int(n)
+}
+
+// vmblkLayer is layer 4: it manages vmblks of virtual address space,
+// coalesces adjacent free page spans with boundary tags, maps and unmaps
+// physical memory, and serves multi-page ("large") requests directly.
+type vmblkLayer struct {
+	al *Allocator
+	lk *machine.SpinLock
+
+	// dope is the paper's dope vector: "the upper bits of the block's
+	// address are used to index into a dope vector, which contains the
+	// address of the vmblk containing that block".
+	dope     []*vmblk
+	dopeLine machine.Line
+
+	next  int // index of the next vmblk slot to create
+	spans [maxSpanBucket + 1]pdList
+
+	// stats
+	spanAllocs   uint64
+	spanFrees    uint64
+	vmblkCreates uint64
+	largeAllocs  uint64
+	largeFrees   uint64
+	pagesMapped  uint64
+	pagesUnmap   uint64
+	mapFailures  uint64
+}
+
+func newVmblkLayer(a *Allocator) *vmblkLayer {
+	v := &vmblkLayer{
+		al:       a,
+		lk:       machine.NewSpinLock(a.m),
+		dope:     make([]*vmblk, a.m.Config().MemBytes>>a.vmblkShift),
+		dopeLine: a.m.NewMetaLine(),
+	}
+	for i := range v.spans {
+		v.spans[i] = newPdList()
+	}
+	return v
+}
+
+// pdOf resolves a global page number to its descriptor. The caller must
+// know the page belongs to an existing vmblk.
+func (v *vmblkLayer) pdOf(pg int32) *pageDesc {
+	vb := v.dope[uint32(pg)>>v.al.pagesPerVmblkShift]
+	if vb == nil {
+		panic(fmt.Sprintf("kmem: page %d has no vmblk", pg))
+	}
+	return &vb.pds[pg-vb.firstPage]
+}
+
+// vmblkOf returns the vmblk containing page pg, or nil.
+func (v *vmblkLayer) vmblkOf(pg int32) *vmblk {
+	idx := uint32(pg) >> v.al.pagesPerVmblkShift
+	if int(idx) >= len(v.dope) {
+		return nil
+	}
+	return v.dope[idx]
+}
+
+// lookup implements the paper's two-level translation from a block
+// address to its page descriptor: dope-vector index from the upper
+// address bits, then the page index within the vmblk minus the header
+// pages. It charges the dope and descriptor reads to c.
+func (v *vmblkLayer) lookup(c *machine.CPU, addr arena.Addr) (*pageDesc, int32) {
+	c.Work(insnDopeLook)
+	c.Read(v.dopeLine)
+	vb := v.dope[addr>>v.al.vmblkShift]
+	if vb == nil {
+		panic(fmt.Sprintf("kmem: address %#x not managed by allocator", addr))
+	}
+	pg := int32(addr >> v.al.pageShift)
+	pd := &vb.pds[pg-vb.firstPage]
+	c.Read(pd.line)
+	return pd, pg
+}
+
+// pageAddr returns the base address of global page pg.
+func (v *vmblkLayer) pageAddr(pg int32) arena.Addr {
+	return arena.Addr(pg) << v.al.pageShift
+}
+
+// --- pdList operations ------------------------------------------------
+
+func (v *vmblkLayer) pdPush(c *machine.CPU, l *pdList, pg int32) {
+	pd := v.pdOf(pg)
+	pd.prev = -1
+	pd.next = l.head
+	c.Write(pd.line)
+	if l.head != -1 {
+		h := v.pdOf(l.head)
+		h.prev = pg
+		c.Write(h.line)
+	}
+	l.head = pg
+}
+
+func (v *vmblkLayer) pdRemove(c *machine.CPU, l *pdList, pg int32) {
+	pd := v.pdOf(pg)
+	c.Read(pd.line)
+	if pd.prev != -1 {
+		p := v.pdOf(pd.prev)
+		p.next = pd.next
+		c.Write(p.line)
+	} else {
+		if l.head != pg {
+			panic(fmt.Sprintf("kmem: page %d not at head of its list", pg))
+		}
+		l.head = pd.next
+	}
+	if pd.next != -1 {
+		n := v.pdOf(pd.next)
+		n.prev = pd.prev
+		c.Write(n.line)
+	}
+	pd.prev, pd.next = -1, -1
+}
+
+// --- span management ---------------------------------------------------
+
+func (v *vmblkLayer) isFreeTail(pd *pageDesc) bool {
+	return pd.state == pdFreeTail || (pd.state == pdFreeHead && pd.spanPages == 1)
+}
+
+// insertSpan marks [pg, pg+n) as a free span and files it on the proper
+// span freelist. Only the head and tail descriptors carry span state
+// (boundary tags); interior descriptors are never consulted.
+func (v *vmblkLayer) insertSpan(c *machine.CPU, pg, n int32) {
+	head := v.pdOf(pg)
+	head.state = pdFreeHead
+	head.spanPages = uint32(n)
+	head.class = -1
+	head.nFree = 0
+	head.freeHead = arena.NilAddr
+	c.Write(head.line)
+	if n > 1 {
+		tail := v.pdOf(pg + n - 1)
+		tail.state = pdFreeTail
+		tail.spanPages = uint32(n)
+		c.Write(tail.line)
+	}
+	v.pdPush(c, &v.spans[spanBucket(n)], pg)
+}
+
+// removeSpan unlinks the free span headed at pg from its freelist.
+func (v *vmblkLayer) removeSpan(c *machine.CPU, pg int32, n int32) {
+	v.pdRemove(c, &v.spans[spanBucket(n)], pg)
+}
+
+// findSpan locates a free span of at least n pages (first fit, smallest
+// bucket first) and returns its head page and length, or -1.
+func (v *vmblkLayer) findSpan(c *machine.CPU, n int32) (int32, int32) {
+	for b := spanBucket(n); b <= maxSpanBucket; b++ {
+		c.Work(1)
+		if v.spans[b].empty() {
+			continue
+		}
+		if b < maxSpanBucket {
+			pg := v.spans[b].head
+			return pg, int32(b)
+		}
+		// Final bucket: lengths vary; walk first-fit.
+		for pg := v.spans[b].head; pg != -1; {
+			pd := v.pdOf(pg)
+			c.Read(pd.line)
+			if int32(pd.spanPages) >= n {
+				return pg, int32(pd.spanPages)
+			}
+			pg = pd.next
+		}
+	}
+	return -1, 0
+}
+
+// newVmblk carves the next vmblk out of the arena, maps physical pages
+// for its page-descriptor header, and donates its data pages as one big
+// free span. Returns errNoVA when the arena is exhausted and a physmem
+// error when the header cannot be backed.
+func (v *vmblkLayer) newVmblk(c *machine.CPU) error {
+	m := v.al.m
+	vmblkBytes := uint64(1) << v.al.vmblkShift
+	base := uint64(v.next) * vmblkBytes
+	if base+vmblkBytes > m.Config().MemBytes {
+		return errNoVA
+	}
+	pageBytes := m.Config().PageBytes
+	pagesPer := int32(vmblkBytes / pageBytes)
+	hdrBytes := uint64(pagesPer) * pdSize
+	hdrPages := int32((hdrBytes + pageBytes - 1) / pageBytes)
+
+	if err := v.mapPhys(c, int64(hdrPages)); err != nil {
+		return err
+	}
+
+	vb := &vmblk{
+		base:        base,
+		firstPage:   int32(base >> v.al.pageShift),
+		headerPages: hdrPages,
+		pages:       pagesPer,
+		pds:         make([]pageDesc, pagesPer),
+	}
+	for i := range vb.pds {
+		pd := &vb.pds[i]
+		pd.prev, pd.next = -1, -1
+		pd.class = -1
+		pd.line = m.LineOf(base + uint64(i)*pdSize)
+		if int32(i) < hdrPages {
+			pd.state = pdHeader
+		}
+	}
+	v.dope[v.next] = vb
+	v.next++
+	v.vmblkCreates++
+	c.Write(v.dopeLine)
+	c.Work(insnSpanOp)
+
+	v.insertSpan(c, vb.dataStart(), pagesPer-hdrPages)
+	return nil
+}
+
+// mapPhys claims n physical pages and charges the VM-system cost of
+// mapping and zeroing them.
+func (v *vmblkLayer) mapPhys(c *machine.CPU, n int64) error {
+	if err := v.al.m.Phys().Map(n); err != nil {
+		v.mapFailures++
+		return err
+	}
+	v.pagesMapped += uint64(n)
+	cfg := v.al.m.Config()
+	c.Idle(n * (cfg.PageMapCycles + cfg.PageZeroCycles))
+	return nil
+}
+
+// unmapPhys returns n physical pages and charges the unmap cost.
+func (v *vmblkLayer) unmapPhys(c *machine.CPU, n int64) {
+	v.al.m.Phys().Unmap(n)
+	v.pagesUnmap += uint64(n)
+	c.Idle(n * v.al.m.Config().PageMapCycles)
+}
+
+// allocPages allocates a span of n virtual pages, backed by freshly
+// mapped physical memory. The head descriptor records the span length so
+// the span can later be freed given only its address.
+func (v *vmblkLayer) allocPages(c *machine.CPU, n int32) (int32, error) {
+	if n <= 0 {
+		panic(fmt.Sprintf("kmem: allocPages(%d)", n))
+	}
+	v.lk.Acquire(c)
+	defer v.lk.Release(c)
+	return v.allocPagesLocked(c, n)
+}
+
+func (v *vmblkLayer) allocPagesLocked(c *machine.CPU, n int32) (int32, error) {
+	c.Work(insnSpanOp)
+	pg, length := v.findSpan(c, n)
+	if pg == -1 {
+		if err := v.newVmblk(c); err != nil {
+			return -1, err
+		}
+		pg, length = v.findSpan(c, n)
+		if pg == -1 {
+			// A fresh vmblk's data span is smaller than n.
+			return -1, errNoVA
+		}
+	}
+	if err := v.mapPhys(c, int64(n)); err != nil {
+		return -1, err
+	}
+	v.removeSpan(c, pg, length)
+	if length > n {
+		v.insertSpan(c, pg+n, length-n)
+	}
+	head := v.pdOf(pg)
+	head.state = pdAllocHead
+	head.spanPages = uint32(n)
+	head.freeHead = arena.NilAddr
+	head.nFree = 0
+	c.Write(head.line)
+	for i := int32(1); i < n; i++ {
+		mid := v.pdOf(pg + i)
+		mid.state = pdAllocMid
+		mid.spanPages = uint32(n)
+		c.Write(mid.line)
+	}
+	v.spanAllocs++
+	return pg, nil
+}
+
+// freePages returns the span [pg, pg+n) to the layer: physical memory is
+// unmapped immediately ("the physical memory is returned to the system;
+// the virtual memory is retained") and the span is coalesced with free
+// neighbors via the boundary tags.
+func (v *vmblkLayer) freePages(c *machine.CPU, pg, n int32) {
+	v.lk.Acquire(c)
+	v.freePagesLocked(c, pg, n)
+	v.lk.Release(c)
+}
+
+func (v *vmblkLayer) freePagesLocked(c *machine.CPU, pg, n int32) {
+	c.Work(insnSpanOp)
+	vb := v.vmblkOf(pg)
+	if vb == nil {
+		panic(fmt.Sprintf("kmem: freePages of unmanaged page %d", pg))
+	}
+	v.unmapPhys(c, int64(n))
+
+	start, length := pg, n
+	// Coalesce left: the page just below must be the tail of a free span
+	// (or be allocated/header). Boundary tag gives the span length.
+	if start-1 >= vb.dataStart() {
+		left := v.pdOf(start - 1)
+		c.Read(left.line)
+		if v.isFreeTail(left) {
+			llen := int32(left.spanPages)
+			lhead := start - llen
+			v.removeSpan(c, lhead, llen)
+			start = lhead
+			length += llen
+		}
+	}
+	// Coalesce right: the page just past the original span.
+	if pg+n < vb.end() {
+		right := v.pdOf(pg + n)
+		c.Read(right.line)
+		if right.state == pdFreeHead {
+			rlen := int32(right.spanPages)
+			v.removeSpan(c, pg+n, rlen)
+			length += rlen
+		}
+	}
+	v.insertSpan(c, start, length)
+	v.spanFrees++
+}
+
+// --- large (multi-page) requests ----------------------------------------
+
+// pagesFor returns the number of pages needed for a large request.
+func (v *vmblkLayer) pagesFor(size uint64) int32 {
+	pageBytes := v.al.m.Config().PageBytes
+	return int32((size + pageBytes - 1) / pageBytes)
+}
+
+// allocLarge serves a request bigger than one page. Per the paper, such
+// requests "bypass layers 1 through 3 and are handled directly by the
+// coalesce-to-vmblk layer".
+func (v *vmblkLayer) allocLarge(c *machine.CPU, size uint64) (arena.Addr, error) {
+	c.Work(insnLargeOp)
+	n := v.pagesFor(size)
+	v.lk.Acquire(c)
+	defer v.lk.Release(c)
+	pg, err := v.allocPagesLocked(c, n)
+	if err != nil {
+		return arena.NilAddr, err
+	}
+	v.largeAllocs++
+	return v.pageAddr(pg), nil
+}
+
+// freeLarge frees a large allocation by address, using the descriptor's
+// recorded span length.
+func (v *vmblkLayer) freeLarge(c *machine.CPU, addr arena.Addr) {
+	c.Work(insnLargeOp)
+	v.lk.Acquire(c)
+	pd, pg := v.lookup(c, addr)
+	if pd.state != pdAllocHead {
+		panic(fmt.Sprintf("kmem: freeLarge(%#x) of %s page", addr, pdStateName(pd.state)))
+	}
+	n := int32(pd.spanPages)
+	v.freePagesLocked(c, pg, n)
+	v.largeFrees++
+	v.lk.Release(c)
+}

@@ -1,0 +1,131 @@
+package dlm
+
+import (
+	"testing"
+
+	"kmem/internal/machine"
+)
+
+func TestClusterBreakDeadlocks(t *testing.T) {
+	cl, al, m := newTest(t, 2, machine.Sim)
+	c0, c1 := m.CPU(0), m.CPU(1)
+	n0, n1 := cl.Node(0), cl.Node(1)
+
+	// Build a cross-node deadlock. Resource 2 is mastered by node 0,
+	// resource 3 by node 1.
+	n0.Lock(c0, 2, EX) // local grant
+	h0r2 := n0.TakeCompletions()[0].Handle
+	n1.Lock(c1, 3, EX) // local grant
+	h1r3 := n1.TakeCompletions()[0].Handle
+
+	n0.Lock(c0, 3, EX) // remote: waits behind node 1's EX
+	n1.Lock(c1, 2, EX) // remote: waits behind node 0's EX
+	for i := 0; i < 4; i++ {
+		n0.Step(c0, 10)
+		n1.Step(c1, 10)
+	}
+	c0w := n0.TakeCompletions()
+	c1w := n1.TakeCompletions()
+	if len(c0w) != 1 || c0w[0].St != Waiting || len(c1w) != 1 || c1w[0].St != Waiting {
+		t.Fatalf("setup: %+v %+v", c0w, c1w)
+	}
+
+	// Node 0 runs the deadlock search and breaks the cycle.
+	if n := n0.BreakDeadlocks(c0); n != 1 {
+		t.Fatalf("BreakDeadlocks = %d", n)
+	}
+	for i := 0; i < 4; i++ {
+		n0.Step(c0, 10)
+		n1.Step(c1, 10)
+	}
+	// Exactly one node sees its waiting lock denied. The abort alone
+	// grants nothing: the victim still HOLDS its granted lock, and must
+	// roll its transaction back (release held locks) to unblock the peer.
+	abortedNode := -1
+	for i, n := range []*Node{n0, n1} {
+		for _, comp := range n.TakeCompletions() {
+			if comp.Kind == AbortDelivered {
+				if abortedNode != -1 {
+					t.Fatal("both nodes aborted")
+				}
+				abortedNode = i
+			} else if comp.Kind == GrantDelivered {
+				t.Fatalf("grant before rollback")
+			}
+		}
+	}
+	if abortedNode == -1 {
+		t.Fatal("no abort delivered")
+	}
+	if cl.Manager().FindDeadlock(c0) != nil {
+		t.Fatal("cycle persists after abort")
+	}
+
+	// Victim rolls back: releases its held lock; the peer's waiter must
+	// then be granted.
+	if abortedNode == 0 {
+		n0.Unlock(c0, h0r2, 2)
+	} else {
+		n1.Unlock(c1, h1r3, 3)
+	}
+	for i := 0; i < 6; i++ {
+		n0.Step(c0, 10)
+		n1.Step(c1, 10)
+	}
+	granted := 0
+	var grantHandle Completion
+	survivor := 1 - abortedNode
+	nodes := []*Node{n0, n1}
+	cpus := []*machine.CPU{c0, c1}
+	for i, n := range nodes {
+		for _, comp := range n.TakeCompletions() {
+			if comp.Kind == GrantDelivered {
+				granted++
+				if i != survivor {
+					t.Fatalf("grant delivered to node %d, want %d", i, survivor)
+				}
+				grantHandle = comp
+			}
+		}
+	}
+	if granted != 1 {
+		t.Fatalf("granted = %d after rollback", granted)
+	}
+
+	// Unwind everything: survivor drops both its locks.
+	survRes := uint64(2)
+	heldRes := uint64(3)
+	heldHandle := h1r3
+	if survivor == 0 {
+		survRes, heldRes = 3, 2
+		heldHandle = h0r2
+	}
+	nodes[survivor].Unlock(cpus[survivor], grantHandle.Handle, survRes)
+	nodes[survivor].Unlock(cpus[survivor], heldHandle, heldRes)
+	for i := 0; i < 6; i++ {
+		n0.Step(c0, 10)
+		n1.Step(c1, 10)
+	}
+	n0.TakeCompletions()
+	n1.TakeCompletions()
+	al.DrainAll(c0)
+	if err := al.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	s := cl.Manager().Stats()
+	if s.ResCreated != s.ResFreed {
+		t.Fatalf("resource leak: %+v", s)
+	}
+}
+
+func TestBreakDeadlocksNoCycleIsNoop(t *testing.T) {
+	cl, _, m := newTest(t, 2, machine.Sim)
+	c0 := m.CPU(0)
+	n0 := cl.Node(0)
+	n0.Lock(c0, 2, EX)
+	h := n0.TakeCompletions()[0].Handle
+	if n := n0.BreakDeadlocks(c0); n != 0 {
+		t.Fatalf("BreakDeadlocks on clean state = %d", n)
+	}
+	n0.Unlock(c0, h, 2)
+}

@@ -1,0 +1,212 @@
+package dlm
+
+import (
+	"sort"
+
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+// Deadlock detection. The VMS-family lock managers this package models
+// run a deadlock search when a lock has waited suspiciously long: build
+// the waits-for graph (a waiting lock waits for the owners of the locks
+// blocking it; an owner "waits" whenever any of its locks is waiting) and
+// look for a cycle. One lock on the cycle — the victim — is denied to
+// break it.
+//
+// The search is global, so it takes every bucket lock in index order
+// (deadlock searches are rare; the paper's design principle of avoiding
+// global coordination applies to the common path, not to recovery).
+
+// Deadlock describes one detected cycle.
+type Deadlock struct {
+	// Cycle lists the owners forming the cycle, in waits-for order.
+	Cycle []int
+	// Victim is a waiting lock of Cycle[0] whose denial breaks the
+	// cycle; its owner should treat the request as Denied.
+	Victim arena.Addr
+	// VictimOwner is the node that owns the victim lock.
+	VictimOwner int
+}
+
+// lockAll acquires every bucket lock in index order (the canonical
+// deadlock-free total order) and returns a release function.
+func (d *Manager) lockAll(c *machine.CPU) func() {
+	for i := range d.buckets {
+		d.buckets[i].lk.Acquire(c)
+	}
+	return func() {
+		for i := range d.buckets {
+			d.buckets[i].lk.Release(c)
+		}
+	}
+}
+
+// FindDeadlock searches the waits-for graph and returns one deadlock, or
+// nil when none exists. It does not modify any state; the caller decides
+// how to resolve the cycle (typically AbortWaiter on the victim).
+func (d *Manager) FindDeadlock(c *machine.CPU) *Deadlock {
+	release := d.lockAll(c)
+	defer release()
+	c.Work(insnDeadlockSearch)
+
+	// Edges: owner A -> owner B when A has a waiting lock on a resource
+	// where B holds a granted lock that is incompatible with A's request
+	// (B is genuinely blocking A). Record one representative waiting
+	// lock per edge source for victim selection.
+	edges := map[int]map[int]bool{}
+	waiterOf := map[int]arena.Addr{}
+	for i := range d.buckets {
+		for res := d.buckets[i].head; res != 0; res = arena.Addr(d.mem.Load64(res + rHashNext)) {
+			for w := d.mem.Load64(res + rWaitHead); w != 0; w = d.mem.Load64(w + lNext) {
+				c.Work(4)
+				from := int(d.mem.Load64(w + lOwner))
+				mode := Mode(d.mem.Load64(w + lPending))
+				if _, ok := waiterOf[from]; !ok {
+					waiterOf[from] = arena.Addr(w)
+				}
+				for g := d.mem.Load64(res + rGrantHead); g != 0; g = d.mem.Load64(g + lNext) {
+					c.Work(3)
+					if Compatible(Mode(d.mem.Load64(g+lMode)), mode) {
+						continue
+					}
+					to := int(d.mem.Load64(g + lOwner))
+					if to == from {
+						continue
+					}
+					if edges[from] == nil {
+						edges[from] = map[int]bool{}
+					}
+					edges[from][to] = true
+				}
+			}
+		}
+	}
+
+	// DFS for a cycle, iterating nodes in sorted order for determinism.
+	nodes := make([]int, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	var stack []int
+	var cycle []int
+	var dfs func(n int) bool
+	dfs = func(n int) bool {
+		color[n] = grey
+		stack = append(stack, n)
+		// Deterministic successor order.
+		succ := make([]int, 0, len(edges[n]))
+		for m := range edges[n] {
+			succ = append(succ, m)
+		}
+		sort.Ints(succ)
+		for _, m := range succ {
+			switch color[m] {
+			case grey:
+				// Found a cycle: slice it out of the stack.
+				for i, v := range stack {
+					if v == m {
+						cycle = append([]int(nil), stack[i:]...)
+						return true
+					}
+				}
+			case white:
+				if dfs(m) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white && dfs(n) {
+			break
+		}
+	}
+	if cycle == nil {
+		return nil
+	}
+	victimOwner := cycle[0]
+	return &Deadlock{
+		Cycle:       cycle,
+		Victim:      waiterOf[victimOwner],
+		VictimOwner: victimOwner,
+	}
+}
+
+// AbortWaiter removes a waiting lock from its resource (denying the
+// request), grants anything it was blocking through the FIFO, and frees
+// the resource if it became idle. The lock block itself is NOT freed
+// here: it stays allocated (state lsDenied) until the owner acknowledges
+// the abort with ReleaseDenied, so a notification in flight can never
+// name a recycled block. Returns the grant events to deliver plus
+// whether the handle was actually waiting (a lock already granted is
+// left untouched and false is returned).
+func (d *Manager) AbortWaiter(c *machine.CPU, l arena.Addr, out []Grant) ([]Grant, bool) {
+	res := d.get(c, l+lRes)
+	b := d.bucketFor(d.mem.Load64(res + rResID))
+	b.lk.Acquire(c)
+	if d.get(c, l+lState) != lsWaiting {
+		b.lk.Release(c)
+		return out, false
+	}
+	if !d.removeFrom(c, res, l, rWaitHead, true) {
+		b.lk.Release(c)
+		return out, false
+	}
+	count := d.get(c, res+rLockCount) - 1
+	d.put(c, res+rLockCount, count)
+	out = d.promote(c, res, out)
+
+	freeRes := false
+	if count == 0 {
+		c.Read(b.line)
+		var prev arena.Addr
+		for cur := b.head; cur != 0; cur = d.get(c, cur+rHashNext) {
+			if cur == res {
+				next := arena.Addr(d.get(c, cur+rHashNext))
+				if prev == 0 {
+					b.head = next
+					c.Write(b.line)
+				} else {
+					d.put(c, prev+rHashNext, uint64(next))
+				}
+				freeRes = true
+				break
+			}
+			prev = cur
+		}
+	}
+	d.put(c, l+lState, lsDenied)
+	b.lk.Release(c)
+
+	if freeRes {
+		d.al.FreeCookie(c, res, d.resCookie)
+		d.resFreed.Add(1)
+	}
+	d.aborts.Add(1)
+	d.unlocks.Add(1)
+	return out, true
+}
+
+// ReleaseDenied frees an aborted lock's block; the owner calls it when
+// the abort notification arrives.
+func (d *Manager) ReleaseDenied(c *machine.CPU, l arena.Addr) {
+	if d.get(c, l+lState) != lsDenied {
+		panic("dlm: ReleaseDenied of a lock that was not denied")
+	}
+	d.al.FreeCookie(c, l, d.lockCookie)
+}
+
+// insnDeadlockSearch is the fixed overhead of starting a deadlock search.
+const insnDeadlockSearch = 120

@@ -1,0 +1,193 @@
+package dlm
+
+import (
+	"testing"
+
+	"kmem/internal/machine"
+)
+
+func TestFindDeadlockSimpleCycle(t *testing.T) {
+	cl, _, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	mgr := cl.Manager()
+
+	// Classic two-party deadlock: owner 0 holds r1 and waits for r2;
+	// owner 1 holds r2 and waits for r1.
+	h0r1, st, _ := mgr.Lock(c, 1, EX, 0)
+	if st != Granted {
+		t.Fatal("setup")
+	}
+	h1r2, st, _ := mgr.Lock(c, 2, EX, 1)
+	if st != Granted {
+		t.Fatal("setup")
+	}
+	h0r2, st, _ := mgr.Lock(c, 2, EX, 0)
+	if st != Waiting {
+		t.Fatal("setup")
+	}
+	h1r1, st, _ := mgr.Lock(c, 1, EX, 1)
+	if st != Waiting {
+		t.Fatal("setup")
+	}
+
+	dl := mgr.FindDeadlock(c)
+	if dl == nil {
+		t.Fatal("deadlock not detected")
+	}
+	if len(dl.Cycle) != 2 {
+		t.Fatalf("cycle %v, want length 2", dl.Cycle)
+	}
+	if dl.Victim != h0r2 && dl.Victim != h1r1 {
+		t.Fatalf("victim %#x is not one of the waiting locks", dl.Victim)
+	}
+
+	// Abort the victim: the cycle must be gone.
+	grants, ok := mgr.AbortWaiter(c, dl.Victim, nil)
+	if !ok {
+		t.Fatal("victim was not waiting")
+	}
+	_ = grants
+	mgr.ReleaseDenied(c, dl.Victim)
+	if again := mgr.FindDeadlock(c); again != nil {
+		t.Fatalf("cycle persists after abort: %+v", again)
+	}
+
+	// Unwind the rest; whichever waiter survived got granted by these
+	// releases and is unlocked below.
+	mgr.Unlock(c, h0r1, nil)
+	mgr.Unlock(c, h1r2, nil)
+	if dl.Victim != h0r2 {
+		mgr.Unlock(c, h0r2, nil)
+	}
+	if dl.Victim != h1r1 {
+		mgr.Unlock(c, h1r1, nil)
+	}
+	s := mgr.Stats()
+	if s.Aborts != 1 {
+		t.Fatalf("aborts = %d", s.Aborts)
+	}
+	if s.ResCreated != s.ResFreed {
+		t.Fatalf("resource leak: %+v", s)
+	}
+}
+
+func TestNoFalseDeadlock(t *testing.T) {
+	cl, _, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	mgr := cl.Manager()
+
+	// A plain waiter (no cycle) must not be reported.
+	h0, _, _ := mgr.Lock(c, 5, EX, 0)
+	h1, st, _ := mgr.Lock(c, 5, EX, 1)
+	if st != Waiting {
+		t.Fatal("setup")
+	}
+	if dl := mgr.FindDeadlock(c); dl != nil {
+		t.Fatalf("false deadlock: %+v", dl)
+	}
+	mgr.Unlock(c, h0, nil)
+	mgr.Unlock(c, h1, nil)
+}
+
+func TestThreePartyCycle(t *testing.T) {
+	cl, _, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	mgr := cl.Manager()
+
+	// 0 holds r1 waits r2; 1 holds r2 waits r3; 2 holds r3 waits r1.
+	g1, _, _ := mgr.Lock(c, 1, EX, 0)
+	g2, _, _ := mgr.Lock(c, 2, EX, 1)
+	g3, _, _ := mgr.Lock(c, 3, EX, 2)
+	w2, _, _ := mgr.Lock(c, 2, EX, 0)
+	w3, _, _ := mgr.Lock(c, 3, EX, 1)
+	w1, _, _ := mgr.Lock(c, 1, EX, 2)
+
+	dl := mgr.FindDeadlock(c)
+	if dl == nil {
+		t.Fatal("three-party deadlock not detected")
+	}
+	if len(dl.Cycle) != 3 {
+		t.Fatalf("cycle %v, want length 3", dl.Cycle)
+	}
+	if _, ok := mgr.AbortWaiter(c, dl.Victim, nil); !ok {
+		t.Fatal("abort failed")
+	}
+	mgr.ReleaseDenied(c, dl.Victim)
+	if mgr.FindDeadlock(c) != nil {
+		t.Fatal("cycle persists")
+	}
+	for _, h := range []uint64{uint64(g1), uint64(g2), uint64(g3), uint64(w1), uint64(w2), uint64(w3)} {
+		if h == uint64(dl.Victim) {
+			continue
+		}
+		mgr.Unlock(c, h, nil)
+	}
+	if s := mgr.Stats(); s.ResCreated != s.ResFreed {
+		t.Fatalf("resource leak: %+v", s)
+	}
+}
+
+func TestAbortWaiterGrantsSuccessors(t *testing.T) {
+	cl, _, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	mgr := cl.Manager()
+
+	// EX granted; EX waiting (owner 1); PR waiting (owner 2). Aborting
+	// the waiting EX must NOT grant the PR (the granted EX still blocks
+	// it) — but after the grant-holder unlocks, PR flows.
+	hEx, _, _ := mgr.Lock(c, 9, EX, 0)
+	wEx, _, _ := mgr.Lock(c, 9, EX, 1)
+	wPr, _, _ := mgr.Lock(c, 9, PR, 2)
+
+	grants, ok := mgr.AbortWaiter(c, wEx, nil)
+	if !ok {
+		t.Fatal("abort failed")
+	}
+	mgr.ReleaseDenied(c, wEx)
+	if len(grants) != 0 {
+		t.Fatalf("abort granted %v while EX still held", grants)
+	}
+	grants = mgr.Unlock(c, hEx, nil)
+	if len(grants) != 1 || grants[0].Lock != wPr {
+		t.Fatalf("PR not granted after unlock: %v", grants)
+	}
+	mgr.Unlock(c, wPr, nil)
+}
+
+func TestAbortGrantedLockRefused(t *testing.T) {
+	cl, _, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	mgr := cl.Manager()
+	h, _, _ := mgr.Lock(c, 3, EX, 0)
+	if _, ok := mgr.AbortWaiter(c, h, nil); ok {
+		t.Fatal("granted lock aborted")
+	}
+	mgr.Unlock(c, h, nil)
+}
+
+func TestFindDeadlockDeterministic(t *testing.T) {
+	build := func() (*Manager, *machine.CPU, []uint64) {
+		cl, _, m := newTest(t, 1, machine.Sim)
+		c := m.CPU(0)
+		mgr := cl.Manager()
+		var hs []uint64
+		for i := 0; i < 4; i++ {
+			h, _, _ := mgr.Lock(c, uint64(i), EX, i)
+			hs = append(hs, uint64(h))
+		}
+		for i := 0; i < 4; i++ {
+			h, _, _ := mgr.Lock(c, uint64((i+1)%4), EX, i)
+			hs = append(hs, uint64(h))
+		}
+		return mgr, c, hs
+	}
+	m1, c1, _ := build()
+	m2, c2, _ := build()
+	d1, d2 := m1.FindDeadlock(c1), m2.FindDeadlock(c2)
+	if d1 == nil || d2 == nil {
+		t.Fatal("4-party cycle not found")
+	}
+	if d1.VictimOwner != d2.VictimOwner || len(d1.Cycle) != len(d2.Cycle) {
+		t.Fatalf("nondeterministic: %+v vs %+v", d1, d2)
+	}
+}

@@ -1,0 +1,385 @@
+// Package lazybuddy reimplements the watermark-based lazy buddy system of
+// Lee & Barkley (1989) — one of the paper's "roads not taken": it combines
+// buddy-system coalescing with deferred ("lazy") coalescing controlled by
+// a per-class slack watermark, but "requires global synchronization on
+// each operation and fails to maintain good locality of reference ...
+// thereby failing to meet goals 3 and 4 on multiprocessors".
+//
+// Each size class keeps a locally-free list of blocks whose coalescing is
+// deferred. The class's slack (outstanding allocations minus deferred
+// blocks) selects the state on each free:
+//
+//	slack >= 2  lazy:        defer the block, no coalescing work;
+//	slack == 1  reclaiming:  coalesce the freed block;
+//	slack == 0  accelerated: coalesce the freed block and one deferred one.
+//
+// Global (coalescable) free blocks live in a classic binary buddy
+// structure: one doubly-linked freelist per order plus a free bitmap per
+// order, so a buddy's freeness is one bit test and its removal O(1).
+// Everything is guarded by a single spinlock, as in the original.
+package lazybuddy
+
+import (
+	"errors"
+	"fmt"
+
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+// ErrNoMemory is returned when no free block of sufficient order exists.
+var ErrNoMemory = errors.New("lazybuddy: out of memory")
+
+const (
+	minOrder = 4  // 16 bytes
+	maxOrder = 12 // one page
+
+	offNext = 0
+	offPrev = 8
+)
+
+// Allocator is the lazy buddy baseline.
+type Allocator struct {
+	m   *machine.Machine
+	mem *arena.Arena
+	lk  *machine.SpinLock
+
+	heapStart arena.Addr
+	heapBytes uint64
+
+	// Globally-free buddy structure.
+	heads    [maxOrder + 1]arena.Addr
+	headLine machine.Line
+	bitmap   [maxOrder + 1][]uint64
+
+	// Per-class lazy state.
+	local       [maxOrder + 1]arena.Addr // singly-linked deferred lists
+	localLen    [maxOrder + 1]int
+	outstanding [maxOrder + 1]int
+
+	allocs, frees, failures uint64
+	coalesceOps             uint64 // buddy merges performed
+	lazyFrees               uint64 // frees satisfied with zero coalescing work
+}
+
+// New builds the allocator, mapping as much physical memory as available
+// into one buddy-managed heap.
+func New(m *machine.Machine) (*Allocator, error) {
+	cfg := m.Config()
+	pageBytes := cfg.PageBytes
+	heapPages := int64((cfg.MemBytes - pageBytes) / pageBytes)
+	if heapPages > cfg.PhysPages {
+		heapPages = cfg.PhysPages
+	}
+	if heapPages < 1 {
+		return nil, fmt.Errorf("lazybuddy: no memory to manage")
+	}
+	if err := m.Phys().Map(heapPages); err != nil {
+		return nil, err
+	}
+	a := &Allocator{
+		m:         m,
+		mem:       m.Mem(),
+		lk:        machine.NewSpinLock(m),
+		heapStart: arena.Addr(pageBytes),
+		heapBytes: uint64(heapPages) * pageBytes,
+		headLine:  m.NewMetaLine(),
+	}
+	for o := minOrder; o <= maxOrder; o++ {
+		bits := a.heapBytes >> uint(o)
+		a.bitmap[o] = make([]uint64, (bits+63)/64)
+	}
+	// Donate every page as a globally-free max-order block.
+	for pg := int64(0); pg < heapPages; pg++ {
+		a.pushGlobal(nil, a.heapStart+arena.Addr(pg)*arena.Addr(pageBytes), maxOrder)
+	}
+	return a, nil
+}
+
+// Name implements allocif.Allocator.
+func (a *Allocator) Name() string { return "lazybuddy" }
+
+// MaxSize is the largest request served (one page).
+func (a *Allocator) MaxSize() uint64 { return 1 << maxOrder }
+
+func orderFor(size uint64) int {
+	o := minOrder
+	for uint64(1)<<o < size {
+		o++
+	}
+	return o
+}
+
+// --- bitmap -----------------------------------------------------------
+
+func (a *Allocator) bitIndex(b arena.Addr, order int) (int, uint64) {
+	off := uint64(b-a.heapStart) >> uint(order)
+	return int(off >> 6), uint64(1) << (off & 63)
+}
+
+func (a *Allocator) isFree(b arena.Addr, order int) bool {
+	w, bit := a.bitIndex(b, order)
+	return a.bitmap[order][w]&bit != 0
+}
+
+func (a *Allocator) mark(b arena.Addr, order int, free bool) {
+	w, bit := a.bitIndex(b, order)
+	if free {
+		a.bitmap[order][w] |= bit
+	} else {
+		a.bitmap[order][w] &^= bit
+	}
+}
+
+// --- doubly-linked global freelists ------------------------------------
+
+func (a *Allocator) load(c *machine.CPU, addr arena.Addr) uint64 {
+	if c != nil {
+		c.ReadAddr(addr)
+	}
+	return a.mem.Load64(addr)
+}
+
+func (a *Allocator) store(c *machine.CPU, addr arena.Addr, v uint64) {
+	if c != nil {
+		c.WriteAddr(addr)
+	}
+	a.mem.Store64(addr, v)
+}
+
+func (a *Allocator) pushGlobal(c *machine.CPU, b arena.Addr, order int) {
+	head := a.heads[order]
+	a.store(c, b+offNext, head)
+	a.store(c, b+offPrev, 0)
+	if head != 0 {
+		a.store(c, head+offPrev, uint64(b))
+	}
+	a.heads[order] = b
+	a.mark(b, order, true)
+}
+
+func (a *Allocator) removeGlobal(c *machine.CPU, b arena.Addr, order int) {
+	prev := arena.Addr(a.load(c, b+offPrev))
+	next := arena.Addr(a.load(c, b+offNext))
+	if prev != 0 {
+		a.store(c, prev+offNext, uint64(next))
+	} else {
+		if a.heads[order] != b {
+			panic(fmt.Sprintf("lazybuddy: %#x not at head of order %d", b, order))
+		}
+		a.heads[order] = next
+	}
+	if next != 0 {
+		a.store(c, next+offPrev, uint64(prev))
+	}
+	a.mark(b, order, false)
+}
+
+func (a *Allocator) popGlobal(c *machine.CPU, order int) arena.Addr {
+	b := a.heads[order]
+	if b == 0 {
+		return 0
+	}
+	a.removeGlobal(c, b, order)
+	return b
+}
+
+// --- buddy mechanics ----------------------------------------------------
+
+// splitDown takes a globally-free block of order from and splits it until
+// order to, returning the base block and filing the upper halves.
+func (a *Allocator) splitDown(c *machine.CPU, b arena.Addr, from, to int) arena.Addr {
+	for o := from; o > to; {
+		o--
+		if c != nil {
+			c.Work(8)
+		}
+		buddy := b + (arena.Addr(1) << o)
+		a.pushGlobal(c, buddy, o)
+	}
+	return b
+}
+
+// coalesceUp merges block b of the given order with free buddies as far
+// as possible, filing the result.
+func (a *Allocator) coalesceUp(c *machine.CPU, b arena.Addr, order int) {
+	for order < maxOrder {
+		off := uint64(b - a.heapStart)
+		buddyOff := off ^ (uint64(1) << order)
+		buddy := a.heapStart + arena.Addr(buddyOff)
+		if !a.isFree(buddy, order) {
+			break
+		}
+		if c != nil {
+			c.Work(10)
+		}
+		a.removeGlobal(c, buddy, order)
+		if buddy < b {
+			b = buddy
+		}
+		order++
+		a.coalesceOps++
+	}
+	a.pushGlobal(c, b, order)
+}
+
+// --- public interface ----------------------------------------------------
+
+// Alloc implements allocif.Allocator.
+func (a *Allocator) Alloc(c *machine.CPU, size uint64) (arena.Addr, error) {
+	if size == 0 || size > a.MaxSize() {
+		return arena.NilAddr, fmt.Errorf("lazybuddy: invalid size %d", size)
+	}
+	order := orderFor(size)
+
+	a.lk.Acquire(c)
+	c.Work(18)
+	c.Read(a.headLine)
+
+	// Deferred blocks first: the lazy win is reusing them uncoalesced.
+	if b := a.local[order]; b != 0 {
+		a.local[order] = arena.Addr(a.load(c, b+offNext))
+		a.localLen[order]--
+		a.outstanding[order]++
+		a.allocs++
+		c.Write(a.headLine)
+		a.lk.Release(c)
+		return b, nil
+	}
+
+	// Globally free: smallest adequate order, split down.
+	for o := order; o <= maxOrder; o++ {
+		c.Work(2)
+		if a.heads[o] == 0 {
+			continue
+		}
+		b := a.popGlobal(c, o)
+		b = a.splitDown(c, b, o, order)
+		a.outstanding[order]++
+		a.allocs++
+		c.Write(a.headLine)
+		a.lk.Release(c)
+		return b, nil
+	}
+	a.failures++
+	a.lk.Release(c)
+	return arena.NilAddr, ErrNoMemory
+}
+
+// Free implements allocif.Allocator, applying the lazy / reclaiming /
+// accelerated policy.
+func (a *Allocator) Free(c *machine.CPU, addr arena.Addr, size uint64) {
+	order := orderFor(size)
+
+	a.lk.Acquire(c)
+	c.Work(14)
+	c.Read(a.headLine)
+	a.outstanding[order]--
+	a.frees++
+
+	slack := a.outstanding[order] - a.localLen[order]
+	switch {
+	case slack >= 2:
+		// Lazy: defer, no coalescing work at all.
+		a.store(c, addr+offNext, uint64(a.local[order]))
+		a.local[order] = addr
+		a.localLen[order]++
+		a.lazyFrees++
+	case slack == 1:
+		// Reclaiming: coalesce the freed block.
+		a.coalesceUp(c, addr, order)
+	default:
+		// Accelerated: coalesce the freed block and one deferred block.
+		a.coalesceUp(c, addr, order)
+		if b := a.local[order]; b != 0 {
+			a.local[order] = arena.Addr(a.load(c, b+offNext))
+			a.localLen[order]--
+			a.coalesceUp(c, b, order)
+		}
+	}
+	c.Write(a.headLine)
+	a.lk.Release(c)
+}
+
+// DrainAll coalesces every deferred block (used before measuring
+// coalescing quality and by the conformance tests).
+func (a *Allocator) DrainAll(c *machine.CPU) {
+	a.lk.Acquire(c)
+	for order := minOrder; order <= maxOrder; order++ {
+		for b := a.local[order]; b != 0; {
+			next := arena.Addr(a.load(c, b+offNext))
+			a.coalesceUp(c, b, order)
+			b = next
+		}
+		a.local[order] = 0
+		a.localLen[order] = 0
+	}
+	a.lk.Release(c)
+}
+
+// Stats reports operation counters.
+type Stats struct {
+	Allocs      uint64
+	Frees       uint64
+	Failures    uint64
+	CoalesceOps uint64
+	LazyFrees   uint64
+	Lock        machine.LockStats
+}
+
+// Stats returns a snapshot (quiesce first or tolerate skew).
+func (a *Allocator) Stats() Stats {
+	return Stats{
+		Allocs:      a.allocs,
+		Frees:       a.frees,
+		Failures:    a.failures,
+		CoalesceOps: a.coalesceOps,
+		LazyFrees:   a.lazyFrees,
+		Lock:        a.lk.Stats(),
+	}
+}
+
+// CheckConsistency verifies the buddy structure: freelist entries are
+// marked in the bitmap at their order, bitmap population matches list
+// lengths, and no two free blocks overlap.
+func (a *Allocator) CheckConsistency() error {
+	type span struct{ lo, hi arena.Addr }
+	var spans []span
+	for order := minOrder; order <= maxOrder; order++ {
+		n := 0
+		for b := a.heads[order]; b != 0; b = arena.Addr(a.mem.Load64(b + offNext)) {
+			if !a.isFree(b, order) {
+				return fmt.Errorf("lazybuddy: list block %#x not marked at order %d", b, order)
+			}
+			if uint64(b-a.heapStart)&((1<<order)-1) != 0 {
+				return fmt.Errorf("lazybuddy: misaligned order-%d block %#x", order, b)
+			}
+			spans = append(spans, span{b, b + arena.Addr(1)<<order})
+			n++
+			if n > int(a.heapBytes>>minOrder) {
+				return fmt.Errorf("lazybuddy: order %d freelist cycle", order)
+			}
+		}
+		pop := 0
+		for _, w := range a.bitmap[order] {
+			for ; w != 0; w &= w - 1 {
+				pop++
+			}
+		}
+		if pop != n {
+			return fmt.Errorf("lazybuddy: order %d has %d listed, %d marked", order, n, pop)
+		}
+		for b := a.local[order]; b != 0; b = arena.Addr(a.mem.Load64(b + offNext)) {
+			spans = append(spans, span{b, b + arena.Addr(1)<<order})
+		}
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				return fmt.Errorf("lazybuddy: free blocks overlap: [%#x,%#x) [%#x,%#x)",
+					spans[i].lo, spans[i].hi, spans[j].lo, spans[j].hi)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package machine
+
+import "testing"
+
+func TestBusIntervalQueueing(t *testing.T) {
+	m := simMachine(3)
+	// Three cold misses at the same virtual instant must serialize on
+	// the bus: each starts after the previous transaction's occupancy.
+	for i := 0; i < 3; i++ {
+		m.CPU(i).Read(Line(uint64(100 + i)))
+	}
+	b := m.Config().BusCycles
+	miss := m.Config().MissCycles
+	want := []int64{1 + miss, 1 + b + miss, 1 + 2*b + miss}
+	for i := 0; i < 3; i++ {
+		if got := m.CPU(i).Now(); got != want[i] {
+			t.Fatalf("cpu %d clock = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestBusIntervalGapIsUsable(t *testing.T) {
+	// A transaction far in the future must not block one in the past
+	// (the artifact a busy-until watermark would create).
+	m := simMachine(2)
+	c0, c1 := m.CPU(0), m.CPU(1)
+	c1.Work(100000)
+	c1.Read(Line(50)) // occupies the bus around t=100000
+	before := c0.Now()
+	c0.Read(Line(60)) // at t~0: must not wait 100000 cycles
+	if c0.Now()-before > m.Config().MissCycles+m.Config().BusCycles+10 {
+		t.Fatalf("past transaction waited for a future one: %d cycles", c0.Now()-before)
+	}
+}
+
+func TestShortLockInsideLongOpDoesNotSerializeOp(t *testing.T) {
+	// The interval lock model: CPU 1 takes a brief lock then does huge
+	// uncontended work; CPU 0's later acquire of the same lock must wait
+	// only for the brief hold, not the whole operation.
+	m := simMachine(2)
+	lk := NewSpinLock(m)
+	c0, c1 := m.CPU(0), m.CPU(1)
+
+	lk.Acquire(c1)
+	c1.Work(10)
+	lk.Release(c1)
+	c1.Work(1_000_000) // long non-critical work
+
+	before := c0.Now()
+	lk.Acquire(c0)
+	lk.Release(c0)
+	if c0.Now() > before+1000 {
+		t.Fatalf("brief lock serialized behind a long op: waited %d cycles", c0.Now()-before)
+	}
+}
+
+func TestLockHoldsExcludeOverlap(t *testing.T) {
+	// Two CPUs with overlapping virtual-time critical sections must end
+	// up serialized: the second's hold starts after the first's ends.
+	m := simMachine(2)
+	lk := NewSpinLock(m)
+	c0, c1 := m.CPU(0), m.CPU(1)
+
+	lk.Acquire(c0)
+	start0 := c0.Now()
+	c0.Work(500)
+	lk.Release(c0)
+	end0 := c0.Now()
+
+	lk.Acquire(c1) // attempt at t≈0, must wait out [start0, end0]
+	if c1.Now() < end0 {
+		t.Fatalf("second hold started at %d, inside [%d, %d]", c1.Now(), start0, end0)
+	}
+	c1.Work(500)
+	lk.Release(c1)
+	if s := lk.Stats(); s.Contended != 1 {
+		t.Fatalf("contended = %d", s.Contended)
+	}
+}

@@ -1,0 +1,297 @@
+package machine
+
+import "fmt"
+
+// CPU is one simulated processor. In Sim mode every access and work charge
+// advances its private virtual clock; in Native mode all hooks are no-ops
+// and a CPU is merely a shard identity for the allocator's per-CPU state.
+//
+// A CPU handle must be driven by at most one goroutine at a time, exactly
+// as a physical CPU executes one instruction stream.
+type CPU struct {
+	m  *Machine
+	id int
+
+	clock int64
+
+	// Direct-mapped cache: cache[line % CacheLines] holds the resident
+	// line, or invalidLine.
+	cache []Line
+	// Optional direct-mapped TLB over arena pages (Config.TLBEntries).
+	tlb []uint64
+
+	// Statistics.
+	insns     uint64
+	hits      uint64
+	misses    uint64
+	atomics   uint64
+	tlbMisses uint64
+	busWait   int64
+	spinWait  int64
+
+	// Optional per-access trace (Sim mode), used by the Analysis-section
+	// experiment to show how the worst few off-chip accesses dominate
+	// elapsed time.
+	tracing bool
+	trace   []TraceEvent
+
+	// Exclusivity marker for ownership checking (see ownership.go).
+	excl exclusive
+}
+
+// TraceEvent records the cost of a single memory access while tracing.
+type TraceEvent struct {
+	Line   Line
+	Kind   AccessKind
+	Cycles int64 // cycles this access cost (0 for a free hit)
+}
+
+// AccessKind classifies a memory access.
+type AccessKind uint8
+
+const (
+	// ReadAccess is a plain load.
+	ReadAccess AccessKind = iota
+	// WriteAccess is a plain store.
+	WriteAccess
+	// AtomicAccess is a bus-locked read-modify-write.
+	AtomicAccess
+)
+
+// String returns a short name for the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case ReadAccess:
+		return "read"
+	case WriteAccess:
+		return "write"
+	case AtomicAccess:
+		return "atomic"
+	}
+	return fmt.Sprintf("AccessKind(%d)", uint8(k))
+}
+
+// ID returns the CPU number.
+func (c *CPU) ID() int { return c.id }
+
+// Machine returns the machine this CPU belongs to.
+func (c *CPU) Machine() *Machine { return c.m }
+
+// Now returns the CPU's virtual clock in cycles (Sim mode only; always 0
+// in Native mode).
+func (c *CPU) Now() int64 { return c.clock }
+
+// Work charges n straight-line instructions to the CPU. Allocator fast
+// paths charge the instruction budgets the paper reports (13 instructions
+// for a cookie allocation, 35 for a standard one, and so on).
+func (c *CPU) Work(n int64) {
+	if c.m.cfg.Mode != Sim {
+		return
+	}
+	c.insns += uint64(n)
+	c.clock += n * c.m.cfg.CyclesPerInsn
+}
+
+// Idle advances the CPU's clock by n cycles without charging instructions
+// (used to model waiting).
+func (c *CPU) Idle(n int64) {
+	if c.m.cfg.Mode != Sim {
+		return
+	}
+	c.clock += n
+}
+
+// DisableIntr charges the cost of an interrupt disable/enable pair, the
+// only "synchronization" the per-CPU caching layer needs.
+func (c *CPU) DisableIntr() {
+	if c.m.cfg.Mode != Sim {
+		return
+	}
+	c.insns += 2
+	c.clock += c.m.cfg.IntrCycles
+}
+
+// tlbCheck charges a TLB fill when the arena page holding line l is not
+// resident. Synthetic metadata lines are exempt (they stand for state the
+// kernel maps globally).
+func (c *CPU) tlbCheck(l Line) {
+	if c.tlb == nil || l&metaTag != 0 {
+		return
+	}
+	// Page number from the line id: lines are addr>>LineShift, pages are
+	// addr>>12, so page = line >> (12 - LineShift).
+	page := uint64(l) >> (12 - c.m.cfg.LineShift)
+	slot := &c.tlb[page%uint64(len(c.tlb))]
+	if *slot != page {
+		*slot = page
+		c.tlbMisses++
+		c.clock += c.m.cfg.TLBMissCycles
+	}
+}
+
+// access performs the cache/coherence accounting for one access to line l.
+func (c *CPU) access(l Line, kind AccessKind) {
+	m := c.m
+	c.tlbCheck(l)
+	slot := &c.cache[uint64(l)%uint64(len(c.cache))]
+	dir := m.dirSlot(l)
+	present := *slot == l
+
+	var cost int64
+	switch kind {
+	case ReadAccess:
+		if present && (*dir == ownerNone || *dir == int8(c.id)) {
+			c.hits++
+			cost = m.cfg.HitCycles
+			c.clock += cost
+		} else {
+			// Line transfer; if another CPU held it exclusively it is
+			// downgraded to shared.
+			c.misses++
+			before := c.clock
+			c.clock = m.busTxn(c)
+			if *dir != ownerNone && *dir != int8(c.id) {
+				*dir = ownerNone
+			}
+			*slot = l
+			cost = c.clock - before
+			if m.profile != nil {
+				m.noteProfile(l, false)
+			}
+		}
+	case WriteAccess, AtomicAccess:
+		if kind == AtomicAccess {
+			// Bus-locked RMW: always a bus transaction on this
+			// generation of hardware, even when the line is owned.
+			c.atomics++
+			before := c.clock
+			c.clock = m.busTxn(c)
+			c.clock += m.cfg.AtomicCycles
+			*dir = int8(c.id)
+			*slot = l
+			cost = c.clock - before
+			if m.profile != nil {
+				m.noteProfile(l, true)
+			}
+		} else if present && *dir == int8(c.id) {
+			c.hits++
+			cost = m.cfg.HitCycles
+			c.clock += cost
+		} else {
+			// Read-for-ownership: fetch the line exclusively,
+			// invalidating other copies.
+			c.misses++
+			before := c.clock
+			c.clock = m.busTxn(c)
+			*dir = int8(c.id)
+			*slot = l
+			cost = c.clock - before
+			if m.profile != nil {
+				m.noteProfile(l, false)
+			}
+		}
+	}
+	if c.tracing {
+		c.trace = append(c.trace, TraceEvent{Line: l, Kind: kind, Cycles: cost})
+	}
+}
+
+// Read charges a load of line l.
+func (c *CPU) Read(l Line) {
+	if c.m.cfg.Mode != Sim {
+		return
+	}
+	c.insns++
+	c.clock += c.m.cfg.CyclesPerInsn
+	c.access(l, ReadAccess)
+}
+
+// Write charges a store to line l.
+func (c *CPU) Write(l Line) {
+	if c.m.cfg.Mode != Sim {
+		return
+	}
+	c.insns++
+	c.clock += c.m.cfg.CyclesPerInsn
+	c.access(l, WriteAccess)
+}
+
+// Atomic charges a bus-locked read-modify-write of line l.
+func (c *CPU) Atomic(l Line) {
+	if c.m.cfg.Mode != Sim {
+		return
+	}
+	c.insns++
+	c.clock += c.m.cfg.CyclesPerInsn
+	c.access(l, AtomicAccess)
+}
+
+// ReadAddr charges a load of the arena address addr.
+func (c *CPU) ReadAddr(addr uint64) {
+	if c.m.cfg.Mode != Sim {
+		return
+	}
+	c.Read(c.m.LineOf(addr))
+}
+
+// WriteAddr charges a store to the arena address addr.
+func (c *CPU) WriteAddr(addr uint64) {
+	if c.m.cfg.Mode != Sim {
+		return
+	}
+	c.Write(c.m.LineOf(addr))
+}
+
+// noteWait attributes a synchronization wait to the given line while
+// tracing — the way a logic analyzer sees a spin: repeated accesses to
+// the lock word accounting for the elapsed time.
+func (c *CPU) noteWait(l Line, cycles int64) {
+	if c.tracing && cycles > 0 {
+		c.trace = append(c.trace, TraceEvent{Line: l, Kind: AtomicAccess, Cycles: cycles})
+	}
+}
+
+// StartTrace begins recording per-access costs (Sim mode).
+func (c *CPU) StartTrace() {
+	c.tracing = true
+	c.trace = c.trace[:0]
+}
+
+// StopTrace stops recording and returns the events captured since
+// StartTrace. The returned slice is reused by the next StartTrace.
+func (c *CPU) StopTrace() []TraceEvent {
+	c.tracing = false
+	return c.trace
+}
+
+// Stats is a snapshot of one CPU's counters.
+type Stats struct {
+	Cycles       int64
+	Instructions uint64
+	Hits         uint64
+	Misses       uint64
+	Atomics      uint64
+	TLBMisses    uint64
+	BusWait      int64
+	SpinWait     int64
+}
+
+// Stats returns the CPU's counters.
+func (c *CPU) Stats() Stats {
+	return Stats{
+		Cycles:       c.clock,
+		Instructions: c.insns,
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Atomics:      c.atomics,
+		TLBMisses:    c.tlbMisses,
+		BusWait:      c.busWait,
+		SpinWait:     c.spinWait,
+	}
+}
+
+// ResetStats zeroes the CPU's counters but not its clock.
+func (c *CPU) ResetStats() {
+	c.insns, c.hits, c.misses, c.atomics, c.tlbMisses = 0, 0, 0, 0, 0
+	c.busWait, c.spinWait = 0, 0
+}

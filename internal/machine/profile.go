@@ -1,0 +1,72 @@
+package machine
+
+import "sort"
+
+// Line profiling: the software equivalent of the paper's logic-analyzer
+// sessions. When enabled, every miss and atomic access is attributed to
+// its cache line, so an experiment can ask which lines' transfers
+// dominated — lock words, freelist heads, or the blocks themselves.
+// Sim mode, single-goroutine only.
+
+// LineStats aggregates one line's off-chip traffic.
+type LineStats struct {
+	Line    Line
+	Name    string // meta-line name if registered, else ""
+	Misses  uint64
+	Atomics uint64
+}
+
+// EnableLineProfile starts attributing misses and atomics per line.
+func (m *Machine) EnableLineProfile() {
+	if m.cfg.Mode != Sim {
+		panic("machine: line profiling requires Sim mode")
+	}
+	m.profile = make(map[Line]*LineStats)
+}
+
+// DisableLineProfile stops profiling and discards the data.
+func (m *Machine) DisableLineProfile() { m.profile = nil }
+
+// NameMetaLine attaches a debug name to a meta line, shown in profiles.
+func (m *Machine) NameMetaLine(l Line, name string) {
+	if m.lineNames == nil {
+		m.lineNames = make(map[Line]string)
+	}
+	m.lineNames[l] = name
+}
+
+// noteProfile records one off-chip event for line l.
+func (m *Machine) noteProfile(l Line, atomic bool) {
+	st := m.profile[l]
+	if st == nil {
+		st = &LineStats{Line: l, Name: m.lineNames[l]}
+		m.profile[l] = st
+	}
+	if atomic {
+		st.Atomics++
+	} else {
+		st.Misses++
+	}
+}
+
+// TopLines returns the n lines with the most off-chip traffic
+// (misses+atomics), hottest first. Ties break by line id so the result
+// is deterministic.
+func (m *Machine) TopLines(n int) []LineStats {
+	out := make([]LineStats, 0, len(m.profile))
+	for _, st := range m.profile {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti := out[i].Misses + out[i].Atomics
+		tj := out[j].Misses + out[j].Atomics
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i].Line < out[j].Line
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Run drives all CPUs through repeated calls of body until body returns
+// false for every CPU. body(c) should perform one short operation (for
+// example one allocate/free pair) and return whether the CPU should keep
+// running.
+//
+// In Sim mode, Run executes operations one at a time in increasing
+// virtual-clock order — a conservative discrete-event schedule that keeps
+// lock arbitration and bus contention causally consistent. The result is
+// deterministic. In Native mode, Run starts one goroutine per CPU.
+func (m *Machine) Run(body func(c *CPU) bool) {
+	if m.cfg.Mode == Sim {
+		m.runSim(body)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range m.cpus {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			for body(c) {
+			}
+		}(&m.cpus[i])
+	}
+	wg.Wait()
+}
+
+// cpuHeap orders CPUs by virtual clock (ties broken by ID for
+// determinism).
+type cpuHeap []*CPU
+
+func (h cpuHeap) Len() int { return len(h) }
+func (h cpuHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].id < h[j].id
+}
+func (h cpuHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cpuHeap) Push(x any)   { *h = append(*h, x.(*CPU)) }
+func (h *cpuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+func (m *Machine) runSim(body func(c *CPU) bool) {
+	h := make(cpuHeap, 0, len(m.cpus))
+	for i := range m.cpus {
+		h = append(h, &m.cpus[i])
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		c := h[0]
+		if body(c) {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+}
+
+// RunFor drives all CPUs with body for the given number of virtual
+// seconds and returns the number of body invocations completed per CPU.
+// Clocks are first synchronized forward to the latest CPU's time (the
+// moment "the benchmark starts", after any setup work), so lock and bus
+// state from setup remains causally consistent. Sim mode only.
+func (m *Machine) RunFor(seconds float64, body func(c *CPU)) []uint64 {
+	if m.cfg.Mode != Sim {
+		panic("machine: RunFor requires Sim mode")
+	}
+	base := m.SyncClocks()
+	deadline := base + m.SecondsToCycles(seconds)
+	ops := make([]uint64, len(m.cpus))
+	m.Run(func(c *CPU) bool {
+		if c.clock >= deadline {
+			return false
+		}
+		body(c)
+		ops[c.id]++
+		return true
+	})
+	return ops
+}
+
+// SyncClocks advances every CPU's clock to the maximum across CPUs —
+// the common origin of a measurement phase — and returns it. Virtual
+// time never moves backwards, so spinlock release times and bus state
+// stay consistent.
+func (m *Machine) SyncClocks() int64 {
+	var max int64
+	for i := range m.cpus {
+		if m.cpus[i].clock > max {
+			max = m.cpus[i].clock
+		}
+	}
+	for i := range m.cpus {
+		m.cpus[i].clock = max
+	}
+	return max
+}
+
+// ResetStats zeroes the per-CPU and bus counters (not the clocks: virtual
+// time must never move backwards once locks and the bus carry state).
+func (m *Machine) ResetStats() {
+	for i := range m.cpus {
+		m.cpus[i].ResetStats()
+	}
+	m.busTxns = 0
+}

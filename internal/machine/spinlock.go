@@ -1,0 +1,176 @@
+package machine
+
+import "sync"
+
+// SpinLock is the mutual-exclusion primitive the lock-based allocators
+// (and the new allocator's global layer) use.
+//
+// In Sim mode it models a test-and-test-and-set spinlock on the paper's
+// hardware. The simulator executes whole operations in virtual-clock
+// order, so a lock is represented by its recent *hold intervals*: an
+// acquire at time t must wait past every recorded hold overlapping t
+// (chasing the chain of back-to-back holds, exactly like spinning through
+// consecutive owners), and each release records the new [acquire,release]
+// interval. Modelling intervals rather than a single "free after" time
+// keeps a short critical section short even when it sits inside an
+// expensive operation. Contended acquires also inject retry traffic onto
+// the shared bus, so heavy spinning degrades every CPU — the effect that
+// flattens the lock-based allocators in Figures 7 and 8.
+//
+// In Native mode it is a plain sync.Mutex.
+type SpinLock struct {
+	mu sync.Mutex // Native mode
+
+	// Sim mode state.
+	line     Line
+	holds    []hold // ring of recent hold intervals
+	next     int    // ring cursor
+	curStart int64  // acquire time of the hold currently executing
+
+	acquisitions uint64
+	contended    uint64
+	spinCycles   int64
+}
+
+// hold is one completed critical section in virtual time.
+type hold struct{ start, end int64 }
+
+// holdHistory bounds the remembered intervals. Operations execute in
+// start-clock order, so only holds from recently executed operations can
+// overlap a new acquire; with at most 64 CPUs, 128 intervals is ample.
+const holdHistory = 128
+
+// NewSpinLock returns a lock whose lock word lives on its own cache line.
+func NewSpinLock(m *Machine) *SpinLock {
+	return &SpinLock{line: m.NewMetaLine()}
+}
+
+// maxRetryCharge bounds the bus traffic charged for one contended
+// acquisition, so that a pathological wait cannot make the bus model
+// diverge.
+const maxRetryCharge = 64
+
+// Line returns the lock word's cache line (for profiling and naming).
+func (l *SpinLock) Line() Line { return l.line }
+
+// Acquire takes the lock on behalf of CPU c.
+func (l *SpinLock) Acquire(c *CPU) {
+	if c.m.cfg.Mode != Sim {
+		l.mu.Lock()
+		return
+	}
+	l.acquisitions++
+	// Initial test-and-set attempt. The successful test-and-set belongs
+	// to the hold interval: between the winner's bus-locked RMW and its
+	// release store, no other CPU can take the lock.
+	tsStart := c.clock
+	c.Atomic(l.line)
+
+	// Chase the chain of holds overlapping the current time, re-checking
+	// after each retry: the bus-locked retry itself advances the clock
+	// and may land inside another recorded hold.
+	wasContended := false
+	for {
+		t := c.clock
+		for {
+			next := int64(-1)
+			for _, h := range l.holds {
+				if h.start <= t && t < h.end && h.end > next {
+					next = h.end
+				}
+			}
+			if next < 0 {
+				break
+			}
+			t = next
+		}
+		wait := t - c.clock
+		if wait <= 0 {
+			break
+		}
+		wasContended = true
+		l.spinCycles += wait
+		c.spinWait += wait
+		c.noteWait(l.line, wait)
+		retries := wait / c.m.cfg.SpinRetryGap
+		if retries > maxRetryCharge {
+			retries = maxRetryCharge
+		}
+		// The spinning CPU's periodic test-and-set retries occupy the
+		// bus across its wait window, degrading everyone else.
+		if retries > 0 {
+			c.m.busOccupy(c.clock, c.clock+retries*c.m.cfg.BusCycles)
+			c.m.busTxns += uint64(retries)
+		}
+		c.clock = t
+		// The winning test-and-set after the previous holder's release.
+		tsStart = c.clock
+		c.Atomic(l.line)
+	}
+	if wasContended {
+		l.contended++
+	}
+	l.curStart = tsStart
+}
+
+// Release drops the lock, recording the completed hold interval. The
+// release itself is a plain store to the (now owned) lock word.
+func (l *SpinLock) Release(c *CPU) {
+	if c.m.cfg.Mode != Sim {
+		l.mu.Unlock()
+		return
+	}
+	c.Write(l.line)
+	h := hold{start: l.curStart, end: c.clock}
+	if h.end == h.start {
+		h.end++ // zero-length sections still exclude exact ties
+	}
+	if len(l.holds) < holdHistory {
+		l.holds = append(l.holds, h)
+	} else {
+		l.holds[l.next] = h
+		l.next = (l.next + 1) % holdHistory
+	}
+}
+
+// LockStats is a snapshot of spinlock contention counters.
+type LockStats struct {
+	Acquisitions uint64
+	Contended    uint64
+	SpinCycles   int64
+}
+
+// Stats returns the lock's contention counters.
+func (l *SpinLock) Stats() LockStats {
+	return LockStats{
+		Acquisitions: l.acquisitions,
+		Contended:    l.contended,
+		SpinCycles:   l.spinCycles,
+	}
+}
+
+// IntrLock guards per-CPU state. On the paper's machine this protection is
+// interrupt disabling — no bus traffic, no shared lock word. In Sim mode
+// Acquire charges only the cli/sti cycle cost; in Native mode it is a real
+// (uncontended in correct use) mutex so that the low-memory path's remote
+// cache drains are race-free under the Go memory model.
+type IntrLock struct {
+	mu sync.Mutex
+}
+
+// Acquire enters the protected region on CPU c.
+func (l *IntrLock) Acquire(c *CPU) {
+	if c.m.cfg.Mode == Sim {
+		c.DisableIntr()
+		return
+	}
+	l.mu.Lock()
+}
+
+// Release leaves the protected region.
+func (l *IntrLock) Release(c *CPU) {
+	if c.m.cfg.Mode == Sim {
+		return
+	}
+	l.mu.Unlock()
+}

@@ -1,0 +1,114 @@
+// Package physmem simulates the physical-memory side of the kernel VM
+// system.
+//
+// The paper stresses that kernel-level allocators, unlike user-level ones,
+// "must manage the virtual address space and physical memory explicitly
+// and separately": when the coalesce-to-page layer frees the last block in
+// a page, the physical page is returned to the system while the virtual
+// page is retained and coalesced. This package is that "system": a finite
+// pool of physical pages with map/unmap accounting. Exhaustion of the pool
+// is what drives the allocator's low-memory path and the worst-case
+// benchmark (Figure 9), and the map/unmap operation counts are what make
+// large-block allocation measurably dearer in that figure.
+package physmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoPages is returned by Map when physical memory is exhausted.
+var ErrNoPages = errors.New("physmem: out of physical pages")
+
+// Pool is a finite pool of physical pages. It is safe for concurrent use.
+type Pool struct {
+	mu        sync.Mutex
+	capacity  int64
+	mapped    int64
+	highWater int64
+	mapOps    uint64
+	unmapOps  uint64
+	failures  uint64
+}
+
+// NewPool returns a pool holding capacity physical pages.
+func NewPool(capacity int64) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("physmem: invalid capacity %d", capacity))
+	}
+	return &Pool{capacity: capacity}
+}
+
+// Map claims n physical pages, backing freshly allocated virtual pages.
+// It claims all n or none, returning ErrNoPages when fewer than n pages
+// remain.
+func (p *Pool) Map(n int64) error {
+	if n <= 0 {
+		panic(fmt.Sprintf("physmem: Map(%d)", n))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mapped+n > p.capacity {
+		p.failures++
+		return ErrNoPages
+	}
+	p.mapped += n
+	p.mapOps += uint64(n)
+	if p.mapped > p.highWater {
+		p.highWater = p.mapped
+	}
+	return nil
+}
+
+// Unmap returns n physical pages to the system.
+func (p *Pool) Unmap(n int64) {
+	if n <= 0 {
+		panic(fmt.Sprintf("physmem: Unmap(%d)", n))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mapped < n {
+		panic(fmt.Sprintf("physmem: Unmap(%d) with only %d mapped", n, p.mapped))
+	}
+	p.mapped -= n
+	p.unmapOps += uint64(n)
+}
+
+// Stats is a snapshot of pool accounting.
+type Stats struct {
+	Capacity  int64  // total physical pages
+	Mapped    int64  // pages currently mapped
+	HighWater int64  // maximum pages ever simultaneously mapped
+	MapOps    uint64 // cumulative pages mapped
+	UnmapOps  uint64 // cumulative pages unmapped
+	Failures  uint64 // Map calls refused for lack of pages
+}
+
+// Stats returns a consistent snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Capacity:  p.capacity,
+		Mapped:    p.mapped,
+		HighWater: p.highWater,
+		MapOps:    p.mapOps,
+		UnmapOps:  p.unmapOps,
+		Failures:  p.failures,
+	}
+}
+
+// Mapped returns the number of pages currently mapped.
+func (p *Pool) Mapped() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mapped
+}
+
+// Available returns the number of pages that could still be mapped.
+func (p *Pool) Available() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity - p.mapped
+}

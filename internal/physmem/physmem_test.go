@@ -1,0 +1,98 @@
+package physmem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestMapUnmap(t *testing.T) {
+	p := NewPool(10)
+	if err := p.Map(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Mapped(); got != 4 {
+		t.Fatalf("Mapped = %d", got)
+	}
+	if got := p.Available(); got != 6 {
+		t.Fatalf("Available = %d", got)
+	}
+	p.Unmap(3)
+	if got := p.Mapped(); got != 1 {
+		t.Fatalf("Mapped after unmap = %d", got)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	p := NewPool(5)
+	if err := p.Map(5); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Map(1)
+	if !errors.Is(err, ErrNoPages) {
+		t.Fatalf("err = %v, want ErrNoPages", err)
+	}
+	// All-or-nothing: a partial map must not consume pages.
+	p.Unmap(2)
+	if err := p.Map(3); !errors.Is(err, ErrNoPages) {
+		t.Fatalf("err = %v, want ErrNoPages (3 > 2 available)", err)
+	}
+	if err := p.Map(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Map(1); !errors.Is(err, ErrNoPages) {
+		t.Fatalf("err = %v, want ErrNoPages", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := NewPool(8)
+	_ = p.Map(6)
+	p.Unmap(2)
+	_ = p.Map(1)
+	_ = p.Map(100) // fails
+	s := p.Stats()
+	if s.Capacity != 8 || s.Mapped != 5 || s.HighWater != 6 ||
+		s.MapOps != 7 || s.UnmapOps != 2 || s.Failures != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	p := NewPool(4)
+	for name, f := range map[string]func(){
+		"zero capacity": func() { NewPool(0) },
+		"map zero":      func() { _ = p.Map(0) },
+		"unmap zero":    func() { p.Unmap(0) },
+		"unmap excess":  func() { p.Unmap(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConcurrentMapUnmap(t *testing.T) {
+	p := NewPool(1000)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if err := p.Map(2); err == nil {
+					p.Unmap(2)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Mapped(); got != 0 {
+		t.Fatalf("Mapped = %d after balanced ops", got)
+	}
+}

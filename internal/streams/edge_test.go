@@ -1,0 +1,159 @@
+package streams
+
+import (
+	"testing"
+
+	"kmem/internal/machine"
+)
+
+// Edge-case tests for the message primitives.
+
+func TestMsgdsizeEmptyChain(t *testing.T) {
+	s, _, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	if got := s.Msgdsize(c, 0); got != 0 {
+		t.Fatalf("Msgdsize(nil) = %d", got)
+	}
+}
+
+func TestReadPartialAndDrainedBlock(t *testing.T) {
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	msg, _ := s.Allocb(c, 64)
+	_ = s.Write(c, msg, []byte("abcdef"))
+
+	p := make([]byte, 4)
+	if n := s.Read(c, msg, p); n != 4 || string(p[:n]) != "abcd" {
+		t.Fatalf("first read: %d %q", n, p[:n])
+	}
+	if n := s.Read(c, msg, p); n != 2 || string(p[:n]) != "ef" {
+		t.Fatalf("second read: %d %q", n, p[:n])
+	}
+	if n := s.Read(c, msg, p); n != 0 {
+		t.Fatalf("drained read returned %d", n)
+	}
+	s.Freeb(c, msg)
+	quiesce(t, s, al, m)
+}
+
+func TestWriteExactCapacity(t *testing.T) {
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	msg, _ := s.Allocb(c, 16)
+	if err := s.Write(c, msg, make([]byte, 16)); err != nil {
+		t.Fatalf("exact-fit write rejected: %v", err)
+	}
+	if err := s.Write(c, msg, []byte{1}); err == nil {
+		t.Fatal("over-capacity write accepted")
+	}
+	s.Freeb(c, msg)
+	quiesce(t, s, al, m)
+}
+
+func TestAllocbZeroRejected(t *testing.T) {
+	s, _, m := newTest(t, 1, machine.Sim)
+	if _, err := s.Allocb(m.CPU(0), 0); err == nil {
+		t.Fatal("allocb(0) accepted")
+	}
+}
+
+func TestCopymsgEmptyBlocks(t *testing.T) {
+	// Copying a chain that includes zero-data blocks must preserve the
+	// chain length and total data.
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	head, _ := s.Allocb(c, 32) // left empty
+	mid, _ := s.Allocb(c, 32)
+	_ = s.Write(c, mid, []byte("data"))
+	s.Linkb(c, head, mid)
+
+	cp, err := s.Copymsg(c, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Msgdsize(c, cp); got != 4 {
+		t.Fatalf("copied size = %d", got)
+	}
+	n := 0
+	for b := cp; b != 0; b = s.Cont(c, b) {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("copied chain length = %d", n)
+	}
+	s.Freemsg(c, head)
+	s.Freemsg(c, cp)
+	quiesce(t, s, al, m)
+}
+
+func TestPullupSingleBlockNoOp(t *testing.T) {
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	msg, _ := s.Allocb(c, 64)
+	_ = s.Write(c, msg, []byte("only"))
+	flat, err := s.Pullupmsg(c, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 8)
+	if n := s.Read(c, flat, p); string(p[:n]) != "only" {
+		t.Fatalf("pullup data %q", p[:n])
+	}
+	s.Freeb(c, flat)
+	quiesce(t, s, al, m)
+}
+
+func TestDupbOfDupb(t *testing.T) {
+	// Reference counting through chained dups: data freed only at the
+	// last release, in any order.
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	m1, _ := s.Allocb(c, 64)
+	_ = s.Write(c, m1, []byte("shared"))
+	m2, _ := s.Dupb(c, m1)
+	m3, _ := s.Dupb(c, m2)
+
+	s.Freeb(c, m2)
+	s.Freeb(c, m1)
+	p := make([]byte, 8)
+	if n := s.Read(c, m3, p); string(p[:n]) != "shared" {
+		t.Fatalf("data gone early: %q", p[:n])
+	}
+	s.Freeb(c, m3)
+	quiesce(t, s, al, m)
+}
+
+func TestQueueLenTracksBytes(t *testing.T) {
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	str, err := s.NewStream(
+		Module{Name: "q", Hiwat: 100, Lowat: 20,
+			Put: func(c *machine.CPU, q *ModQueue, m Msg) { q.PutqMod(c, m) }},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := str.Queue(0)
+	var msgs []Msg
+	for i := 0; i < 3; i++ {
+		msg, _ := s.Allocb(c, 64)
+		_ = s.Write(c, msg, make([]byte, 50))
+		str.Write(c, msg)
+		msgs = append(msgs, msg)
+	}
+	if q.Len(c) != 3 {
+		t.Fatalf("len = %d", q.Len(c))
+	}
+	if q.Canput(c) {
+		t.Fatal("150 bytes > hiwat 100: should be full")
+	}
+	// Drain below lowat: flow control releases.
+	for q.Len(c) > 0 {
+		m := q.GetqMod(c)
+		s.Freemsg(c, m)
+	}
+	if !q.Canput(c) {
+		t.Fatal("flow control stuck after drain")
+	}
+	quiesce(t, s, al, m)
+}

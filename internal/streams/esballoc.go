@@ -1,0 +1,76 @@
+package streams
+
+import (
+	"fmt"
+
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+// esballoc: messages over externally supplied buffers. A driver that owns
+// its own buffer memory (e.g. a DMA region) wraps it in a message without
+// copying; when the last reference to the data block is freed, the
+// caller-supplied free routine runs instead of kmem_free — the frtn_t
+// mechanism of STREAMS.
+//
+// Only the message and data blocks come from kmem; the buffer stays the
+// caller's. The free routine is Go state, keyed by the data block
+// address while the block is live.
+
+// FreeRtn is the caller's buffer release routine; it runs on the CPU that
+// drops the last reference.
+type FreeRtn func(c *machine.CPU)
+
+// Esballoc wraps the external buffer [base, base+size) in a fresh
+// message. The buffer must remain valid until frtn runs.
+func (s *Subsystem) Esballoc(c *machine.CPU, base arena.Addr, size uint64, frtn FreeRtn) (Msg, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("streams: esballoc of empty buffer")
+	}
+	if frtn == nil {
+		return 0, fmt.Errorf("streams: esballoc without a free routine")
+	}
+	db, err := s.al.AllocCookie(c, s.dblkCookie)
+	if err != nil {
+		return 0, ErrNoMemory
+	}
+	mb, err := s.al.AllocCookie(c, s.mblkCookie)
+	if err != nil {
+		s.al.FreeCookie(c, db, s.dblkCookie)
+		return 0, ErrNoMemory
+	}
+	s.put(c, db+dbBase, base)
+	s.put(c, db+dbLim, base+size)
+	s.put(c, db+dbRef, 1)
+	s.put(c, db+dbSize, 0) // size 0 marks an external buffer
+	s.put(c, mb+mbNext, 0)
+	s.put(c, mb+mbCont, 0)
+	s.put(c, mb+mbRptr, base)
+	s.put(c, mb+mbWptr, base)
+	s.put(c, mb+mbDatap, db)
+
+	s.frtnMu.Lock()
+	if s.frtns == nil {
+		s.frtns = make(map[arena.Addr]FreeRtn)
+	}
+	s.frtns[db] = frtn
+	s.frtnMu.Unlock()
+	s.allocbs.Add(1)
+	return mb, nil
+}
+
+// releaseExternal runs and clears the free routine for data block db.
+// Returns false when db is not an external buffer.
+func (s *Subsystem) releaseExternal(c *machine.CPU, db arena.Addr) bool {
+	s.frtnMu.Lock()
+	frtn, ok := s.frtns[db]
+	if ok {
+		delete(s.frtns, db)
+	}
+	s.frtnMu.Unlock()
+	if !ok {
+		return false
+	}
+	frtn(c)
+	return true
+}

@@ -1,0 +1,116 @@
+package streams
+
+import (
+	"sync"
+	"testing"
+
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+func TestEsballocBasic(t *testing.T) {
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+
+	// The "driver's DMA region": a large kmem block we manage ourselves.
+	region, err := al.Alloc(c, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := 0
+	msg, err := s.Esballoc(c, region, 8192, func(c *machine.CPU) { released++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(c, msg, []byte("dma payload")); err != nil {
+		t.Fatal(err)
+	}
+	// The message data lives in the caller's region, not a kmem buffer.
+	if got := s.Rptr(c, msg); got != region {
+		t.Fatalf("rptr %#x, want region base %#x", got, region)
+	}
+	s.Freeb(c, msg)
+	if released != 1 {
+		t.Fatalf("free routine ran %d times", released)
+	}
+	al.Free(c, region, 8192)
+	quiesce(t, s, al, m)
+}
+
+func TestEsballocDupDelaysRelease(t *testing.T) {
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	region, _ := al.Alloc(c, 1024)
+	released := 0
+	msg, err := s.Esballoc(c, region, 1024, func(c *machine.CPU) { released++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Dupb(c, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Freeb(c, msg)
+	if released != 0 {
+		t.Fatal("released while a dup was live")
+	}
+	s.Freeb(c, d)
+	if released != 1 {
+		t.Fatalf("free routine ran %d times", released)
+	}
+	al.Free(c, region, 1024)
+	quiesce(t, s, al, m)
+}
+
+func TestEsballocErrors(t *testing.T) {
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+	region, _ := al.Alloc(c, 64)
+	defer al.Free(c, region, 64)
+	if _, err := s.Esballoc(c, region, 0, func(*machine.CPU) {}); err == nil {
+		t.Fatal("zero-size accepted")
+	}
+	if _, err := s.Esballoc(c, region, 64, nil); err == nil {
+		t.Fatal("nil free routine accepted")
+	}
+}
+
+func TestEsballocNativeConcurrent(t *testing.T) {
+	s, al, m := newTest(t, 4, machine.Native)
+	var released sync.Map
+	var wg sync.WaitGroup
+	regions := make([]arena.Addr, 4)
+	for i := range regions {
+		r, err := al.Alloc(m.CPU(0), 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions[i] = r
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(c *machine.CPU, region arena.Addr) {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				key := [2]uint64{uint64(c.ID()), uint64(j)}
+				msg, err := s.Esballoc(c, region, 4096, func(c *machine.CPU) {
+					released.Store(key, true)
+				})
+				if err != nil {
+					t.Errorf("esballoc: %v", err)
+					return
+				}
+				s.Freeb(c, msg)
+				if _, ok := released.Load(key); !ok {
+					t.Errorf("free routine %v did not run", key)
+					return
+				}
+			}
+		}(m.CPU(i), regions[i])
+	}
+	wg.Wait()
+	for _, r := range regions {
+		al.Free(m.CPU(0), r, 4096)
+	}
+	quiesce(t, s, al, m)
+}

@@ -1,0 +1,335 @@
+package streams
+
+import (
+	"fmt"
+
+	"kmem/internal/machine"
+)
+
+// The module framework: the half of Ritchie's STREAMS design that sits
+// above the buffer allocator. A Stream is a chain of modules; each module
+// has a read-side and a write-side ModQueue with a put procedure (called
+// synchronously by the upstream module) and an optional service procedure
+// (scheduled when a queue holds deferred messages). Queues carry high/low
+// watermarks for flow control: a full downstream queue makes Canput
+// false, and well-behaved put procedures then queue locally and let
+// service procedures drain when the congestion clears — exactly the
+// mechanism the kernel's networking used while hammering allocb/freeb.
+
+// Put is a module's put procedure: it receives a message travelling in
+// its queue's direction. It runs on the calling CPU.
+type Put func(c *machine.CPU, q *ModQueue, m Msg)
+
+// Service is a module's service procedure: it drains messages deferred
+// with Putq when the scheduler runs the queue.
+type Service func(c *machine.CPU, q *ModQueue)
+
+// ModQueue is one direction of one module: a message queue plus its
+// procedures and flow-control watermarks (a kernel queue_t).
+type ModQueue struct {
+	s    *Subsystem
+	str  *Stream
+	name string
+
+	put Put
+	svc Service
+
+	lk      *machine.SpinLock
+	head    Msg
+	tail    Msg
+	count   int // messages queued
+	bytes   uint64
+	hiwat   uint64 // flow control asserts when bytes exceed hiwat
+	lowat   uint64 // and releases when bytes fall below lowat
+	full    bool
+	queued  bool // on the scheduler's run queue
+	next    *ModQueue
+	downIdx int // index of the downstream queue in the stream
+}
+
+// Name returns the queue's debug name.
+func (q *ModQueue) Name() string { return q.name }
+
+// Stream is a linear chain of queues: messages written at index 0 flow
+// toward the last queue (the "driver" end).
+type Stream struct {
+	s      *Subsystem
+	queues []*ModQueue
+
+	// Scheduler: queues with deferred work, run by ScheduleRun.
+	schedLk   *machine.SpinLock
+	schedHead *ModQueue
+	schedTail *ModQueue
+}
+
+// Module bundles the pieces a NewStream caller supplies per stage.
+type Module struct {
+	Name string
+	// Put handles each arriving message; nil installs the default pass-
+	// through put (forward when possible, defer under congestion).
+	Put Put
+	// Service drains deferred messages; nil installs the default service
+	// (forward everything the downstream can accept).
+	Service Service
+	// Hiwat/Lowat are the flow-control watermarks in data bytes
+	// (defaults 8192/2048).
+	Hiwat, Lowat uint64
+}
+
+// NewStream builds a stream from the given modules. The final module is
+// the driver: its put procedure consumes messages (the default driver
+// frees them).
+func (s *Subsystem) NewStream(modules ...Module) (*Stream, error) {
+	if len(modules) == 0 {
+		return nil, fmt.Errorf("streams: empty stream")
+	}
+	str := &Stream{s: s, schedLk: machine.NewSpinLock(s.al.Machine())}
+	for i, mod := range modules {
+		q := &ModQueue{
+			s:       s,
+			str:     str,
+			name:    mod.Name,
+			put:     mod.Put,
+			svc:     mod.Service,
+			lk:      machine.NewSpinLock(s.al.Machine()),
+			hiwat:   mod.Hiwat,
+			lowat:   mod.Lowat,
+			downIdx: i + 1,
+		}
+		if q.hiwat == 0 {
+			q.hiwat = 8192
+		}
+		if q.lowat == 0 {
+			q.lowat = q.hiwat / 4
+		}
+		if q.put == nil {
+			q.put = defaultPut
+		}
+		if q.svc == nil {
+			q.svc = defaultService
+		}
+		str.queues = append(str.queues, q)
+	}
+	return str, nil
+}
+
+// Queue returns the i'th module queue.
+func (str *Stream) Queue(i int) *ModQueue { return str.queues[i] }
+
+// Down returns the queue downstream of q, or nil at the driver end.
+func (q *ModQueue) Down() *ModQueue {
+	if q.downIdx >= len(q.str.queues) {
+		return nil
+	}
+	return q.str.queues[q.downIdx]
+}
+
+// Write injects a message at the head of the stream (the stream-head
+// write, e.g. from a system call).
+func (str *Stream) Write(c *machine.CPU, m Msg) {
+	q := str.queues[0]
+	q.put(c, q, m)
+}
+
+// Put invokes q's put procedure on m — how one module hands a message to
+// the next (the putnext(9F) half).
+func (q *ModQueue) Put(c *machine.CPU, m Msg) {
+	q.put(c, q, m)
+}
+
+// Canput reports whether q can accept another message — false while the
+// queue is flow-controlled (bytes above hiwat since the last drain below
+// lowat).
+func (q *ModQueue) Canput(c *machine.CPU) bool {
+	q.lk.Acquire(c)
+	ok := !q.full
+	q.lk.Release(c)
+	return ok
+}
+
+// PutqMod defers a message on q and schedules its service procedure —
+// the queue half of putq(9F).
+func (q *ModQueue) PutqMod(c *machine.CPU, m Msg) {
+	size := q.s.Msgdsize(c, m)
+	q.s.put(c, m+mbNext, 0)
+	q.lk.Acquire(c)
+	if q.tail == 0 {
+		q.head = m
+	} else {
+		q.s.put(c, q.tail+mbNext, m)
+	}
+	q.tail = m
+	q.count++
+	q.bytes += size
+	if q.bytes > q.hiwat {
+		q.full = true
+	}
+	needSched := !q.queued
+	if needSched {
+		q.queued = true
+	}
+	q.lk.Release(c)
+	if needSched {
+		q.str.schedule(c, q)
+	}
+}
+
+// GetqMod removes the first deferred message (0 when empty), releasing
+// flow control when the queue drains below lowat.
+func (q *ModQueue) GetqMod(c *machine.CPU) Msg {
+	q.lk.Acquire(c)
+	m := q.head
+	if m != 0 {
+		q.head = q.s.Next(c, m)
+		if q.head == 0 {
+			q.tail = 0
+		}
+		q.count--
+		q.lk.Release(c)
+		size := q.s.Msgdsize(c, m)
+		q.s.put(c, m+mbNext, 0)
+		q.lk.Acquire(c)
+		if q.bytes >= size {
+			q.bytes -= size
+		} else {
+			q.bytes = 0
+		}
+		if q.full && q.bytes < q.lowat {
+			q.full = false
+		}
+	}
+	q.lk.Release(c)
+	return m
+}
+
+// Len returns the number of deferred messages.
+func (q *ModQueue) Len(c *machine.CPU) int {
+	q.lk.Acquire(c)
+	n := q.count
+	q.lk.Release(c)
+	return n
+}
+
+// schedule appends q to the stream's run queue.
+func (str *Stream) schedule(c *machine.CPU, q *ModQueue) {
+	str.schedLk.Acquire(c)
+	if str.schedTail == nil {
+		str.schedHead = q
+	} else {
+		str.schedTail.next = q
+	}
+	str.schedTail = q
+	q.next = nil
+	str.schedLk.Release(c)
+}
+
+// RunService runs up to max pending service procedures on the calling
+// CPU (the kernel's queuerun). It returns the number run; 0 means the
+// stream is quiescent.
+func (str *Stream) RunService(c *machine.CPU, max int) int {
+	ran := 0
+	for ran < max {
+		str.schedLk.Acquire(c)
+		q := str.schedHead
+		if q != nil {
+			str.schedHead = q.next
+			if str.schedHead == nil {
+				str.schedTail = nil
+			}
+			q.next = nil
+		}
+		str.schedLk.Release(c)
+		if q == nil {
+			break
+		}
+		q.lk.Acquire(c)
+		q.queued = false
+		q.lk.Release(c)
+		q.svc(c, q)
+		ran++
+		// If the service left messages behind (still congested
+		// downstream), it re-queues itself via PutqMod/reschedule.
+		q.lk.Acquire(c)
+		resched := q.count > 0 && !q.queued
+		if resched {
+			q.queued = true
+		}
+		q.lk.Release(c)
+		if resched {
+			str.schedule(c, q)
+		}
+	}
+	return ran
+}
+
+// defaultPut forwards to the downstream queue when it can accept,
+// deferring locally otherwise; the driver end frees the message.
+func defaultPut(c *machine.CPU, q *ModQueue, m Msg) {
+	down := q.Down()
+	if down == nil {
+		q.s.Freemsg(c, m) // default driver: sink
+		return
+	}
+	q.lk.Acquire(c)
+	hasBacklog := q.count > 0
+	q.lk.Release(c)
+	if hasBacklog || !down.Canput(c) {
+		q.PutqMod(c, m) // preserve ordering behind deferred messages
+		return
+	}
+	down.put(c, down, m)
+}
+
+// defaultService forwards deferred messages downstream until the queue
+// empties or the downstream flow-controls.
+func defaultService(c *machine.CPU, q *ModQueue) {
+	down := q.Down()
+	for {
+		if down != nil && !down.Canput(c) {
+			return // stay scheduled; RunService will requeue us
+		}
+		m := q.GetqMod(c)
+		if m == 0 {
+			return
+		}
+		if down == nil {
+			q.s.Freemsg(c, m)
+			continue
+		}
+		down.put(c, down, m)
+	}
+}
+
+// Drain runs service procedures until the whole stream is empty (test
+// and teardown helper). It panics if progress stalls with messages still
+// queued (a module deadlock).
+func (str *Stream) Drain(c *machine.CPU) {
+	for i := 0; i < 1<<20; i++ {
+		total := 0
+		for _, q := range str.queues {
+			total += q.Len(c)
+		}
+		if total == 0 {
+			return
+		}
+		if str.RunService(c, 16) == 0 {
+			// Nothing runnable but messages remain: re-schedule any
+			// queue with backlog (e.g. flow control released without a
+			// fresh Putq).
+			for _, q := range str.queues {
+				q.lk.Acquire(c)
+				if q.count > 0 && !q.queued {
+					q.queued = true
+					q.lk.Release(c)
+					str.schedule(c, q)
+					continue
+				}
+				q.lk.Release(c)
+			}
+			if str.RunService(c, 16) == 0 {
+				panic("streams: Drain stalled with messages queued")
+			}
+		}
+	}
+	panic("streams: Drain did not converge")
+}

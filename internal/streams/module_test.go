@@ -1,0 +1,260 @@
+package streams
+
+import (
+	"sync"
+	"testing"
+
+	"kmem/internal/machine"
+)
+
+func TestStreamPassThrough(t *testing.T) {
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+
+	// Counting driver at the end.
+	var sunk int
+	var sunkBytes uint64
+	str, err := s.NewStream(
+		Module{Name: "head"},
+		Module{Name: "mid"},
+		Module{Name: "driver", Put: func(c *machine.CPU, q *ModQueue, m Msg) {
+			sunk++
+			sunkBytes += s.Msgdsize(c, m)
+			s.Freemsg(c, m)
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		msg, err := s.Allocb(c, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = s.Write(c, msg, []byte("0123456789"))
+		str.Write(c, msg)
+	}
+	str.Drain(c)
+	if sunk != 100 || sunkBytes != 1000 {
+		t.Fatalf("driver saw %d msgs, %d bytes", sunk, sunkBytes)
+	}
+	quiesce(t, s, al, m)
+}
+
+func TestFlowControlAssertsAndReleases(t *testing.T) {
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+
+	// Slow driver: consumes nothing until we let it.
+	gate := false
+	str, err := s.NewStream(
+		Module{Name: "head", Hiwat: 512, Lowat: 128},
+		Module{Name: "choke", Hiwat: 512, Lowat: 128,
+			Put: func(c *machine.CPU, q *ModQueue, m Msg) { q.PutqMod(c, m) },
+			Service: func(c *machine.CPU, q *ModQueue) {
+				if !gate {
+					return // congested: keep everything queued
+				}
+				for {
+					m := q.GetqMod(c)
+					if m == 0 {
+						return
+					}
+					s.Freemsg(c, m)
+				}
+			}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	choke := str.Queue(1)
+
+	// Stuff the choke queue past hiwat.
+	for i := 0; i < 20; i++ {
+		msg, _ := s.Allocb(c, 64)
+		_ = s.Write(c, msg, make([]byte, 60))
+		str.Write(c, msg)
+		str.RunService(c, 4)
+	}
+	if choke.Canput(c) {
+		t.Fatal("choke queue not flow-controlled past hiwat")
+	}
+	// With the downstream full, the head queue defers instead of
+	// forwarding.
+	msg, _ := s.Allocb(c, 64)
+	_ = s.Write(c, msg, make([]byte, 60))
+	str.Write(c, msg)
+	if str.Queue(0).Len(c) == 0 {
+		t.Fatal("head did not defer while downstream was full")
+	}
+
+	// Open the gate: everything drains, flow control releases.
+	gate = true
+	str.Drain(c)
+	if !choke.Canput(c) {
+		t.Fatal("flow control not released after drain")
+	}
+	quiesce(t, s, al, m)
+}
+
+func TestOrderingPreservedThroughDeferral(t *testing.T) {
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+
+	var got []byte
+	str, err := s.NewStream(
+		Module{Name: "head", Hiwat: 256, Lowat: 64},
+		Module{Name: "driver", Put: func(c *machine.CPU, q *ModQueue, m Msg) {
+			p := make([]byte, 1)
+			if s.Read(c, m, p) == 1 {
+				got = append(got, p[0])
+			}
+			s.Freemsg(c, m)
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave writes and partial service runs so some messages defer.
+	for i := 0; i < 50; i++ {
+		msg, _ := s.Allocb(c, 16)
+		_ = s.Write(c, msg, []byte{byte(i)})
+		str.Write(c, msg)
+		if i%7 == 0 {
+			str.RunService(c, 1)
+		}
+	}
+	str.Drain(c)
+	if len(got) != 50 {
+		t.Fatalf("driver saw %d of 50", len(got))
+	}
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("order violated at %d: got %d", i, got[i])
+		}
+	}
+	quiesce(t, s, al, m)
+}
+
+func TestModulePipelineTransforms(t *testing.T) {
+	// A module that duplicates each message (dupb) and one that drops
+	// every second — message-count algebra must hold.
+	s, al, m := newTest(t, 1, machine.Sim)
+	c := m.CPU(0)
+
+	sunk := 0
+	parity := 0
+	str, err := s.NewStream(
+		Module{Name: "dup", Put: func(c *machine.CPU, q *ModQueue, m Msg) {
+			d, err := s.Dupb(c, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			down := q.Down()
+			down.put(c, down, m)
+			down.put(c, down, d)
+		}},
+		Module{Name: "dropodd", Put: func(c *machine.CPU, q *ModQueue, m Msg) {
+			parity++
+			if parity%2 == 0 {
+				s.Freemsg(c, m)
+				return
+			}
+			down := q.Down()
+			down.put(c, down, m)
+		}},
+		Module{Name: "driver", Put: func(c *machine.CPU, q *ModQueue, m Msg) {
+			sunk++
+			s.Freemsg(c, m)
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		msg, _ := s.Allocb(c, 32)
+		_ = s.Write(c, msg, []byte("x"))
+		str.Write(c, msg)
+	}
+	str.Drain(c)
+	if sunk != 40 { // 40 in, 80 after dup, 40 after drop-odd
+		t.Fatalf("driver saw %d, want 40", sunk)
+	}
+	quiesce(t, s, al, m)
+}
+
+func TestEmptyStreamRejected(t *testing.T) {
+	s, _, _ := newTest(t, 1, machine.Sim)
+	if _, err := s.NewStream(); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestNativeStreamConcurrent(t *testing.T) {
+	// Two producer CPUs write, two service CPUs run RunService, under
+	// the race detector.
+	s, al, m := newTest(t, 4, machine.Native)
+	var mu sync.Mutex
+	var count int64
+	str, err := s.NewStream(
+		Module{Name: "head", Hiwat: 4096, Lowat: 512},
+		Module{Name: "driver", Put: func(c *machine.CPU, q *ModQueue, m Msg) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			s.Freemsg(c, m)
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perProducer = 5000
+	var producers, servicers sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < 2; p++ {
+		producers.Add(1)
+		go func(c *machine.CPU) {
+			defer producers.Done()
+			for i := 0; i < perProducer; i++ {
+				msg, err := s.Allocb(c, 64)
+				if err != nil {
+					t.Errorf("allocb: %v", err)
+					return
+				}
+				_ = s.Write(c, msg, []byte("abcdefgh"))
+				str.Write(c, msg)
+				if i%16 == 0 {
+					str.RunService(c, 4)
+				}
+			}
+		}(m.CPU(p))
+	}
+	for p := 2; p < 4; p++ {
+		servicers.Add(1)
+		go func(c *machine.CPU) {
+			defer servicers.Done()
+			for {
+				str.RunService(c, 8)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(m.CPU(p))
+	}
+	producers.Wait()
+	close(stop)
+	servicers.Wait()
+	str.Drain(m.CPU(0))
+	mu.Lock()
+	got := count
+	mu.Unlock()
+	if got != 2*perProducer {
+		t.Fatalf("driver saw %d of %d", got, 2*perProducer)
+	}
+	al.DrainAll(m.CPU(0))
+	if err := al.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

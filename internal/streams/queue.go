@@ -1,0 +1,58 @@
+package streams
+
+import "kmem/internal/machine"
+
+// Queue is a STREAMS message queue (a minimal queue_t): messages are
+// linked through their b_next fields, protected by a spinlock, so one
+// CPU's stream module can pass messages to another CPU's — the pattern
+// that sends buffers allocated on one CPU to be freed on another.
+type Queue struct {
+	s    *Subsystem
+	lk   *machine.SpinLock
+	head Msg
+	tail Msg
+	n    int
+}
+
+// NewQueue returns an empty queue on s's machine.
+func (s *Subsystem) NewQueue() *Queue {
+	return &Queue{s: s, lk: machine.NewSpinLock(s.al.Machine())}
+}
+
+// Putq appends a message.
+func (q *Queue) Putq(c *machine.CPU, m Msg) {
+	q.s.put(c, m+mbNext, 0)
+	q.lk.Acquire(c)
+	if q.tail == 0 {
+		q.head = m
+	} else {
+		q.s.put(c, q.tail+mbNext, m)
+	}
+	q.tail = m
+	q.n++
+	q.lk.Release(c)
+}
+
+// Getq removes and returns the first message, or 0 when empty.
+func (q *Queue) Getq(c *machine.CPU) Msg {
+	q.lk.Acquire(c)
+	m := q.head
+	if m != 0 {
+		q.head = q.s.Next(c, m)
+		if q.head == 0 {
+			q.tail = 0
+		}
+		q.n--
+		q.s.put(c, m+mbNext, 0)
+	}
+	q.lk.Release(c)
+	return m
+}
+
+// Len returns the queued message count.
+func (q *Queue) Len(c *machine.CPU) int {
+	q.lk.Acquire(c)
+	n := q.n
+	q.lk.Release(c)
+	return n
+}

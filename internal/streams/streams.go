@@ -1,0 +1,351 @@
+// Package streams reimplements the STREAMS buffer allocator whose
+// behaviour opens the paper's Analysis section: allocb must "find a
+// buffer capable of holding the specified number of bytes, allocate a
+// message block and data block, and initialize them so that the message
+// block points to the data block that points to the STREAMS buffer".
+//
+// As the paper describes for DYNIX ("special-purpose allocators such as
+// allocb invoke the same functions as does the general-purpose kmem_alloc
+// allocator" — reuse at the binary level), every structure here lives in
+// arena memory obtained from the kernel memory allocator: message blocks
+// and data blocks are fixed-size kmem blocks allocated through cookies,
+// and data buffers come from the standard interface. The message-block /
+// data-block split exists so a data block (and its buffer) can be shared
+// by several messages via reference counting (dupb), e.g. to retain data
+// for possible retransmission.
+package streams
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kmem/internal/arena"
+	"kmem/internal/core"
+	"kmem/internal/machine"
+)
+
+// ErrNoMemory is returned when the underlying allocator is exhausted.
+var ErrNoMemory = errors.New("streams: out of buffers")
+
+// Msg is a message block handle: the arena address of an mblk.
+type Msg = arena.Addr
+
+// mblk field offsets (the structure occupies one 64-byte kmem block).
+const (
+	mbNext   = 0  // b_next: next message on a queue
+	mbCont   = 8  // b_cont: next block of this message
+	mbRptr   = 16 // b_rptr: first unread byte
+	mbWptr   = 24 // b_wptr: first unwritten byte
+	mbDatap  = 32 // b_datap: the data block
+	mblkSize = 64
+)
+
+// dblk field offsets (one 64-byte kmem block).
+const (
+	dbBase   = 0  // db_base: buffer start
+	dbLim    = 8  // db_lim: buffer end
+	dbRef    = 16 // db_ref: reference count
+	dbSize   = 24 // original buffer request size (for kmem_free)
+	dblkSize = 64
+)
+
+// Subsystem is one machine's STREAMS buffer allocator, layered on the
+// kernel memory allocator.
+type Subsystem struct {
+	al  *core.Allocator
+	mem *arena.Arena
+
+	mblkCookie core.Cookie
+	dblkCookie core.Cookie
+
+	// refLocks guard dblk reference counts (standing in for the atomic
+	// decrement of db_ref; in the simulator an acquisition charges the
+	// bus-locked RMW this would be).
+	refLocks [16]*machine.SpinLock
+
+	// frtns maps live external data blocks (esballoc) to their
+	// caller-supplied free routines.
+	frtnMu sync.Mutex
+	frtns  map[arena.Addr]FreeRtn
+
+	allocbs, freebs, dupbs atomic.Uint64
+}
+
+// New builds a STREAMS subsystem over the given kernel allocator.
+func New(al *core.Allocator) (*Subsystem, error) {
+	s := &Subsystem{al: al, mem: al.Machine().Mem()}
+	var err error
+	if s.mblkCookie, err = al.GetCookie(mblkSize); err != nil {
+		return nil, err
+	}
+	if s.dblkCookie, err = al.GetCookie(dblkSize); err != nil {
+		return nil, err
+	}
+	for i := range s.refLocks {
+		s.refLocks[i] = machine.NewSpinLock(al.Machine())
+	}
+	return s, nil
+}
+
+func (s *Subsystem) refLock(d arena.Addr) *machine.SpinLock {
+	return s.refLocks[(d>>6)%uint64(len(s.refLocks))]
+}
+
+// --- field access ---------------------------------------------------------
+
+func (s *Subsystem) get(c *machine.CPU, addr arena.Addr) arena.Addr {
+	c.ReadAddr(addr)
+	return s.mem.Load64(addr)
+}
+
+func (s *Subsystem) put(c *machine.CPU, addr arena.Addr, v uint64) {
+	c.WriteAddr(addr)
+	s.mem.Store64(addr, v)
+}
+
+// Cont returns the next block of the message (b_cont), or 0.
+func (s *Subsystem) Cont(c *machine.CPU, m Msg) Msg { return s.get(c, m+mbCont) }
+
+// Next returns the next message on a queue (b_next), or 0.
+func (s *Subsystem) Next(c *machine.CPU, m Msg) Msg { return s.get(c, m+mbNext) }
+
+// Rptr returns the message's read pointer.
+func (s *Subsystem) Rptr(c *machine.CPU, m Msg) arena.Addr { return s.get(c, m+mbRptr) }
+
+// Wptr returns the message's write pointer.
+func (s *Subsystem) Wptr(c *machine.CPU, m Msg) arena.Addr { return s.get(c, m+mbWptr) }
+
+// SetWptr advances the write pointer (after the caller filled data).
+func (s *Subsystem) SetWptr(c *machine.CPU, m Msg, w arena.Addr) { s.put(c, m+mbWptr, w) }
+
+// SetRptr advances the read pointer (after the caller consumed data).
+func (s *Subsystem) SetRptr(c *machine.CPU, m Msg, r arena.Addr) { s.put(c, m+mbRptr, r) }
+
+// Datap returns the message's data block address.
+func (s *Subsystem) Datap(c *machine.CPU, m Msg) arena.Addr { return s.get(c, m+mbDatap) }
+
+// Limit returns the end of the message's buffer (db_lim).
+func (s *Subsystem) Limit(c *machine.CPU, m Msg) arena.Addr {
+	return s.get(c, s.Datap(c, m)+dbLim)
+}
+
+// --- allocation -----------------------------------------------------------
+
+// Allocb allocates a message: message block + data block + buffer of at
+// least size bytes, linked together, with rptr = wptr = buffer base.
+func (s *Subsystem) Allocb(c *machine.CPU, size uint64) (Msg, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("streams: allocb(0)")
+	}
+	buf, err := s.al.Alloc(c, size)
+	if err != nil {
+		return 0, ErrNoMemory
+	}
+	db, err := s.al.AllocCookie(c, s.dblkCookie)
+	if err != nil {
+		s.al.Free(c, buf, size)
+		return 0, ErrNoMemory
+	}
+	mb, err := s.al.AllocCookie(c, s.mblkCookie)
+	if err != nil {
+		s.al.FreeCookie(c, db, s.dblkCookie)
+		s.al.Free(c, buf, size)
+		return 0, ErrNoMemory
+	}
+	// Initialize the triple; this is the "nearly fixed code sequence"
+	// whose cache misses the paper dissected.
+	s.put(c, db+dbBase, buf)
+	s.put(c, db+dbLim, buf+size)
+	s.put(c, db+dbRef, 1)
+	s.put(c, db+dbSize, size)
+	s.put(c, mb+mbNext, 0)
+	s.put(c, mb+mbCont, 0)
+	s.put(c, mb+mbRptr, buf)
+	s.put(c, mb+mbWptr, buf)
+	s.put(c, mb+mbDatap, db)
+	s.allocbs.Add(1)
+	return mb, nil
+}
+
+// Dupb allocates a new message block referencing the same data block and
+// buffer (db_ref is incremented); the new block gets its own rptr/wptr.
+func (s *Subsystem) Dupb(c *machine.CPU, m Msg) (Msg, error) {
+	db := s.Datap(c, m)
+	mb, err := s.al.AllocCookie(c, s.mblkCookie)
+	if err != nil {
+		return 0, ErrNoMemory
+	}
+	lk := s.refLock(db)
+	lk.Acquire(c)
+	s.put(c, db+dbRef, s.get(c, db+dbRef)+1)
+	lk.Release(c)
+
+	s.put(c, mb+mbNext, 0)
+	s.put(c, mb+mbCont, 0)
+	s.put(c, mb+mbRptr, s.get(c, m+mbRptr))
+	s.put(c, mb+mbWptr, s.get(c, m+mbWptr))
+	s.put(c, mb+mbDatap, db)
+	s.dupbs.Add(1)
+	return mb, nil
+}
+
+// Freeb frees one message block; the data block and buffer are freed when
+// the last reference drops.
+func (s *Subsystem) Freeb(c *machine.CPU, m Msg) {
+	db := s.Datap(c, m)
+	s.al.FreeCookie(c, m, s.mblkCookie)
+
+	lk := s.refLock(db)
+	lk.Acquire(c)
+	ref := s.get(c, db+dbRef) - 1
+	s.put(c, db+dbRef, ref)
+	lk.Release(c)
+	if ref == 0 {
+		base := s.get(c, db+dbBase)
+		size := s.get(c, db+dbSize)
+		if size == 0 {
+			// External buffer (esballoc): run the caller's free routine
+			// before the data block's address can be recycled.
+			s.releaseExternal(c, db)
+			s.al.FreeCookie(c, db, s.dblkCookie)
+		} else {
+			s.al.FreeCookie(c, db, s.dblkCookie)
+			s.al.Free(c, base, size)
+		}
+	}
+	s.freebs.Add(1)
+}
+
+// Freemsg frees every block of a segmented message (the b_cont chain);
+// the paper's freeb trace was "a back-to-back pair of freebs invoked from
+// freemsg".
+func (s *Subsystem) Freemsg(c *machine.CPU, m Msg) {
+	for m != 0 {
+		next := s.Cont(c, m)
+		s.Freeb(c, m)
+		m = next
+	}
+}
+
+// Linkb appends extra to the end of m's b_cont chain, forming a
+// segmented message.
+func (s *Subsystem) Linkb(c *machine.CPU, m, extra Msg) {
+	for {
+		next := s.Cont(c, m)
+		if next == 0 {
+			s.put(c, m+mbCont, extra)
+			return
+		}
+		m = next
+	}
+}
+
+// Msgdsize returns the number of data bytes in the message chain.
+func (s *Subsystem) Msgdsize(c *machine.CPU, m Msg) uint64 {
+	var n uint64
+	for ; m != 0; m = s.Cont(c, m) {
+		n += s.get(c, m+mbWptr) - s.get(c, m+mbRptr)
+	}
+	return n
+}
+
+// Write appends data to the message's buffer, advancing wptr. It fails
+// if the buffer cannot hold the data.
+func (s *Subsystem) Write(c *machine.CPU, m Msg, data []byte) error {
+	w := s.Wptr(c, m)
+	if w+uint64(len(data)) > s.Limit(c, m) {
+		return fmt.Errorf("streams: buffer overflow")
+	}
+	copy(s.mem.Bytes(w, uint64(len(data))), data)
+	c.WriteAddr(w)
+	s.SetWptr(c, m, w+uint64(len(data)))
+	return nil
+}
+
+// Read copies the message block's unread data into p, advancing rptr, and
+// returns the byte count.
+func (s *Subsystem) Read(c *machine.CPU, m Msg, p []byte) int {
+	r, w := s.Rptr(c, m), s.Wptr(c, m)
+	n := int(w - r)
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > 0 {
+		copy(p, s.mem.Bytes(r, uint64(n)))
+		c.ReadAddr(r)
+		s.SetRptr(c, m, r+uint64(n))
+	}
+	return n
+}
+
+// Copymsg allocates a fresh message chain with copies of the data (used
+// when a writer must modify shared data).
+func (s *Subsystem) Copymsg(c *machine.CPU, m Msg) (Msg, error) {
+	var head, tail Msg
+	for ; m != 0; m = s.Cont(c, m) {
+		r, w := s.Rptr(c, m), s.Wptr(c, m)
+		size := s.Limit(c, m) - s.get(c, s.Datap(c, m)+dbBase)
+		nm, err := s.Allocb(c, size)
+		if err != nil {
+			if head != 0 {
+				s.Freemsg(c, head)
+			}
+			return 0, err
+		}
+		if w > r {
+			if err := s.Write(c, nm, s.mem.Bytes(r, w-r)); err != nil {
+				s.Freemsg(c, head)
+				s.Freeb(c, nm)
+				return 0, err
+			}
+		}
+		if head == 0 {
+			head = nm
+		} else {
+			s.put(c, tail+mbCont, nm)
+		}
+		tail = nm
+	}
+	if head == 0 {
+		return 0, fmt.Errorf("streams: copymsg of empty message")
+	}
+	return head, nil
+}
+
+// Pullupmsg concatenates the whole chain's data into a single new block,
+// freeing the old chain (a simplified msgpullup/pullupmsg).
+func (s *Subsystem) Pullupmsg(c *machine.CPU, m Msg) (Msg, error) {
+	total := s.Msgdsize(c, m)
+	if total == 0 {
+		total = 1
+	}
+	nm, err := s.Allocb(c, total)
+	if err != nil {
+		return 0, err
+	}
+	for b := m; b != 0; b = s.Cont(c, b) {
+		r, w := s.Rptr(c, b), s.Wptr(c, b)
+		if w > r {
+			if err := s.Write(c, nm, s.mem.Bytes(r, w-r)); err != nil {
+				s.Freeb(c, nm)
+				return 0, err
+			}
+		}
+	}
+	s.Freemsg(c, m)
+	return nm, nil
+}
+
+// Stats reports subsystem counters.
+type Stats struct {
+	Allocbs uint64
+	Freebs  uint64
+	Dupbs   uint64
+}
+
+// Stats returns a snapshot (quiesce first or tolerate skew).
+func (s *Subsystem) Stats() Stats {
+	return Stats{Allocbs: s.allocbs.Load(), Freebs: s.freebs.Load(), Dupbs: s.dupbs.Load()}
+}

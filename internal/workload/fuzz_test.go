@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace feeds arbitrary bytes to the trace parser: it must reject
+// or accept, never panic, and anything accepted must round-trip.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a valid trace and a few mutations.
+	var buf bytes.Buffer
+	tr := Synthesize(1, 2, 50, 10, Fixed(64))
+	_, _ = tr.WriteTo(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("KMTRgarbage"))
+	mut := append([]byte(nil), buf.Bytes()...)
+	if len(mut) > 12 {
+		mut[10] ^= 0xff
+	}
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: must serialize back to an equivalent trace.
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		back, err := ReadTrace(&out)
+		if err != nil {
+			t.Fatalf("reread failed: %v", err)
+		}
+		if len(back.Events) != len(got.Events) {
+			t.Fatalf("round trip changed event count")
+		}
+		for i := range back.Events {
+			if back.Events[i] != got.Events[i] {
+				t.Fatalf("round trip changed event %d", i)
+			}
+		}
+	})
+}

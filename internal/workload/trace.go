@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace recording and replay: a workload can be captured once (for
+// example from the DLM benchmark or a production-like driver) and
+// replayed against any allocator, giving an apples-to-apples comparison
+// on identical operation sequences — the moral equivalent of the paper's
+// syscall_kma/syscall_kmf scripting interface.
+
+// EventKind tags a trace event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EvAlloc allocates Size bytes on CPU and names the result Handle.
+	EvAlloc EventKind = iota + 1
+	// EvFree frees the block named Handle on CPU.
+	EvFree
+)
+
+// Event is one allocation or free in a trace. Handles are small integers
+// assigned by the recorder; the replayer maps them to real addresses.
+type Event struct {
+	Kind   EventKind
+	CPU    uint8
+	Size   uint32 // EvAlloc only
+	Handle uint32
+}
+
+// Trace is a replayable operation sequence.
+type Trace struct {
+	Events []Event
+}
+
+// Recorder builds a Trace while a workload runs.
+type Recorder struct {
+	tr      Trace
+	nextID  uint32
+	freeIDs []uint32
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Alloc records an allocation and returns the handle the matching Free
+// must use.
+func (r *Recorder) Alloc(cpu int, size uint64) uint32 {
+	var h uint32
+	if n := len(r.freeIDs); n > 0 {
+		h = r.freeIDs[n-1]
+		r.freeIDs = r.freeIDs[:n-1]
+	} else {
+		h = r.nextID
+		r.nextID++
+	}
+	r.tr.Events = append(r.tr.Events, Event{Kind: EvAlloc, CPU: uint8(cpu), Size: uint32(size), Handle: h})
+	return h
+}
+
+// Free records a free of a previously recorded allocation.
+func (r *Recorder) Free(cpu int, handle uint32) {
+	r.tr.Events = append(r.tr.Events, Event{Kind: EvFree, CPU: uint8(cpu), Handle: handle})
+	r.freeIDs = append(r.freeIDs, handle)
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() *Trace { return &r.tr }
+
+// traceMagic identifies the binary trace format.
+const traceMagic = 0x4b4d5452 // "KMTR"
+
+// WriteTo serializes the trace in a compact binary format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(t.Events)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return n, err
+	}
+	n += 8
+	var rec [10]byte
+	for _, e := range t.Events {
+		rec[0] = byte(e.Kind)
+		rec[1] = e.CPU
+		binary.LittleEndian.PutUint32(rec[2:], e.Size)
+		binary.LittleEndian.PutUint32(rec[6:], e.Handle)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return n, err
+		}
+		n += int64(len(rec))
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
+		return nil, fmt.Errorf("workload: not a trace file")
+	}
+	count := binary.LittleEndian.Uint32(hdr[4:])
+	t := &Trace{Events: make([]Event, 0, count)}
+	var rec [10]byte
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("workload: trace event %d: %w", i, err)
+		}
+		e := Event{
+			Kind:   EventKind(rec[0]),
+			CPU:    rec[1],
+			Size:   binary.LittleEndian.Uint32(rec[2:]),
+			Handle: binary.LittleEndian.Uint32(rec[6:]),
+		}
+		if e.Kind != EvAlloc && e.Kind != EvFree {
+			return nil, fmt.Errorf("workload: trace event %d: bad kind %d", i, rec[0])
+		}
+		t.Events = append(t.Events, e)
+	}
+	return t, nil
+}
+
+// Validate checks that the trace is well-formed: every free names a
+// handle that is currently allocated, and CPU indices fit ncpu.
+func (t *Trace) Validate(ncpu int) error {
+	live := map[uint32]bool{}
+	for i, e := range t.Events {
+		if int(e.CPU) >= ncpu {
+			return fmt.Errorf("workload: event %d uses CPU %d of %d", i, e.CPU, ncpu)
+		}
+		switch e.Kind {
+		case EvAlloc:
+			if e.Size == 0 {
+				return fmt.Errorf("workload: event %d allocates 0 bytes", i)
+			}
+			if live[e.Handle] {
+				return fmt.Errorf("workload: event %d reuses live handle %d", i, e.Handle)
+			}
+			live[e.Handle] = true
+		case EvFree:
+			if !live[e.Handle] {
+				return fmt.Errorf("workload: event %d frees dead handle %d", i, e.Handle)
+			}
+			delete(live, e.Handle)
+		}
+	}
+	return nil
+}
+
+// Live returns the handles still allocated at the end of the trace.
+func (t *Trace) Live() []uint32 {
+	live := map[uint32]bool{}
+	for _, e := range t.Events {
+		if e.Kind == EvAlloc {
+			live[e.Handle] = true
+		} else {
+			delete(live, e.Handle)
+		}
+	}
+	out := make([]uint32, 0, len(live))
+	for h := range live {
+		out = append(out, h)
+	}
+	return out
+}
+
+// Synthesize builds a trace from a size distribution: on each step one
+// CPU (round-robin) either allocates (while below workingSet) or frees a
+// pseudo-randomly chosen live block. The result is deterministic for a
+// given seed.
+func Synthesize(seed int64, ncpu, ops, workingSet int, sizes SizeDist) *Trace {
+	r := NewRand(seed)
+	rec := NewRecorder()
+	type live struct {
+		h   uint32
+		cpu int
+	}
+	var held []live
+	for i := 0; i < ops; i++ {
+		cpu := i % ncpu
+		if len(held) == 0 || (len(held) < workingSet && r.Intn(5) < 3) {
+			h := rec.Alloc(cpu, sizes.Next(r))
+			held = append(held, live{h, cpu})
+		} else {
+			j := r.Intn(len(held))
+			// Half the frees happen on the allocating CPU, half on the
+			// next one over — a blend of local and cross-CPU traffic.
+			fcpu := held[j].cpu
+			if r.Intn(2) == 0 {
+				fcpu = (fcpu + 1) % ncpu
+			}
+			rec.Free(fcpu, held[j].h)
+			held[j] = held[len(held)-1]
+			held = held[:len(held)-1]
+		}
+	}
+	return rec.Trace()
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecorderHandles(t *testing.T) {
+	r := NewRecorder()
+	h1 := r.Alloc(0, 64)
+	h2 := r.Alloc(1, 128)
+	if h1 == h2 {
+		t.Fatal("handles collide")
+	}
+	r.Free(0, h1)
+	h3 := r.Alloc(0, 32)
+	if h3 != h1 {
+		t.Fatalf("freed handle not reused: got %d want %d", h3, h1)
+	}
+	r.Free(1, h2)
+	r.Free(0, h3)
+	if err := r.Trace().Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := Synthesize(7, 4, 5000, 100, Uniform{Lo: 16, Hi: 4096})
+	if err := tr.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("event count %d vs %d", len(got.Events), len(tr.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("short"))); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(make([]byte, 16))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Valid header claiming one event, but truncated body.
+	var buf bytes.Buffer
+	tr := &Trace{Events: []Event{{Kind: EvAlloc, Size: 16, Handle: 0}}}
+	_, _ = tr.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	// Corrupt kind byte.
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[8] = 99
+	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestValidateCatchesMisuse(t *testing.T) {
+	bad := []Trace{
+		{Events: []Event{{Kind: EvFree, Handle: 0}}},                                // free before alloc
+		{Events: []Event{{Kind: EvAlloc, Size: 0, Handle: 0}}},                      // zero size
+		{Events: []Event{{Kind: EvAlloc, Size: 8, Handle: 0, CPU: 9}}},              // bad cpu
+		{Events: []Event{{Kind: EvAlloc, Size: 8}, {Kind: EvAlloc, Size: 8}}},       // live reuse
+		{Events: []Event{{Kind: EvAlloc, Size: 8}, {Kind: EvFree}, {Kind: EvFree}}}, // double free
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(4); err == nil {
+			t.Errorf("trace %d accepted", i)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(11, 2, 1000, 50, Fixed(64))
+	b := Synthesize(11, 2, 1000, 50, Fixed(64))
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestLive(t *testing.T) {
+	r := NewRecorder()
+	h1 := r.Alloc(0, 16)
+	h2 := r.Alloc(0, 16)
+	r.Free(0, h1)
+	live := r.Trace().Live()
+	if len(live) != 1 || live[0] != h2 {
+		t.Fatalf("live = %v", live)
+	}
+}
+
+// TestQuickTraceSerialization property-tests the binary format on
+// arbitrary well-formed traces.
+func TestQuickTraceSerialization(t *testing.T) {
+	f := func(seed int64, ops uint16) bool {
+		tr := Synthesize(seed, 3, int(ops%2000)+1, 40, Uniform{Lo: 1, Hi: 9000})
+		if err := tr.Validate(3); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range got.Events {
+			if got.Events[i] != tr.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

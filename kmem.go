@@ -1,0 +1,218 @@
+// Package kmem is a Go reproduction of the kernel memory allocator from
+// McKenney & Slingwine, "Efficient Kernel Memory Allocation on
+// Shared-Memory Multiprocessors" (1993 Winter USENIX): a four-layer
+// allocator — per-CPU caches over a global layer over coalesce-to-page
+// and coalesce-to-vmblk layers — that serves the common case with no
+// synchronization beyond interrupt disabling, scales linearly with CPUs,
+// and still performs full online coalescing.
+//
+// A System binds the allocator to a simulated shared-memory
+// multiprocessor (deterministic cycle-level cost model of CPUs, caches, a
+// shared bus and spinlocks — see DESIGN.md) or, in Native mode, to real
+// goroutines for use as an ordinary sharded arena allocator:
+//
+//	sys, err := kmem.NewSystem(kmem.Config{CPUs: 4})
+//	cpu := sys.CPU(0)                     // one owner goroutine per CPU
+//	b, err := sys.Alloc(cpu, 100)         // standard System V interface
+//	sys.Free(cpu, b, 100)
+//
+//	ck, err := sys.GetCookie(64)          // size translated once...
+//	b, err = sys.AllocCookie(cpu, ck)     // ...13-instruction fast path
+//	sys.FreeCookie(cpu, b, ck)
+//
+// Blocks are addresses into the system's Arena; data is read and written
+// through Bytes. The subsystems the paper builds on — STREAMS buffers and
+// the distributed lock manager — live in internal/streams and
+// internal/dlm, with runnable examples under examples/.
+package kmem
+
+import (
+	"io"
+
+	"kmem/internal/arena"
+	"kmem/internal/core"
+	"kmem/internal/machine"
+)
+
+// Addr is an address in the managed arena (the kernel virtual address
+// space). The zero Addr is never a valid block.
+type Addr = arena.Addr
+
+// CPU identifies the executing processor; obtain handles from
+// System.CPU. A handle must be driven by one goroutine at a time.
+type CPU = machine.CPU
+
+// Cookie is a pre-translated request size for the fast-path interface
+// (kmem_alloc_get_cookie / KMEM_ALLOC_COOKIE / KMEM_FREE_COOKIE).
+type Cookie = core.Cookie
+
+// Stats is a full allocator snapshot with per-layer counters and miss
+// rates per size class.
+type Stats = core.Stats
+
+// ErrNoMemory is returned when an allocation cannot be satisfied even
+// after the low-memory reclaim path has drained every cache.
+var ErrNoMemory = core.ErrNoMemory
+
+// ErrBadSize is returned for zero-sized requests.
+var ErrBadSize = core.ErrBadSize
+
+// Mode selects the execution substrate.
+type Mode int
+
+const (
+	// Sim runs on the deterministic simulated multiprocessor with the
+	// paper-calibrated cycle cost model. Use it to reproduce the
+	// evaluation or to study allocator behaviour.
+	Sim Mode = iota
+	// Native disables all cost modelling; CPU handles become plain
+	// shards and the allocator is an ordinary concurrent Go library.
+	Native
+)
+
+// Config shapes a System. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Mode selects Sim (default) or Native execution.
+	Mode Mode
+	// CPUs is the number of processors (default 1, max 64).
+	CPUs int
+	// MemBytes is the virtual arena size (default 64 MB).
+	MemBytes uint64
+	// PhysPages bounds mapped physical pages (default 2048).
+	PhysPages int64
+	// Classes overrides the small-block size classes (default 16..4096,
+	// powers of two).
+	Classes []uint32
+	// Target overrides the per-CPU cache target per block size
+	// (default: the paper's heuristic, 10 down to 2).
+	Target func(size uint32) int
+	// GblTarget overrides the global-layer capacity parameter per block
+	// size, in units of target-sized lists (default: 15 down to 3).
+	GblTarget func(size uint32) int
+	// Poison fills freed memory with a pattern and checks it on
+	// reallocation (debugging aid).
+	Poison bool
+	// DebugOwnership panics when two goroutines drive one CPU handle
+	// concurrently (debugging aid for Native mode).
+	DebugOwnership bool
+	// MachineConfig, when non-nil, overrides the whole simulated-machine
+	// configuration (cycle costs, cache shape); Mode, CPUs, MemBytes and
+	// PhysPages above are then ignored.
+	MachineConfig *machine.Config
+}
+
+// System is an allocator bound to its (simulated or native) machine.
+type System struct {
+	m *machine.Machine
+	a *core.Allocator
+}
+
+// NewSystem builds a System from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	var mc machine.Config
+	if cfg.MachineConfig != nil {
+		mc = *cfg.MachineConfig
+	} else {
+		mc = machine.DefaultConfig()
+		if cfg.Mode == Native {
+			mc.Mode = machine.Native
+		}
+		if cfg.CPUs > 0 {
+			mc.NumCPUs = cfg.CPUs
+		}
+		if cfg.MemBytes > 0 {
+			mc.MemBytes = cfg.MemBytes
+		}
+		if cfg.PhysPages > 0 {
+			mc.PhysPages = cfg.PhysPages
+		}
+	}
+	m := machine.New(mc)
+	a, err := core.New(m, core.Params{
+		Classes:        cfg.Classes,
+		TargetFor:      cfg.Target,
+		GblTargetFor:   cfg.GblTarget,
+		RadixSort:      true,
+		Poison:         cfg.Poison,
+		DebugOwnership: cfg.DebugOwnership,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{m: m, a: a}, nil
+}
+
+// CPU returns the handle for processor i (0 <= i < Config.CPUs).
+func (s *System) CPU(i int) *CPU { return s.m.CPU(i) }
+
+// NumCPUs returns the number of processors.
+func (s *System) NumCPUs() int { return s.m.NumCPUs() }
+
+// Alloc allocates at least size bytes (standard kmem_alloc interface).
+func (s *System) Alloc(c *CPU, size uint64) (Addr, error) { return s.a.Alloc(c, size) }
+
+// Free releases a block allocated with the same size (kmem_free).
+func (s *System) Free(c *CPU, b Addr, size uint64) { s.a.Free(c, b, size) }
+
+// FreeByAddr releases a block given only its address, locating its size
+// through the dope vector (costs a two-level lookup).
+func (s *System) FreeByAddr(c *CPU, b Addr) { s.a.FreeByAddr(c, b) }
+
+// GetCookie translates a small-block request size once, for use with the
+// cookie fast path.
+func (s *System) GetCookie(size uint64) (Cookie, error) { return s.a.GetCookie(size) }
+
+// AllocCookie is the 13-instruction fast-path allocation.
+func (s *System) AllocCookie(c *CPU, ck Cookie) (Addr, error) { return s.a.AllocCookie(c, ck) }
+
+// FreeCookie is the 13-instruction fast-path free.
+func (s *System) FreeCookie(c *CPU, b Addr, ck Cookie) { s.a.FreeCookie(c, b, ck) }
+
+// AllocZeroed is kmem_zalloc: an allocation with a cleared payload.
+func (s *System) AllocZeroed(c *CPU, size uint64) (Addr, error) { return s.a.AllocZeroed(c, size) }
+
+// AllocCookieZeroed is the cookie-interface variant of AllocZeroed.
+func (s *System) AllocCookieZeroed(c *CPU, ck Cookie) (Addr, error) {
+	return s.a.AllocCookieZeroed(c, ck)
+}
+
+// NumClasses returns the number of small-block size classes.
+func (s *System) NumClasses() int { return s.a.NumClasses() }
+
+// ClassSize returns the block size of class i.
+func (s *System) ClassSize(i int) uint32 { return s.a.ClassSize(i) }
+
+// Target returns the per-CPU cache target of class i (the paper's
+// `target` parameter).
+func (s *System) Target(i int) int { return s.a.Target(i) }
+
+// Bytes returns the n bytes of block b as a mutable slice aliasing the
+// arena. The caller must own [b, b+n).
+func (s *System) Bytes(b Addr, n uint64) []byte { return s.m.Mem().Bytes(b, n) }
+
+// Stats returns a per-layer counter snapshot.
+func (s *System) Stats(c *CPU) Stats { return s.a.Stats(c) }
+
+// DrainCPU flushes one CPU's caches to the global layer (for idle CPUs).
+func (s *System) DrainCPU(c *CPU, cpu int) { s.a.DrainCPU(c, cpu) }
+
+// DrainAll flushes every cache at every layer, coalescing all free
+// memory back into pages and spans.
+func (s *System) DrainAll(c *CPU) { s.a.DrainAll(c) }
+
+// CheckConsistency audits every internal structure (quiescent systems
+// only); it returns nil when sound.
+func (s *System) CheckConsistency() error { return s.a.CheckConsistency() }
+
+// Dump writes a human-readable snapshot of every layer to w (quiescent
+// systems only).
+func (s *System) Dump(w io.Writer) { s.a.Dump(w) }
+
+// Allocator exposes the underlying core allocator for advanced use and
+// for the subsystems in internal/.
+func (s *System) Allocator() *core.Allocator { return s.a }
+
+// Machine exposes the underlying machine (clocks, per-CPU stats, the
+// scheduler for simulated workloads).
+func (s *System) Machine() *machine.Machine { return s.m }
