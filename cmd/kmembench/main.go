@@ -11,10 +11,12 @@
 //	kmembench insns
 //	kmembench analysis  [-ops 128]
 //	kmembench ablate    [-param target|split|radix|lazybuddy|all]
+//	kmembench adaptive  [-bursts 400] [-burst 400] [-size 128] [-json]
 //	kmembench all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +46,8 @@ func main() {
 		err = cmdAnalysis(args)
 	case "ablate":
 		err = cmdAblate(args)
+	case "adaptive":
+		err = cmdAdaptive(args)
 	case "cyclic":
 		err = cmdCyclic(args)
 	case "projection":
@@ -71,6 +75,7 @@ func usage() {
   insns      instruction-count table (cookie 13/13, standard 35/32)
   analysis   allocb/freeb off-chip access study (Analysis section)
   ablate     design-choice ablations (A1-A5 in DESIGN.md)
+  adaptive   adaptive target controller vs the paper's fixed heuristic
   cyclic     the day/night commercial workload (design goal 6)
   projection scaling under a widening CPU/memory gap (the paper's closing claim)
   all        everything above with default settings`)
@@ -305,6 +310,31 @@ func cmdAblate(args []string) error {
 	return run(*param)
 }
 
+func cmdAdaptive(args []string) error {
+	fs := flag.NewFlagSet("adaptive", flag.ExitOnError)
+	bursts := fs.Int("bursts", 400, "alloc/free bursts to run")
+	burst := fs.Int("burst", 400, "allocations per burst (oscillation amplitude)")
+	size := fs.Uint64("size", 128, "block size")
+	jsonOut := fs.Bool("json", false, "emit the results and final Stats snapshots as one JSON object")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunAdaptive(*bursts, *burst, *size)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	res.Table().Fprint(os.Stdout)
+	fmt.Println("\nThe fixed run is pinned to the paper's compile-time target; the adaptive run")
+	fmt.Println("grows target until the burst amplitude fits the per-CPU cache, driving the")
+	fmt.Println("miss rate toward the controller's setpoint (see DESIGN.md, adaptive targets).")
+	return nil
+}
+
 func cmdCyclic(args []string) error {
 	fs := flag.NewFlagSet("cyclic", flag.ExitOnError)
 	cycles := fs.Int("cycles", 3, "day/night cycles to run")
@@ -366,5 +396,9 @@ func cmdAll() error {
 		return err
 	}
 	fmt.Println("\n=== Ablations ========================================================")
-	return cmdAblate(nil)
+	if err := cmdAblate(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Adaptive targets vs fixed heuristic ==============================")
+	return cmdAdaptive(nil)
 }

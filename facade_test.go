@@ -113,3 +113,60 @@ func TestFacadeBadConfig(t *testing.T) {
 		t.Fatal("bad class list accepted")
 	}
 }
+
+func TestFacadeAdaptiveAndHook(t *testing.T) {
+	// The event spine and the adaptive controller surface through Config:
+	// a hooked, adaptive System must observe boundary events and retune
+	// its targets under the oscillating workload.
+	var events EventCounter
+	s, err := NewSystem(Config{
+		CPUs:     1,
+		Adaptive: &AdaptiveConfig{},
+		Hook:     events.Hook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.CPU(0)
+	ck, err := s.GetCookie(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := -1
+	for i := 0; i < s.NumClasses(); i++ {
+		if s.ClassSize(i) == 128 {
+			cls = i
+		}
+	}
+	before := s.Target(cls)
+
+	held := make([]Addr, 0, 400)
+	for b := 0; b < 200; b++ {
+		for i := 0; i < 400; i++ {
+			blk, err := s.AllocCookie(c, ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			held = append(held, blk)
+		}
+		for _, blk := range held {
+			s.FreeCookie(c, blk, ck)
+		}
+		held = held[:0]
+	}
+
+	if s.Target(cls) <= before {
+		t.Errorf("adaptive target did not grow: %d -> %d", before, s.Target(cls))
+	}
+	if s.GblTarget(cls) <= 0 {
+		t.Errorf("GblTarget(%d) = %d", cls, s.GblTarget(cls))
+	}
+	if events.Count(EvCPURefill) == 0 || events.Count(EvTargetGrow) == 0 {
+		t.Errorf("hook observed %d refills, %d target grows",
+			events.Count(EvCPURefill), events.Count(EvTargetGrow))
+	}
+	st := s.Stats(c)
+	if st.Classes[cls].TargetGrows == 0 {
+		t.Error("stats recorded no target grows")
+	}
+}

@@ -39,11 +39,14 @@ type Allocator struct {
 	reclaims atomic.Uint64
 }
 
-// classState groups one size class's parameters and upper layers.
+// classState groups one size class's parameters and upper layers. target
+// and gbltarget are the configured initial values; the current values
+// live in ctl (they coincide whenever adaptation is off).
 type classState struct {
 	size      uint32
 	target    int
 	gbltarget int
+	ctl       *classController
 	global    *globalPool
 	pages     *pagePool
 }
@@ -91,11 +94,13 @@ func New(m *machine.Machine, params Params) (*Allocator, error) {
 		if gt < 1 {
 			return nil, fmt.Errorf("core: gbltarget %d for size %d", gt, size)
 		}
+		ctl := newClassController(&p, t, gt)
 		a.classes[i] = classState{
 			size:      size,
 			target:    t,
 			gbltarget: gt,
-			global:    newGlobalPool(a, i, t, gt),
+			ctl:       ctl,
+			global:    newGlobalPool(a, i, ctl),
 			pages:     newPagePool(a, i, size),
 		}
 	}
@@ -107,6 +112,7 @@ func New(m *machine.Machine, params Params) (*Allocator, error) {
 		a.percpu[cpu] = make([]pcpu, len(p.Classes))
 		for k := range a.percpu[cpu] {
 			a.percpu[cpu][k].line = m.NewMetaLine()
+			a.percpu[cpu][k].target = a.classes[k].ctl.curTarget()
 		}
 	}
 	return a, nil
@@ -125,8 +131,13 @@ func (a *Allocator) ClassSize(cls int) uint32 { return a.classes[cls].size }
 // large path through the coalesce-to-vmblk layer.
 func (a *Allocator) MaxSmall() uint32 { return a.maxSmall }
 
-// Target returns the per-CPU cache target for class cls.
-func (a *Allocator) Target(cls int) int { return a.classes[cls].target }
+// Target returns the current per-CPU cache target for class cls (the
+// configured value, or the adaptive controller's latest choice).
+func (a *Allocator) Target(cls int) int { return a.classes[cls].ctl.curTarget() }
+
+// GblTarget returns the current global-layer capacity parameter for
+// class cls, in units of target-sized lists.
+func (a *Allocator) GblTarget(cls int) int { return a.classes[cls].ctl.curGblTarget() }
 
 // classFor returns the size class index for a small request.
 func (a *Allocator) classFor(size uint64) int {
@@ -227,6 +238,7 @@ func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
 	cpu := c.ID()
 	pc := &a.percpu[cpu][cls]
 	il := &a.intr[cpu]
+	ctl := a.classes[cls].ctl
 	single := a.params.DisableSplitFreelist
 	reclaimed := false
 	for {
@@ -258,8 +270,18 @@ func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
 			lst, err = a.classes[cls].global.getList(c)
 		}
 		if !lst.Empty() {
+			n := lst.Len()
+			var delta uint64
 			il.Acquire(c)
-			pc.allocRefills++
+			pc.ev[EvCPURefill]++
+			if ctl.enabled {
+				// Requote the target and batch the fast-path ops since
+				// the last report into the controller's window.
+				ops := pc.ops()
+				delta = ops - pc.notedOps
+				pc.notedOps = ops
+				pc.target = ctl.curTarget()
+			}
 			if pc.main.Empty() {
 				pc.main = lst
 			} else {
@@ -268,6 +290,10 @@ func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
 				pc.main.Append(c, a.mem, lst)
 			}
 			il.Release(c)
+			a.emit(cls, EvCPURefill, n)
+			if ctl.enabled {
+				ctl.noteCPU(a, c, cls, delta, 1)
+			}
 			continue
 		}
 		if !reclaimed {
@@ -302,19 +328,33 @@ func (a *Allocator) freeClass(c *machine.CPU, cls int, addr arena.Addr) {
 	cpu := c.ID()
 	pc := &a.percpu[cpu][cls]
 	il := &a.intr[cpu]
-	target := a.classes[cls].target
+	ctl := a.classes[cls].ctl
 
 	il.Acquire(c)
 	var spill blocklist.List
 	if a.params.DisableSplitFreelist {
-		spill = a.freeFastSingle(c, pc, target, addr)
+		spill = a.freeFastSingle(c, pc, pc.target, addr)
 	} else {
-		spill = a.freeFast(c, pc, target, addr)
+		spill = a.freeFast(c, pc, pc.target, addr)
+	}
+	var delta uint64
+	noted := false
+	if ctl.enabled && !spill.Empty() {
+		ops := pc.ops()
+		delta = ops - pc.notedOps
+		pc.notedOps = ops
+		pc.target = ctl.curTarget()
+		noted = true
 	}
 	il.Release(c)
 	if !spill.Empty() {
+		n := spill.Len()
 		c.Work(insnRefill)
 		a.classes[cls].global.putList(c, spill)
+		a.emit(cls, EvCPUSpill, n)
+	}
+	if noted {
+		ctl.noteCPU(a, c, cls, delta, 1)
 	}
 }
 

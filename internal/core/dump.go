@@ -15,23 +15,32 @@ func (a *Allocator) Dump(w io.Writer) {
 
 	for cls := range a.classes {
 		cs := &a.classes[cls]
-		fmt.Fprintf(w, "\nclass %d: size %d, target %d, gbltarget %d\n",
-			cls, cs.size, cs.target, cs.gbltarget)
+		fmt.Fprintf(w, "\nclass %d: size %d, target %d, gbltarget %d",
+			cls, cs.size, cs.ctl.curTarget(), cs.ctl.curGblTarget())
+		if cs.ctl.enabled {
+			fmt.Fprintf(w, " (adaptive; initial %d/%d, %d grows, %d shrinks)",
+				cs.target, cs.gbltarget,
+				cs.ctl.grows.Load()+cs.ctl.gblGrows.Load(),
+				cs.ctl.shrinks.Load()+cs.ctl.gblShrinks.Load())
+		}
+		fmt.Fprintln(w)
 		for cpu := range a.percpu {
 			pc := &a.percpu[cpu][cls]
-			if pc.allocs == 0 && pc.held() == 0 {
+			if pc.ev[EvAlloc] == 0 && pc.held() == 0 {
 				continue
 			}
 			fmt.Fprintf(w, "  cpu %d: main %d + aux %d cached; %d allocs, %d frees, %d refills, %d spills\n",
-				cpu, pc.main.Len(), pc.aux.Len(), pc.allocs, pc.frees, pc.allocRefills, pc.freeSpills)
+				cpu, pc.main.Len(), pc.aux.Len(),
+				pc.ev[EvAlloc], pc.ev[EvFree], pc.ev[EvCPURefill], pc.ev[EvCPUSpill])
 		}
 		g := cs.global
 		fmt.Fprintf(w, "  global: %d full lists + %d in bucket; %d gets (%d refills), %d puts (%d spills)\n",
-			len(g.lists), g.bucket.Len(), g.gets, g.refills, g.puts, g.spills)
+			len(g.lists), g.bucket.Len(),
+			g.ev[EvGlobalGet], g.ev[EvGlobalRefill], g.ev[EvGlobalPut], g.ev[EvGlobalSpill])
 
 		p := cs.pages
 		fmt.Fprintf(w, "  pages: %d carved, %d released; split-page occupancy:",
-			p.pageAllocs, p.pageFrees)
+			p.ev[EvPageCarve], p.ev[EvPageFree])
 		// Histogram of free counts over split pages.
 		counts := map[int]int{}
 		for _, vb := range a.vm.dope {
@@ -58,7 +67,7 @@ func (a *Allocator) Dump(w io.Writer) {
 	}
 
 	fmt.Fprintf(w, "\nvmblk layer: %d vmblks, %d span allocs, %d span frees, %d large allocs\n",
-		a.vm.vmblkCreates, a.vm.spanAllocs, a.vm.spanFrees, a.vm.largeAllocs)
+		a.vm.ev[EvVmblkCreate], a.vm.ev[EvSpanAlloc], a.vm.ev[EvSpanFree], a.vm.ev[EvLargeAlloc])
 	for idx, vb := range a.vm.dope {
 		if vb == nil {
 			continue

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// LayerEvent identifies one kind of layer-boundary crossing inside the
+// allocator. Every counter the allocator keeps — and everything a Hook
+// observes — is expressed in terms of these events: the per-layer
+// structures each hold an eventCounts array indexed by LayerEvent, Stats
+// is assembled from those arrays, and the optional Params.Hook sees the
+// same events as they happen. Stats, tracing (TraceHook) and the bench
+// harness (EventCounter) are all consumers of this one spine.
+type LayerEvent uint8
+
+const (
+	// Per-CPU caching layer (layer 1). EvAlloc and EvFree count the
+	// fast-path operations themselves; they are tallied in the per-CPU
+	// counters but never pushed through a Hook, so the 13-instruction
+	// cookie path does no extra work. EvCPURefill/EvCPUSpill are the
+	// boundary crossings into the global layer.
+	EvAlloc LayerEvent = iota
+	EvFree
+	EvCPURefill // allocation missed the cache; a list arrived from the global layer
+	EvCPUSpill  // free overflowed the cache; a list departed to the global layer
+
+	// Global layer (layer 2).
+	EvGlobalGet
+	EvGlobalPut
+	EvGlobalRefill // get missed; blocks arrived from the coalesce-to-page layer
+	EvGlobalSpill  // put overflowed; blocks departed to the coalesce-to-page layer
+
+	// Coalesce-to-page layer (layer 3).
+	EvBlockGet  // blocks handed up to the global layer
+	EvBlockPut  // blocks returned from the global layer
+	EvPageCarve // a fresh page obtained from the vmblk layer and split
+	EvPageFree  // a fully-free page released back to the vmblk layer
+
+	// Coalesce-to-vmblk layer (layer 4). These carry class -1: the vmblk
+	// layer serves every class and the large path alike.
+	EvSpanAlloc
+	EvSpanFree
+	EvVmblkCreate
+	EvLargeAlloc
+	EvLargeFree
+	EvPagesMap   // physical pages mapped (n = pages)
+	EvPagesUnmap // physical pages unmapped (n = pages)
+	EvMapFail    // a physical-memory map request was refused
+
+	// Allocator-wide events (class -1).
+	EvReclaim // the low-memory reclaim path ran
+
+	// Adaptive-controller decisions (per class; n = the new value).
+	EvTargetGrow
+	EvTargetShrink
+	EvGblTargetGrow
+	EvGblTargetShrink
+
+	numLayerEvents
+)
+
+var layerEventNames = [numLayerEvents]string{
+	EvAlloc:           "alloc",
+	EvFree:            "free",
+	EvCPURefill:       "cpu-refill",
+	EvCPUSpill:        "cpu-spill",
+	EvGlobalGet:       "global-get",
+	EvGlobalPut:       "global-put",
+	EvGlobalRefill:    "global-refill",
+	EvGlobalSpill:     "global-spill",
+	EvBlockGet:        "block-get",
+	EvBlockPut:        "block-put",
+	EvPageCarve:       "page-carve",
+	EvPageFree:        "page-free",
+	EvSpanAlloc:       "span-alloc",
+	EvSpanFree:        "span-free",
+	EvVmblkCreate:     "vmblk-create",
+	EvLargeAlloc:      "large-alloc",
+	EvLargeFree:       "large-free",
+	EvPagesMap:        "pages-map",
+	EvPagesUnmap:      "pages-unmap",
+	EvMapFail:         "map-fail",
+	EvReclaim:         "reclaim",
+	EvTargetGrow:      "target-grow",
+	EvTargetShrink:    "target-shrink",
+	EvGblTargetGrow:   "gbltarget-grow",
+	EvGblTargetShrink: "gbltarget-shrink",
+}
+
+// NumLayerEvents is the number of distinct layer events.
+const NumLayerEvents = int(numLayerEvents)
+
+func (e LayerEvent) String() string {
+	if int(e) < len(layerEventNames) {
+		return layerEventNames[e]
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// Hook is an optional per-allocator event sink. It is called with the
+// size class the event belongs to (-1 for classless events: the vmblk
+// layer and reclaim), the event, and the batch size n (blocks for
+// block-moving events, pages for page events, 1 for plain operations,
+// the new value for adaptive-controller decisions).
+//
+// Hooks fire only on slow paths — never on a fast-path alloc or free —
+// and may be invoked while allocator-internal locks are held, so a Hook
+// must be fast, must not call back into the allocator, and must be safe
+// for concurrent use from multiple CPUs in Native mode. A nil Hook costs
+// one predictable branch on the slow paths and nothing on the fast path.
+type Hook func(cls int, ev LayerEvent, n int)
+
+// eventCounts is one structure's slice of the event spine: a fixed array
+// of per-event counters, written under whatever lock protects the
+// structure. Stats sums these arrays; no layer keeps ad-hoc named
+// counters outside the spine.
+type eventCounts [numLayerEvents]uint64
+
+// emit pushes one event to the allocator's Hook, if any. It is never
+// called on the alloc/free fast path.
+func (a *Allocator) emit(cls int, ev LayerEvent, n int) {
+	if h := a.params.Hook; h != nil && n != 0 {
+		h(cls, ev, n)
+	}
+}
+
+// TraceHook returns a Hook that writes one line per event to w — the
+// tracing consumer of the event spine. Lines are serialized by an
+// internal mutex so concurrent CPUs do not interleave output.
+func TraceHook(w io.Writer) Hook {
+	var mu sync.Mutex
+	return func(cls int, ev LayerEvent, n int) {
+		mu.Lock()
+		fmt.Fprintf(w, "kmem: cls=%d ev=%s n=%d\n", cls, ev, n)
+		mu.Unlock()
+	}
+}
+
+// EventCounter is a Hook sink that tallies events across all classes —
+// the aggregating consumer of the spine used by the bench harness and
+// tests. Safe for concurrent use.
+type EventCounter struct {
+	n [numLayerEvents]atomic.Uint64
+}
+
+// Hook returns the Hook that feeds this counter.
+func (e *EventCounter) Hook() Hook {
+	return func(cls int, ev LayerEvent, n int) {
+		e.n[ev].Add(uint64(n))
+	}
+}
+
+// Count returns the accumulated n for one event.
+func (e *EventCounter) Count(ev LayerEvent) uint64 { return e.n[ev].Load() }
+
+// Snapshot returns all per-event totals indexed by LayerEvent.
+func (e *EventCounter) Snapshot() [NumLayerEvents]uint64 {
+	var out [NumLayerEvents]uint64
+	for i := range out {
+		out[i] = e.n[i].Load()
+	}
+	return out
+}

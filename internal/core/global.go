@@ -15,11 +15,15 @@ import (
 // with a constant number of operations. Odd-sized lists arriving during
 // low-memory operation or cache flushes land on the bucket list, which
 // regroups blocks into target-sized lists.
+//
+// target and gbltarget are read from the class controller on every
+// exchange, so an adaptive retune takes effect on the next get or put:
+// lists grouped under an old target are simply odd-sized under the new
+// one and flow through the bucket to be regrouped.
 type globalPool struct {
-	al        *Allocator
-	cls       int
-	target    int
-	gbltarget int // capacity/batch parameter, in units of target-sized lists
+	al  *Allocator
+	cls int
+	ctl *classController
 
 	lk   *machine.SpinLock
 	line machine.Line
@@ -27,48 +31,52 @@ type globalPool struct {
 	lists  []blocklist.List
 	bucket blocklist.List
 
-	// stats
-	gets    uint64
-	puts    uint64
-	refills uint64 // gets that had to reach the coalesce-to-page layer
-	spills  uint64 // puts that pushed excess down to the coalesce-to-page layer
+	// ev tallies this pool's slice of the event spine (EvGlobalGet,
+	// EvGlobalPut, EvGlobalRefill, EvGlobalSpill), written under lk.
+	ev eventCounts
 }
 
-func newGlobalPool(a *Allocator, cls int, target, gbltarget int) *globalPool {
+func newGlobalPool(a *Allocator, cls int, ctl *classController) *globalPool {
 	return &globalPool{
-		al:        a,
-		cls:       cls,
-		target:    target,
-		gbltarget: gbltarget,
-		lk:        machine.NewSpinLock(a.m),
-		line:      a.m.NewMetaLine(),
+		al:   a,
+		cls:  cls,
+		ctl:  ctl,
+		lk:   machine.NewSpinLock(a.m),
+		line: a.m.NewMetaLine(),
 	}
 }
 
 // capacityLists is the high-water mark: beyond it, excess lists are sent
 // to the coalesce-to-page layer ("the number of blocks in the global
 // layer ranges up to twice gbltarget").
-func (g *globalPool) capacityLists() int { return 2 * g.gbltarget }
+func (g *globalPool) capacityLists() int { return 2 * g.ctl.curGblTarget() }
 
 // getList hands one list of up to target blocks to a per-CPU cache. When
 // the pool is empty it refills with gbltarget lists from the
 // coalesce-to-page layer, so only one in gbltarget global accesses incurs
 // coalescing-layer overhead. An empty result means low memory.
 func (g *globalPool) getList(c *machine.CPU) (blocklist.List, error) {
+	target, gbltarget := g.ctl.curTarget(), g.ctl.curGblTarget()
 	g.lk.Acquire(c)
 	c.Work(insnGlobalOp)
 	c.Read(g.line)
-	g.gets++
+	g.ev[EvGlobalGet]++
 
+	refilled := 0
 	if len(g.lists) == 0 && g.bucket.Empty() {
-		g.refills++
-		fresh, err := g.al.classes[g.cls].pages.getLists(c, g.gbltarget, g.target)
+		g.ev[EvGlobalRefill]++
+		fresh, err := g.al.classes[g.cls].pages.getLists(c, gbltarget, target)
 		if err != nil && len(fresh) == 0 {
 			c.Write(g.line)
 			g.lk.Release(c)
+			g.al.emit(g.cls, EvGlobalGet, 1)
+			g.noteGet(c, true)
 			return blocklist.List{}, err
 		}
 		g.lists = append(g.lists, fresh...)
+		for _, l := range fresh {
+			refilled += l.Len()
+		}
 	}
 
 	var out blocklist.List
@@ -81,6 +89,11 @@ func (g *globalPool) getList(c *machine.CPU) (blocklist.List, error) {
 	}
 	c.Write(g.line)
 	g.lk.Release(c)
+	g.al.emit(g.cls, EvGlobalGet, 1)
+	if refilled > 0 {
+		g.al.emit(g.cls, EvGlobalRefill, refilled)
+	}
+	g.noteGet(c, refilled > 0)
 	if out.Empty() {
 		return out, ErrNoMemory
 	}
@@ -90,20 +103,27 @@ func (g *globalPool) getList(c *machine.CPU) (blocklist.List, error) {
 // getOne hands a single block to a per-CPU cache — used only by the
 // no-split-freelist ablation (A2), which exchanges blocks one at a time.
 func (g *globalPool) getOne(c *machine.CPU) (blocklist.List, error) {
+	target, gbltarget := g.ctl.curTarget(), g.ctl.curGblTarget()
 	g.lk.Acquire(c)
 	c.Work(insnGlobalOp)
 	c.Read(g.line)
-	g.gets++
+	g.ev[EvGlobalGet]++
 
+	refilled := 0
 	if len(g.lists) == 0 && g.bucket.Empty() {
-		g.refills++
-		fresh, err := g.al.classes[g.cls].pages.getLists(c, g.gbltarget, g.target)
+		g.ev[EvGlobalRefill]++
+		fresh, err := g.al.classes[g.cls].pages.getLists(c, gbltarget, target)
 		if err != nil && len(fresh) == 0 {
 			c.Write(g.line)
 			g.lk.Release(c)
+			g.al.emit(g.cls, EvGlobalGet, 1)
+			g.noteGet(c, true)
 			return blocklist.List{}, err
 		}
 		g.lists = append(g.lists, fresh...)
+		for _, l := range fresh {
+			refilled += l.Len()
+		}
 	}
 
 	var out blocklist.List
@@ -118,6 +138,11 @@ func (g *globalPool) getOne(c *machine.CPU) (blocklist.List, error) {
 	}
 	c.Write(g.line)
 	g.lk.Release(c)
+	g.al.emit(g.cls, EvGlobalGet, 1)
+	if refilled > 0 {
+		g.al.emit(g.cls, EvGlobalRefill, refilled)
+	}
+	g.noteGet(c, refilled > 0)
 	if out.Empty() {
 		return out, ErrNoMemory
 	}
@@ -132,24 +157,25 @@ func (g *globalPool) putList(c *machine.CPU, l blocklist.List) {
 	if l.Empty() {
 		return
 	}
+	target, gbltarget := g.ctl.curTarget(), g.ctl.curGblTarget()
 	g.lk.Acquire(c)
 	c.Work(insnGlobalOp)
 	c.Read(g.line)
-	g.puts++
+	g.ev[EvGlobalPut]++
 
-	if l.Len() == g.target {
+	if l.Len() == target {
 		g.lists = append(g.lists, l)
 	} else {
 		g.bucket.Append(c, g.al.mem, l)
-		for g.bucket.Len() >= g.target {
-			g.lists = append(g.lists, g.bucket.SplitOff(c, g.al.mem, g.target))
+		for g.bucket.Len() >= target {
+			g.lists = append(g.lists, g.bucket.SplitOff(c, g.al.mem, target))
 		}
 	}
 
 	var spill []blocklist.List
-	if len(g.lists) > g.capacityLists() {
-		g.spills++
-		n := g.gbltarget
+	if len(g.lists) > 2*gbltarget {
+		g.ev[EvGlobalSpill]++
+		n := gbltarget
 		if n > len(g.lists) {
 			n = len(g.lists)
 		}
@@ -158,12 +184,42 @@ func (g *globalPool) putList(c *machine.CPU, l blocklist.List) {
 	}
 	c.Write(g.line)
 	g.lk.Release(c)
+	g.al.emit(g.cls, EvGlobalPut, 1)
 
 	// Push the excess to the coalescing layer outside the global lock;
 	// each block is examined individually there.
+	spilled := 0
 	for _, s := range spill {
+		spilled += s.Len()
 		g.al.classes[g.cls].pages.putBlocks(c, s)
 	}
+	if spilled > 0 {
+		g.al.emit(g.cls, EvGlobalSpill, spilled)
+	}
+	g.notePut(c, spilled > 0)
+}
+
+// noteGet and notePut feed the controller's global-layer estimator.
+func (g *globalPool) noteGet(c *machine.CPU, missed bool) {
+	if !g.ctl.enabled {
+		return
+	}
+	m := uint64(0)
+	if missed {
+		m = 1
+	}
+	g.ctl.noteGbl(g.al, c, g.cls, 1, m)
+}
+
+func (g *globalPool) notePut(c *machine.CPU, missed bool) {
+	if !g.ctl.enabled {
+		return
+	}
+	m := uint64(0)
+	if missed {
+		m = 1
+	}
+	g.ctl.noteGbl(g.al, c, g.cls, 1, m)
 }
 
 // drainAll pushes every block in the pool down to the coalesce-to-page

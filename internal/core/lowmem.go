@@ -21,21 +21,11 @@ import "kmem/internal/machine"
 func (a *Allocator) reclaim(c *machine.CPU) {
 	c.Work(insnReclaim)
 	a.reclaims.Add(1)
+	a.emit(-1, EvReclaim, 1)
 
 	// Flush every CPU's caches for every class into the global pools.
 	for cpu := range a.percpu {
-		il := &a.intr[cpu]
-		for cls := range a.classes {
-			il.Acquire(c)
-			main, aux := a.percpu[cpu][cls].takeAll(c)
-			il.Release(c)
-			if !main.Empty() {
-				a.classes[cls].global.putList(c, main)
-			}
-			if !aux.Empty() {
-				a.classes[cls].global.putList(c, aux)
-			}
-		}
+		a.DrainCPU(c, cpu)
 	}
 
 	// Push every global pool's contents down to the coalesce-to-page
@@ -51,12 +41,19 @@ func (a *Allocator) Reclaims() uint64 { return a.reclaims.Load() }
 
 // DrainCPU flushes CPU cpu's caches for every class into the global
 // layer. Callers use it to return cached memory when a CPU goes idle;
-// tests use it to reach deterministic states.
+// tests use it to reach deterministic states. A drain also requotes the
+// cache's target from the class controller: a drained cache must not
+// resume exchanging stale-sized lists after an adaptive retune.
 func (a *Allocator) DrainCPU(c *machine.CPU, cpu int) {
 	il := &a.intr[cpu]
 	for cls := range a.classes {
+		ctl := a.classes[cls].ctl
 		il.Acquire(c)
-		main, aux := a.percpu[cpu][cls].takeAll(c)
+		pc := &a.percpu[cpu][cls]
+		main, aux := pc.takeAll(c)
+		if ctl.enabled {
+			pc.target = ctl.curTarget()
+		}
 		il.Release(c)
 		if !main.Empty() {
 			a.classes[cls].global.putList(c, main)

@@ -34,11 +34,9 @@ type pagePool struct {
 	// fifo replaces buckets when Params.RadixSort is false (ablation A3).
 	fifo pdList
 
-	// stats
-	blockGets  uint64
-	blockPuts  uint64
-	pageAllocs uint64
-	pageFrees  uint64
+	// ev tallies this pool's slice of the event spine (EvBlockGet,
+	// EvBlockPut, EvPageCarve, EvPageFree), written under lk.
+	ev eventCounts
 }
 
 func newPagePool(a *Allocator, cls int, size uint32) *pagePool {
@@ -140,7 +138,8 @@ func (p *pagePool) carvePage(c *machine.CPU) (int32, error) {
 	pd.freeHead = head
 	pd.nFree = uint16(p.blocksPerPage)
 	c.Write(pd.line)
-	p.pageAllocs++
+	p.ev[EvPageCarve]++
+	p.al.emit(p.cls, EvPageCarve, 1)
 	p.fileIn(c, pg, p.blocksPerPage)
 	return pg, nil
 }
@@ -180,7 +179,7 @@ func (p *pagePool) getLists(c *machine.CPU, nLists, target int) ([]blocklist.Lis
 			pd.nFree--
 			cur.Push(c, p.al.mem, b)
 			got++
-			p.blockGets++
+			p.ev[EvBlockGet]++
 			if cur.Len() == target {
 				out = append(out, cur.Take())
 			}
@@ -196,6 +195,7 @@ func (p *pagePool) getLists(c *machine.CPU, nLists, target int) ([]blocklist.Lis
 		out = append(out, cur.Take())
 	}
 	c.Write(p.line)
+	p.al.emit(p.cls, EvBlockGet, got)
 	if len(out) == 0 {
 		if lastErr == nil {
 			lastErr = ErrNoMemory
@@ -211,6 +211,7 @@ func (p *pagePool) getLists(c *machine.CPU, nLists, target int) ([]blocklist.Lis
 // free count reaches blocks-per-page are released to the vmblk layer
 // immediately.
 func (p *pagePool) putBlocks(c *machine.CPU, blocks blocklist.List) {
+	n := blocks.Len()
 	p.lk.Acquire(c)
 	defer p.lk.Release(c)
 	c.Read(p.line)
@@ -219,6 +220,7 @@ func (p *pagePool) putBlocks(c *machine.CPU, blocks blocklist.List) {
 		p.putBlockLocked(c, b)
 	}
 	c.Write(p.line)
+	p.al.emit(p.cls, EvBlockPut, n)
 }
 
 func (p *pagePool) putBlockLocked(c *machine.CPU, b arena.Addr) {
@@ -234,7 +236,7 @@ func (p *pagePool) putBlockLocked(c *machine.CPU, b arena.Addr) {
 	pd.freeHead = b
 	pd.nFree++
 	c.Write(pd.line)
-	p.blockPuts++
+	p.ev[EvBlockPut]++
 	if int(pd.nFree) == p.blocksPerPage {
 		// Every block in the page is free: give the page back at once.
 		c.Work(insnPageSetup)
@@ -244,7 +246,8 @@ func (p *pagePool) putBlockLocked(c *machine.CPU, b arena.Addr) {
 		pd.freeHead = arena.NilAddr
 		pd.nFree = 0
 		pd.class = -1
-		p.pageFrees++
+		p.ev[EvPageFree]++
+		p.al.emit(p.cls, EvPageFree, 1)
 		p.al.vm.freePages(c, pg, 1)
 		return
 	}

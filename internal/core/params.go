@@ -52,6 +52,20 @@ type Params struct {
 	// global layer one at a time — the A2 ablation. The paper's design
 	// is the default (false).
 	DisableSplitFreelist bool
+
+	// Adaptive enables the per-class adaptive target controller: a
+	// windowed miss-rate estimator that grows and shrinks target and
+	// gbltarget online to hold the observed miss rates near a setpoint
+	// (see AdaptiveConfig). Nil keeps the paper's static targets; the
+	// fast path is then byte-for-byte unchanged. TargetFor/GblTargetFor
+	// still supply each class's initial values.
+	Adaptive *AdaptiveConfig
+
+	// Hook, when non-nil, receives every layer-boundary event (refills,
+	// spills, page carves, vmblk creates, reclaims, adaptive decisions —
+	// see LayerEvent). Hooks fire on slow paths only; a nil Hook adds no
+	// work to the alloc/free fast path.
+	Hook Hook
 }
 
 // DefaultTarget is the paper's heuristic limiting the memory tied up in

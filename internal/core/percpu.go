@@ -18,12 +18,24 @@ type pcpu struct {
 	aux  blocklist.List
 	line machine.Line // the cache line holding this cache's state
 
-	// stats (written only under the owner's IntrLock)
-	allocs       uint64
-	frees        uint64
-	allocRefills uint64 // allocations that had to visit the global layer
-	freeSpills   uint64 // frees that pushed a list to the global layer
+	// target is this cache's copy of the class target. With adaptation
+	// off it never changes; with adaptation on it is requoted from the
+	// class controller lazily — on refill, spill and drain — so the fast
+	// path stays lock-free and never reads shared controller state.
+	target int
+
+	// ev tallies this cache's slice of the event spine (EvAlloc, EvFree,
+	// EvCPURefill, EvCPUSpill), written only under the owner's IntrLock.
+	ev eventCounts
+
+	// notedOps is the EvAlloc+EvFree total as of this cache's last
+	// report to the adaptive controller; the delta batches fast-path
+	// operations into the controller's window at refill/spill time.
+	notedOps uint64
 }
+
+// ops returns the fast-path operation count; caller holds the IntrLock.
+func (pc *pcpu) ops() uint64 { return pc.ev[EvAlloc] + pc.ev[EvFree] }
 
 // allocFast attempts the common-case allocation: pop from main, moving
 // aux to main if main is empty. The caller holds the CPU's IntrLock.
@@ -41,7 +53,7 @@ func (a *Allocator) allocFast(c *machine.CPU, pc *pcpu) (arena.Addr, bool) {
 		c.Work(2)
 	}
 	b := pc.main.Pop(c, a.mem)
-	pc.allocs++
+	pc.ev[EvAlloc]++
 	c.Write(pc.line)
 	c.Work(insnCookieAllocResidual)
 	return b, true
@@ -58,13 +70,13 @@ func (a *Allocator) freeFast(c *machine.CPU, pc *pcpu, target int, b arena.Addr)
 	if pc.main.Len() >= target {
 		if !pc.aux.Empty() {
 			spill = pc.aux.Take()
-			pc.freeSpills++
+			pc.ev[EvCPUSpill]++
 		}
 		pc.aux = pc.main.Take()
 		c.Work(2)
 	}
 	pc.main.Push(c, a.mem, b)
-	pc.frees++
+	pc.ev[EvFree]++
 	c.Write(pc.line)
 	c.Work(insnCookieFreeResidual)
 	return spill
@@ -81,7 +93,7 @@ func (a *Allocator) allocFastSingle(c *machine.CPU, pc *pcpu) (arena.Addr, bool)
 		return arena.NilAddr, false
 	}
 	b := pc.main.Pop(c, a.mem)
-	pc.allocs++
+	pc.ev[EvAlloc]++
 	c.Write(pc.line)
 	c.Work(insnCookieAllocResidual)
 	return b, true
@@ -93,10 +105,10 @@ func (a *Allocator) freeFastSingle(c *machine.CPU, pc *pcpu, target int, b arena
 	if pc.main.Len() >= 2*target {
 		// Return a single block to the global layer.
 		spill.Push(c, a.mem, pc.main.Pop(c, a.mem))
-		pc.freeSpills++
+		pc.ev[EvCPUSpill]++
 	}
 	pc.main.Push(c, a.mem, b)
-	pc.frees++
+	pc.ev[EvFree]++
 	c.Write(pc.line)
 	c.Work(insnCookieFreeResidual)
 	return spill

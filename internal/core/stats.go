@@ -5,15 +5,16 @@ import (
 	"kmem/internal/physmem"
 )
 
-// ClassStats reports one size class's per-layer activity. The miss rates
-// the paper's DLM evaluation uses are derived from these counters: the
-// per-CPU layer's miss rate is the fraction of its accesses that require
-// the global layer, and the global layer's miss rate is the fraction of
-// its accesses that require the coalesce-to-page layer.
+// ClassStats reports one size class's per-layer activity, assembled from
+// the event spine (each layer structure's eventCounts array). The miss
+// rates the paper's DLM evaluation uses are derived from these counters:
+// the per-CPU layer's miss rate is the fraction of its accesses that
+// require the global layer, and the global layer's miss rate is the
+// fraction of its accesses that require the coalesce-to-page layer.
 type ClassStats struct {
 	Size      uint32
-	Target    int
-	GblTarget int
+	Target    int // current per-CPU cache target (adaptive or configured)
+	GblTarget int // current global-layer capacity parameter
 
 	// Per-CPU layer, summed over CPUs.
 	Allocs       uint64
@@ -37,6 +38,12 @@ type ClassStats struct {
 	// Blocks currently cached at each level.
 	HeldPerCPU int
 	HeldGlobal int
+
+	// Adaptive-controller decisions (zero with adaptation off).
+	TargetGrows      uint64
+	TargetShrinks    uint64
+	GblTargetGrows   uint64
+	GblTargetShrinks uint64
 }
 
 // AllocMissRate returns the fraction of allocations that missed the
@@ -113,35 +120,65 @@ type Stats struct {
 	Reclaims uint64
 }
 
-// Stats gathers a snapshot. It takes the relevant locks briefly; pass the
-// calling CPU's handle as everywhere else.
+// Stats gathers a snapshot; pass the calling CPU's handle as everywhere
+// else.
+//
+// Snapshot semantics are deliberately relaxed rather than stop-the-world:
+// each CPU's caches are read under a single IntrLock acquisition (so one
+// CPU's counters are mutually consistent across every class and every
+// event), and each global pool and page pool is read under its own lock —
+// but the snapshot as a whole is not one atomic cut across layers. While
+// other CPUs run, cross-layer totals may disagree transiently (e.g. a
+// spilled list may be counted by the per-CPU layer before the global
+// layer has received it). The invariants that DO hold, asserted by
+// TestStatsRelaxedSnapshotInvariants: every counter is monotonically
+// nondecreasing between successive snapshots, and on a quiescent
+// allocator the snapshot is exact (block conservation holds per class).
 func (a *Allocator) Stats(c *machine.CPU) Stats {
 	out := Stats{Reclaims: a.reclaims.Load()}
 	out.Classes = make([]ClassStats, len(a.classes))
 	for i := range a.classes {
 		cs := &a.classes[i]
-		st := ClassStats{
-			Size:      cs.size,
-			Target:    cs.target,
-			GblTarget: cs.gbltarget,
+		out.Classes[i] = ClassStats{
+			Size:             cs.size,
+			Target:           cs.ctl.curTarget(),
+			GblTarget:        cs.ctl.curGblTarget(),
+			TargetGrows:      cs.ctl.grows.Load(),
+			TargetShrinks:    cs.ctl.shrinks.Load(),
+			GblTargetGrows:   cs.ctl.gblGrows.Load(),
+			GblTargetShrinks: cs.ctl.gblShrinks.Load(),
 		}
-		for cpu := range a.percpu {
-			il := &a.intr[cpu]
-			il.Acquire(c)
+	}
+
+	// One IntrLock acquisition per CPU, covering every class: a CPU's
+	// per-class counters are read as one consistent unit instead of the
+	// per-class lock/unlock sequence that let classes skew against each
+	// other mid-run.
+	for cpu := range a.percpu {
+		il := &a.intr[cpu]
+		il.Acquire(c)
+		for i := range a.classes {
 			pc := &a.percpu[cpu][i]
-			st.Allocs += pc.allocs
-			st.Frees += pc.frees
-			st.AllocRefills += pc.allocRefills
-			st.FreeSpills += pc.freeSpills
+			st := &out.Classes[i]
+			st.Allocs += pc.ev[EvAlloc]
+			st.Frees += pc.ev[EvFree]
+			st.AllocRefills += pc.ev[EvCPURefill]
+			st.FreeSpills += pc.ev[EvCPUSpill]
 			st.HeldPerCPU += pc.held()
-			il.Release(c)
 		}
+		il.Release(c)
+	}
+
+	for i := range a.classes {
+		cs := &a.classes[i]
+		st := &out.Classes[i]
+
 		g := cs.global
 		g.lk.Acquire(c)
-		st.GlobalGets = g.gets
-		st.GlobalPuts = g.puts
-		st.GlobalRefills = g.refills
-		st.GlobalSpills = g.spills
+		st.GlobalGets = g.ev[EvGlobalGet]
+		st.GlobalPuts = g.ev[EvGlobalPut]
+		st.GlobalRefills = g.ev[EvGlobalRefill]
+		st.GlobalSpills = g.ev[EvGlobalSpill]
 		st.HeldGlobal = g.bucket.Len()
 		for _, l := range g.lists {
 			st.HeldGlobal += l.Len()
@@ -151,24 +188,23 @@ func (a *Allocator) Stats(c *machine.CPU) Stats {
 
 		p := cs.pages
 		p.lk.Acquire(c)
-		st.BlockGets = p.blockGets
-		st.BlockPuts = p.blockPuts
-		st.PageAllocs = p.pageAllocs
-		st.PageFrees = p.pageFrees
+		st.BlockGets = p.ev[EvBlockGet]
+		st.BlockPuts = p.ev[EvBlockPut]
+		st.PageAllocs = p.ev[EvPageCarve]
+		st.PageFrees = p.ev[EvPageFree]
 		p.lk.Release(c)
-
-		out.Classes[i] = st
 	}
+
 	a.vm.lk.Acquire(c)
 	out.VM = VMStats{
-		SpanAllocs:   a.vm.spanAllocs,
-		SpanFrees:    a.vm.spanFrees,
-		VmblkCreates: a.vm.vmblkCreates,
-		LargeAllocs:  a.vm.largeAllocs,
-		LargeFrees:   a.vm.largeFrees,
-		PagesMapped:  a.vm.pagesMapped,
-		PagesUnmap:   a.vm.pagesUnmap,
-		MapFailures:  a.vm.mapFailures,
+		SpanAllocs:   a.vm.ev[EvSpanAlloc],
+		SpanFrees:    a.vm.ev[EvSpanFree],
+		VmblkCreates: a.vm.ev[EvVmblkCreate],
+		LargeAllocs:  a.vm.ev[EvLargeAlloc],
+		LargeFrees:   a.vm.ev[EvLargeFree],
+		PagesMapped:  a.vm.ev[EvPagesMap],
+		PagesUnmap:   a.vm.ev[EvPagesUnmap],
+		MapFailures:  a.vm.ev[EvMapFail],
 	}
 	a.vm.lk.Release(c)
 	out.Phys = a.m.Phys().Stats()

@@ -112,15 +112,11 @@ type vmblkLayer struct {
 	next  int // index of the next vmblk slot to create
 	spans [maxSpanBucket + 1]pdList
 
-	// stats
-	spanAllocs   uint64
-	spanFrees    uint64
-	vmblkCreates uint64
-	largeAllocs  uint64
-	largeFrees   uint64
-	pagesMapped  uint64
-	pagesUnmap   uint64
-	mapFailures  uint64
+	// ev tallies this layer's slice of the event spine (EvSpanAlloc,
+	// EvSpanFree, EvVmblkCreate, EvLargeAlloc, EvLargeFree, EvPagesMap,
+	// EvPagesUnmap, EvMapFail), written under lk. Hook emissions for
+	// these events carry class -1: the layer serves every class.
+	ev eventCounts
 }
 
 func newVmblkLayer(a *Allocator) *vmblkLayer {
@@ -307,7 +303,8 @@ func (v *vmblkLayer) newVmblk(c *machine.CPU) error {
 	}
 	v.dope[v.next] = vb
 	v.next++
-	v.vmblkCreates++
+	v.ev[EvVmblkCreate]++
+	v.al.emit(-1, EvVmblkCreate, 1)
 	c.Write(v.dopeLine)
 	c.Work(insnSpanOp)
 
@@ -319,10 +316,12 @@ func (v *vmblkLayer) newVmblk(c *machine.CPU) error {
 // mapping and zeroing them.
 func (v *vmblkLayer) mapPhys(c *machine.CPU, n int64) error {
 	if err := v.al.m.Phys().Map(n); err != nil {
-		v.mapFailures++
+		v.ev[EvMapFail]++
+		v.al.emit(-1, EvMapFail, 1)
 		return err
 	}
-	v.pagesMapped += uint64(n)
+	v.ev[EvPagesMap] += uint64(n)
+	v.al.emit(-1, EvPagesMap, int(n))
 	cfg := v.al.m.Config()
 	c.Idle(n * (cfg.PageMapCycles + cfg.PageZeroCycles))
 	return nil
@@ -331,7 +330,8 @@ func (v *vmblkLayer) mapPhys(c *machine.CPU, n int64) error {
 // unmapPhys returns n physical pages and charges the unmap cost.
 func (v *vmblkLayer) unmapPhys(c *machine.CPU, n int64) {
 	v.al.m.Phys().Unmap(n)
-	v.pagesUnmap += uint64(n)
+	v.ev[EvPagesUnmap] += uint64(n)
+	v.al.emit(-1, EvPagesUnmap, int(n))
 	c.Idle(n * v.al.m.Config().PageMapCycles)
 }
 
@@ -379,7 +379,8 @@ func (v *vmblkLayer) allocPagesLocked(c *machine.CPU, n int32) (int32, error) {
 		mid.spanPages = uint32(n)
 		c.Write(mid.line)
 	}
-	v.spanAllocs++
+	v.ev[EvSpanAlloc]++
+	v.al.emit(-1, EvSpanAlloc, int(n))
 	return pg, nil
 }
 
@@ -426,7 +427,8 @@ func (v *vmblkLayer) freePagesLocked(c *machine.CPU, pg, n int32) {
 		}
 	}
 	v.insertSpan(c, start, length)
-	v.spanFrees++
+	v.ev[EvSpanFree]++
+	v.al.emit(-1, EvSpanFree, int(n))
 }
 
 // --- large (multi-page) requests ----------------------------------------
@@ -449,7 +451,8 @@ func (v *vmblkLayer) allocLarge(c *machine.CPU, size uint64) (arena.Addr, error)
 	if err != nil {
 		return arena.NilAddr, err
 	}
-	v.largeAllocs++
+	v.ev[EvLargeAlloc]++
+	v.al.emit(-1, EvLargeAlloc, int(n))
 	return v.pageAddr(pg), nil
 }
 
@@ -464,6 +467,7 @@ func (v *vmblkLayer) freeLarge(c *machine.CPU, addr arena.Addr) {
 	}
 	n := int32(pd.spanPages)
 	v.freePagesLocked(c, pg, n)
-	v.largeFrees++
+	v.ev[EvLargeFree]++
+	v.al.emit(-1, EvLargeFree, int(n))
 	v.lk.Release(c)
 }

@@ -50,6 +50,55 @@ type Cookie = core.Cookie
 // rates per size class.
 type Stats = core.Stats
 
+// LayerEvent identifies one kind of layer-boundary crossing; see the
+// core package's event spine (EvCPURefill, EvGlobalSpill, ...).
+type LayerEvent = core.LayerEvent
+
+// Hook is an optional sink for layer-boundary events (refills, spills,
+// page carves, vmblk creates, reclaims, adaptive decisions). Hooks fire
+// on slow paths only and must not call back into the allocator.
+type Hook = core.Hook
+
+// The layer events a Hook can observe; see core's event spine for the
+// per-event batch-size (n) semantics.
+const (
+	EvAlloc           = core.EvAlloc
+	EvFree            = core.EvFree
+	EvCPURefill       = core.EvCPURefill
+	EvCPUSpill        = core.EvCPUSpill
+	EvGlobalGet       = core.EvGlobalGet
+	EvGlobalPut       = core.EvGlobalPut
+	EvGlobalRefill    = core.EvGlobalRefill
+	EvGlobalSpill     = core.EvGlobalSpill
+	EvBlockGet        = core.EvBlockGet
+	EvBlockPut        = core.EvBlockPut
+	EvPageCarve       = core.EvPageCarve
+	EvPageFree        = core.EvPageFree
+	EvSpanAlloc       = core.EvSpanAlloc
+	EvSpanFree        = core.EvSpanFree
+	EvVmblkCreate     = core.EvVmblkCreate
+	EvLargeAlloc      = core.EvLargeAlloc
+	EvLargeFree       = core.EvLargeFree
+	EvPagesMap        = core.EvPagesMap
+	EvPagesUnmap      = core.EvPagesUnmap
+	EvMapFail         = core.EvMapFail
+	EvReclaim         = core.EvReclaim
+	EvTargetGrow      = core.EvTargetGrow
+	EvTargetShrink    = core.EvTargetShrink
+	EvGblTargetGrow   = core.EvGblTargetGrow
+	EvGblTargetShrink = core.EvGblTargetShrink
+)
+
+// AdaptiveConfig tunes the per-class adaptive target controller; the
+// zero value of every field selects a sensible default.
+type AdaptiveConfig = core.AdaptiveConfig
+
+// EventCounter is a ready-made Hook sink that tallies events.
+type EventCounter = core.EventCounter
+
+// TraceHook returns a Hook that writes one line per event to w.
+var TraceHook = core.TraceHook
+
 // ErrNoMemory is returned when an allocation cannot be satisfied even
 // after the low-memory reclaim path has drained every cache.
 var ErrNoMemory = core.ErrNoMemory
@@ -90,6 +139,13 @@ type Config struct {
 	// GblTarget overrides the global-layer capacity parameter per block
 	// size, in units of target-sized lists (default: 15 down to 3).
 	GblTarget func(size uint32) int
+	// Adaptive enables the per-class adaptive target controller: Target
+	// and GblTarget then only set each class's initial values, and a
+	// windowed miss-rate estimator retunes them online within the
+	// configured bounds. Nil keeps the paper's static targets.
+	Adaptive *AdaptiveConfig
+	// Hook, when non-nil, receives every layer-boundary event.
+	Hook Hook
 	// Poison fills freed memory with a pattern and checks it on
 	// reallocation (debugging aid).
 	Poison bool
@@ -134,6 +190,8 @@ func NewSystem(cfg Config) (*System, error) {
 		TargetFor:      cfg.Target,
 		GblTargetFor:   cfg.GblTarget,
 		RadixSort:      true,
+		Adaptive:       cfg.Adaptive,
+		Hook:           cfg.Hook,
 		Poison:         cfg.Poison,
 		DebugOwnership: cfg.DebugOwnership,
 	})
@@ -183,9 +241,14 @@ func (s *System) NumClasses() int { return s.a.NumClasses() }
 // ClassSize returns the block size of class i.
 func (s *System) ClassSize(i int) uint32 { return s.a.ClassSize(i) }
 
-// Target returns the per-CPU cache target of class i (the paper's
-// `target` parameter).
+// Target returns the current per-CPU cache target of class i (the
+// paper's `target` parameter, possibly retuned by the adaptive
+// controller).
 func (s *System) Target(i int) int { return s.a.Target(i) }
+
+// GblTarget returns the current global-layer capacity parameter of
+// class i, in units of target-sized lists.
+func (s *System) GblTarget(i int) int { return s.a.GblTarget(i) }
 
 // Bytes returns the n bytes of block b as a mutable slice aliasing the
 // arena. The caller must own [b, b+n).
