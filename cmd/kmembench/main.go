@@ -12,7 +12,11 @@
 //	kmembench analysis  [-ops 128]
 //	kmembench ablate    [-param target|split|radix|lazybuddy|all]
 //	kmembench adaptive  [-bursts 400] [-burst 400] [-size 128] [-json]
+//	kmembench topology  [-cpus 8] [-nodes 1,2,4] [-pairing near|cross] [-seconds 0.02]
 //	kmembench all
+//
+// Every subcommand accepts -json to emit its result rows as one JSON
+// object instead of rendered tables.
 package main
 
 import (
@@ -48,6 +52,8 @@ func main() {
 		err = cmdAblate(args)
 	case "adaptive":
 		err = cmdAdaptive(args)
+	case "topology":
+		err = cmdTopology(args)
 	case "cyclic":
 		err = cmdCyclic(args)
 	case "projection":
@@ -76,9 +82,18 @@ func usage() {
   analysis   allocb/freeb off-chip access study (Analysis section)
   ablate     design-choice ablations (A1-A5 in DESIGN.md)
   adaptive   adaptive target controller vs the paper's fixed heuristic
+  topology   NUMA sweep: producer/consumer cross-CPU frees vs node count
   cyclic     the day/night commercial workload (design goal 6)
   projection scaling under a widening CPU/memory gap (the paper's closing claim)
   all        everything above with default settings`)
+}
+
+// emitJSON writes v as one indented JSON object on stdout; every
+// subcommand's -json flag funnels through it so CI can parse the output.
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 func parseInts(s string) ([]int, error) {
@@ -113,6 +128,7 @@ func cmdBestCase(args []string) error {
 	logY := fs.Bool("log", false, "semilog plot (Figure 8)")
 	csv := fs.String("csv", "", "also write the series data as CSV to this file")
 	allocs := fs.String("allocators", strings.Join(bench.AllocatorNames, ","), "allocators to run")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,6 +140,9 @@ func cmdBestCase(args []string) error {
 	res, err := bench.RunBestCase(names, counts, *size, *seconds)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return emitJSON(res)
 	}
 	res.Figure(*logY).Fprint(os.Stdout)
 	if *csv != "" {
@@ -157,6 +176,7 @@ func cmdWorstCase(args []string) error {
 	pages := fs.Int64("pages", 2048, "physical pages")
 	csv := fs.String("csv", "", "also write the series data as CSV to this file")
 	alloc := fs.String("allocator", "newkma", "allocator to run (mk demonstrates the wedge)")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -169,12 +189,18 @@ func cmdWorstCase(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			return emitJSON(rows)
+		}
 		bench.WorstCaseAnyTable(*alloc, rows).Fprint(os.Stdout)
 		return nil
 	}
 	res, err := bench.RunWorstCase(szs, *pages)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return emitJSON(res)
 	}
 	res.Figure().Fprint(os.Stdout)
 	if *csv != "" {
@@ -205,6 +231,7 @@ func cmdDLM(args []string) error {
 	skew := fs.Float64("skew", cfg.ZipfSkew, "resource Zipf skew")
 	seed := fs.Int64("seed", cfg.Seed, "workload seed")
 	scale := fs.Bool("scale", false, "also sweep cluster sizes 1..8")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -213,27 +240,39 @@ func cmdDLM(args []string) error {
 	if err != nil {
 		return err
 	}
-	out.Table().Fprint(os.Stdout)
-	fmt.Println("\nPaper (4-CPU DLM): per-CPU miss 2.1-7.8%, global miss 1.2-3.0%, combined 0.02-0.14%.")
+	var scaling []bench.DLMScaleRow
 	if *scale {
-		fmt.Println()
-		rows, err := bench.RunDLMScaling([]int{1, 2, 4, 8}, cfg.OpsPerNode/2)
-		if err != nil {
+		if scaling, err = bench.RunDLMScaling([]int{1, 2, 4, 8}, cfg.OpsPerNode/2); err != nil {
 			return err
 		}
-		bench.DLMScaleTable(rows).Fprint(os.Stdout)
+	}
+	if *jsonOut {
+		return emitJSON(struct {
+			Result  *bench.DLMResult
+			Scaling []bench.DLMScaleRow `json:",omitempty"`
+		}{out, scaling})
+	}
+	out.Table().Fprint(os.Stdout)
+	fmt.Println("\nPaper (4-CPU DLM): per-CPU miss 2.1-7.8%, global miss 1.2-3.0%, combined 0.02-0.14%.")
+	if scaling != nil {
+		fmt.Println()
+		bench.DLMScaleTable(scaling).Fprint(os.Stdout)
 	}
 	return nil
 }
 
 func cmdInsns(args []string) error {
 	fs := flag.NewFlagSet("insns", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rows, err := bench.RunInsnCounts()
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return emitJSON(rows)
 	}
 	bench.InsnTable(rows).Fprint(os.Stdout)
 	return nil
@@ -242,12 +281,20 @@ func cmdInsns(args []string) error {
 func cmdAnalysis(args []string) error {
 	fs := flag.NewFlagSet("analysis", flag.ExitOnError)
 	ops := fs.Int("ops", 128, "operations to trace")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	old, new_, err := bench.RunAnalysis(*ops)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return emitJSON(struct {
+			Old      []bench.AnalysisResult
+			New      []bench.AnalysisResult
+			HotLines []bench.HotLine
+		}{old, new_, bench.HotLines()})
 	}
 	bench.AnalysisTable(old, new_).Fprint(os.Stdout)
 	fmt.Println()
@@ -258,56 +305,69 @@ func cmdAnalysis(args []string) error {
 func cmdAblate(args []string) error {
 	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
 	param := fs.String("param", "all", "target|split|radix|lazybuddy|tlb|all")
+	jsonOut := fs.Bool("json", false, "emit the results as one JSON object keyed by parameter")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	collected := map[string]any{}
 	run := func(p string) error {
+		var rows any
+		var tbl *bench.Table
 		switch p {
 		case "target":
-			rows, err := bench.AblateTarget([]int{1, 2, 5, 10, 20, 40}, 0.05)
+			r, err := bench.AblateTarget([]int{1, 2, 5, 10, 20, 40}, 0.05)
 			if err != nil {
 				return err
 			}
-			bench.TargetTable(rows).Fprint(os.Stdout)
+			rows, tbl = r, bench.TargetTable(r)
 		case "split":
-			rows, err := bench.AblateSplitFreelist(0.05)
+			r, err := bench.AblateSplitFreelist(0.05)
 			if err != nil {
 				return err
 			}
-			bench.SplitTable(rows).Fprint(os.Stdout)
+			rows, tbl = r, bench.SplitTable(r)
 		case "radix":
-			rows, err := bench.AblateRadix(40)
+			r, err := bench.AblateRadix(40)
 			if err != nil {
 				return err
 			}
-			bench.RadixTable(rows).Fprint(os.Stdout)
+			rows, tbl = r, bench.RadixTable(r)
 		case "lazybuddy":
-			rows, err := bench.AblateLazyBuddy(0.05)
+			r, err := bench.AblateLazyBuddy(0.05)
 			if err != nil {
 				return err
 			}
-			bench.LazyTable(rows).Fprint(os.Stdout)
+			rows, tbl = r, bench.LazyTable(r)
 		case "tlb":
-			rows, err := bench.AblateTLB(0.05)
+			r, err := bench.AblateTLB(0.05)
 			if err != nil {
 				return err
 			}
-			bench.TLBTable(rows).Fprint(os.Stdout)
+			rows, tbl = r, bench.TLBTable(r)
 		default:
 			return fmt.Errorf("unknown ablation %q", p)
 		}
+		if *jsonOut {
+			collected[p] = rows
+			return nil
+		}
+		tbl.Fprint(os.Stdout)
 		fmt.Println()
 		return nil
 	}
+	params := []string{*param}
 	if *param == "all" {
-		for _, p := range []string{"target", "split", "radix", "lazybuddy", "tlb"} {
-			if err := run(p); err != nil {
-				return err
-			}
-		}
-		return nil
+		params = []string{"target", "split", "radix", "lazybuddy", "tlb"}
 	}
-	return run(*param)
+	for _, p := range params {
+		if err := run(p); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		return emitJSON(collected)
+	}
+	return nil
 }
 
 func cmdAdaptive(args []string) error {
@@ -339,12 +399,16 @@ func cmdCyclic(args []string) error {
 	fs := flag.NewFlagSet("cyclic", flag.ExitOnError)
 	cycles := fs.Int("cycles", 3, "day/night cycles to run")
 	pages := fs.Int64("pages", 192, "physical pages (tight on purpose)")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	res, err := bench.RunCyclic(*cycles, *pages)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return emitJSON(res)
 	}
 	res.Table().Fprint(os.Stdout)
 	fmt.Println("\nAn allocator without online coalescing cannot complete this cycle without")
@@ -355,6 +419,7 @@ func cmdCyclic(args []string) error {
 func cmdProjection(args []string) error {
 	fs := flag.NewFlagSet("projection", flag.ExitOnError)
 	seconds := fs.Float64("seconds", 0.05, "virtual seconds per point")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -362,7 +427,40 @@ func cmdProjection(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *jsonOut {
+		return emitJSON(rows)
+	}
 	bench.ProjectionTable(rows).Fprint(os.Stdout)
+	return nil
+}
+
+func cmdTopology(args []string) error {
+	fs := flag.NewFlagSet("topology", flag.ExitOnError)
+	cpus := fs.Int("cpus", 8, "total CPUs (held fixed across the sweep; must be even)")
+	nodes := fs.String("nodes", "1,2,4", "comma-separated node counts to sweep")
+	seconds := fs.Float64("seconds", 0.02, "virtual seconds per point")
+	size := fs.Uint64("size", 128, "block size")
+	pairing := fs.String("pairing", "near", "near (producer and consumer adjacent) or cross (always another node)")
+	interconnect := fs.Int64("interconnect", 0, "interconnect occupancy cycles per remote transaction (0 = default)")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts, err := parseInts(*nodes)
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunTopology(*cpus, counts, *size, *seconds, *pairing, *interconnect)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return emitJSON(res)
+	}
+	res.Table().Fprint(os.Stdout)
+	fmt.Println("\nPartitioning the machine into nodes splits both the bus bandwidth and the")
+	fmt.Println("slow-path pool locks; frees of remote blocks route home over the interconnect")
+	fmt.Println("(remote frees), and dry home pools steal cached lists cross-node (steals).")
 	return nil
 }
 
@@ -400,5 +498,9 @@ func cmdAll() error {
 		return err
 	}
 	fmt.Println("\n=== Adaptive targets vs fixed heuristic ==============================")
-	return cmdAdaptive(nil)
+	if err := cmdAdaptive(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== NUMA topology sweep ==============================================")
+	return cmdTopology(nil)
 }

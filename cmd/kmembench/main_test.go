@@ -52,4 +52,16 @@ func TestSubcommandsRunSmall(t *testing.T) {
 	if err := cmdAblate([]string{"-param", "nope"}); err == nil {
 		t.Fatal("unknown ablation accepted")
 	}
+	if err := cmdTopology([]string{"-cpus", "4", "-nodes", "1,2", "-seconds", "0.002"}); err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	if err := cmdTopology([]string{"-cpus", "4", "-nodes", "1,4", "-seconds", "0.002", "-pairing", "cross", "-json"}); err != nil {
+		t.Fatalf("topology cross json: %v", err)
+	}
+	if err := cmdTopology([]string{"-cpus", "3"}); err == nil {
+		t.Fatal("odd CPU count accepted")
+	}
+	if err := cmdTopology([]string{"-pairing", "diag"}); err == nil {
+		t.Fatal("unknown pairing accepted")
+	}
 }

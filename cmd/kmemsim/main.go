@@ -8,6 +8,7 @@
 // Examples:
 //
 //	kmemsim -alloc cookie -cpus 8 -ops 200000 -dist uniform:16:4096
+//	kmemsim -alloc cookie -cpus 8 -nodes 4 -ops 200000 -dist fixed:128
 //	kmemsim -alloc all -cpus 4 -ops 100000 -dist fixed:128
 //	kmemsim -record trace.kmtr -cpus 4 -ops 50000 -dist choice:32,64,256
 //	kmemsim -replay trace.kmtr -alloc all
@@ -39,10 +40,12 @@ func main() {
 		record     = flag.String("record", "", "write the synthesized trace to this file and exit")
 		replay     = flag.String("replay", "", "replay a trace file instead of synthesizing")
 		dump       = flag.Bool("dump", false, "dump allocator state after the run (kmem allocators only)")
+		nodes      = flag.Int("nodes", 1, "NUMA nodes (1 = the classic single-bus machine)")
+		interconn  = flag.Int64("interconnect", 0, "interconnect occupancy cycles per remote transaction (0 = default)")
 	)
 	flag.Parse()
 
-	if err := run(*allocName, *cpus, *ops, *workingSet, *distSpec, *seed, *pages, *record, *replay, *dump); err != nil {
+	if err := run(*allocName, *cpus, *ops, *workingSet, *distSpec, *seed, *pages, *record, *replay, *dump, *nodes, *interconn); err != nil {
 		fmt.Fprintf(os.Stderr, "kmemsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -95,7 +98,15 @@ func parseDist(spec string) (workload.SizeDist, error) {
 	return nil, fmt.Errorf("unknown distribution %q", parts[0])
 }
 
-func run(allocName string, cpus, ops, workingSet int, distSpec string, seed, pages int64, record, replay string, dump bool) error {
+func run(allocName string, cpus, ops, workingSet int, distSpec string, seed, pages int64, record, replay string, dump bool, nodes int, interconnect int64) error {
+	mutate := func(cfg *machine.Config) {
+		if nodes > 1 {
+			cfg.Nodes = nodes
+		}
+		if interconnect > 0 {
+			cfg.InterconnectCycles = interconnect
+		}
+	}
 	var tr *workload.Trace
 	if replay != "" {
 		f, err := os.Open(replay)
@@ -148,7 +159,7 @@ func run(allocName string, cpus, ops, workingSet int, distSpec string, seed, pag
 	}
 	var results []*bench.ReplayResult
 	for _, name := range names {
-		res, err := bench.Replay(tr, name, ncpu, pages)
+		res, err := bench.ReplayCfg(tr, name, ncpu, pages, mutate)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -160,7 +171,9 @@ func run(allocName string, cpus, ops, workingSet int, distSpec string, seed, pag
 		// Re-run the first kmem-family allocator and dump its state with
 		// the trace's live blocks still allocated.
 		fmt.Println()
-		m := machine.New(bench.MachineFor(ncpu, 64<<20, pages))
+		mc := bench.MachineFor(ncpu, 64<<20, pages)
+		mutate(&mc)
+		m := machine.New(mc)
 		al, err := core.New(m, core.Params{RadixSort: true})
 		if err != nil {
 			return err

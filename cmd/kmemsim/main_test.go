@@ -34,7 +34,7 @@ func TestParseDist(t *testing.T) {
 }
 
 func TestRunSynthesizeAndReplay(t *testing.T) {
-	if err := run("cookie", 2, 2000, 50, "fixed:64", 1, 2048, "", "", false); err != nil {
+	if err := run("cookie", 2, 2000, 50, "fixed:64", 1, 2048, "", "", false, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -42,7 +42,7 @@ func TestRunSynthesizeAndReplay(t *testing.T) {
 func TestRunRecordThenReplayFile(t *testing.T) {
 	dir := t.TempDir()
 	trace := filepath.Join(dir, "t.kmtr")
-	if err := run("cookie", 2, 1000, 40, "choice:32,64", 7, 2048, trace, "", false); err != nil {
+	if err := run("cookie", 2, 1000, 40, "choice:32,64", 7, 2048, trace, "", false, 1, 0); err != nil {
 		t.Fatalf("record: %v", err)
 	}
 	if _, err := os.Stat(trace); err != nil {
@@ -60,7 +60,7 @@ func TestRunRecordThenReplayFile(t *testing.T) {
 	if err := tr.Validate(2); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("newkma", 0, 0, 0, "", 0, 2048, "", trace, true); err != nil {
+	if err := run("newkma", 0, 0, 0, "", 0, 2048, "", trace, true, 2, 0); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
 }

@@ -23,10 +23,21 @@ type ReplayResult struct {
 // same trace against every allocator gives an apples-to-apples
 // comparison on identical operation sequences.
 func Replay(t *workload.Trace, name string, ncpu int, physPages int64) (*ReplayResult, error) {
+	return ReplayCfg(t, name, ncpu, physPages, nil)
+}
+
+// ReplayCfg is Replay with a machine-configuration hook: mutate (when
+// non-nil) edits the machine config before the machine is built, e.g. to
+// set a NUMA topology with Config.Nodes.
+func ReplayCfg(t *workload.Trace, name string, ncpu int, physPages int64, mutate func(*machine.Config)) (*ReplayResult, error) {
 	if err := t.Validate(ncpu); err != nil {
 		return nil, err
 	}
-	m := machine.New(MachineFor(ncpu, 64<<20, physPages))
+	cfg := MachineFor(ncpu, 64<<20, physPages)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m := machine.New(cfg)
 	a, err := BuildAllocator(m, name)
 	if err != nil {
 		return nil, err

@@ -28,6 +28,11 @@ type Allocator struct {
 	pagesPerVmblkShift uint
 	maxSmall           uint32
 
+	// nodes is the machine's NUMA node count; 1 selects the classic
+	// single-pool layout and keeps every routing branch off the old
+	// code paths.
+	nodes int
+
 	classes       []classState
 	sizeToClass   []int8
 	sizeTableLine machine.Line
@@ -41,15 +46,20 @@ type Allocator struct {
 
 // classState groups one size class's parameters and upper layers. target
 // and gbltarget are the configured initial values; the current values
-// live in ctl (they coincide whenever adaptation is off).
+// live in ctl (they coincide whenever adaptation is off). The global and
+// coalesce-to-page layers are per NUMA node — one pool of each kind per
+// node, each with its own spinlock — sharing the one class controller.
 type classState struct {
 	size      uint32
 	target    int
 	gbltarget int
 	ctl       *classController
-	global    *globalPool
-	pages     *pagePool
+	globals   []*globalPool // [node]
+	pages     []*pagePool   // [node]
 }
+
+// globalFor returns the class's global pool on CPU c's home node.
+func (cs *classState) globalFor(c *machine.CPU) *globalPool { return cs.globals[c.Node()] }
 
 // New builds an allocator over machine m with the given parameters.
 func New(m *machine.Machine, params Params) (*Allocator, error) {
@@ -66,6 +76,7 @@ func New(m *machine.Machine, params Params) (*Allocator, error) {
 		m:          m,
 		mem:        m.Mem(),
 		params:     p,
+		nodes:      m.NumNodes(),
 		vmblkShift: p.VmblkShift,
 		maxSmall:   p.Classes[len(p.Classes)-1],
 	}
@@ -95,14 +106,20 @@ func New(m *machine.Machine, params Params) (*Allocator, error) {
 			return nil, fmt.Errorf("core: gbltarget %d for size %d", gt, size)
 		}
 		ctl := newClassController(&p, t, gt)
-		a.classes[i] = classState{
+		cs := classState{
 			size:      size,
 			target:    t,
 			gbltarget: gt,
 			ctl:       ctl,
-			global:    newGlobalPool(a, i, ctl),
-			pages:     newPagePool(a, i, size),
+			globals:   make([]*globalPool, a.nodes),
+			pages:     make([]*pagePool, a.nodes),
 		}
+		for node := 0; node < a.nodes; node++ {
+			cs.globals[node] = newGlobalPool(a, i, node, ctl)
+			cs.pages[node] = newPagePool(a, i, node, size)
+			cs.globals[node].pp = cs.pages[node]
+		}
+		a.classes[i] = cs
 	}
 
 	n := m.NumCPUs()
@@ -111,7 +128,7 @@ func New(m *machine.Machine, params Params) (*Allocator, error) {
 	for cpu := 0; cpu < n; cpu++ {
 		a.percpu[cpu] = make([]pcpu, len(p.Classes))
 		for k := range a.percpu[cpu] {
-			a.percpu[cpu][k].line = m.NewMetaLine()
+			a.percpu[cpu][k].line = m.NewMetaLineOn(m.NodeOf(cpu))
 			a.percpu[cpu][k].target = a.classes[k].ctl.curTarget()
 		}
 	}
@@ -260,14 +277,24 @@ func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
 
 		// Miss: replenish main from the global layer — a whole
 		// target-sized list normally, a single block under the
-		// no-split-freelist ablation.
+		// no-split-freelist ablation. The home node's pool is tried
+		// first (it refills from its node-local page pool); when it is
+		// dry the other nodes' pools are tried in round-robin order,
+		// taking only blocks they already cache.
 		c.Work(insnRefill)
+		home := a.classes[cls].globalFor(c)
 		var lst blocklist.List
 		var err error
 		if single {
-			lst, err = a.classes[cls].global.getOne(c)
+			lst, err = home.getOne(c)
 		} else {
-			lst, err = a.classes[cls].global.getList(c)
+			lst, err = home.getList(c)
+		}
+		if lst.Empty() && a.nodes > 1 {
+			for off := 1; off < a.nodes && lst.Empty(); off++ {
+				victim := (home.node + off) % a.nodes
+				lst = a.classes[cls].globals[victim].stealList(c)
+			}
 		}
 		if !lst.Empty() {
 			n := lst.Len()
@@ -350,11 +377,34 @@ func (a *Allocator) freeClass(c *machine.CPU, cls int, addr arena.Addr) {
 	if !spill.Empty() {
 		n := spill.Len()
 		c.Work(insnRefill)
-		a.classes[cls].global.putList(c, spill)
+		if a.nodes == 1 {
+			a.classes[cls].globals[0].putList(c, spill)
+		} else {
+			a.routeSpill(c, cls, spill)
+		}
 		a.emit(cls, EvCPUSpill, n)
 	}
 	if noted {
 		ctl.noteCPU(a, c, cls, delta, 1)
+	}
+}
+
+// routeSpill returns a spilled list's blocks to their home nodes' global
+// pools: the dope vector answers "which node owns this block" for each
+// block, the list is partitioned by home, and each partition is put to
+// its node's pool. On a single-node machine the direct putList path is
+// used instead and no per-block lookup happens. A CPU's cache may mix
+// nodes (stolen blocks live beside local ones), so every spill routes.
+func (a *Allocator) routeSpill(c *machine.CPU, cls int, spill blocklist.List) {
+	per := make([]blocklist.List, a.nodes)
+	for !spill.Empty() {
+		b := spill.Pop(c, a.mem)
+		per[a.vm.homeOf(c, b)].Push(c, a.mem, b)
+	}
+	for node := range per {
+		if !per[node].Empty() {
+			a.classes[cls].globals[node].putList(c, per[node])
+		}
 	}
 }
 

@@ -109,36 +109,41 @@ func (a *Allocator) CheckConsistency() error {
 	}
 
 	// Radix buckets: each filed page must be split, with the matching
-	// free count, in this class.
+	// free count, in this class — and homed on the pool's own node.
 	for cls := range a.classes {
-		p := a.classes[cls].pages
-		checkList := func(l *pdList, wantFree int) error {
-			for pg := l.head; pg != -1; {
-				pd := a.vm.pdOf(pg)
-				if pd.state != pdSplit || int(pd.class) != cls {
-					return fmt.Errorf("kmem: class %d bucket holds page %d (%s class %d)",
-						cls, pg, pdStateName(pd.state), pd.class)
+		for _, p := range a.classes[cls].pages {
+			checkList := func(l *pdList, wantFree int) error {
+				for pg := l.head; pg != -1; {
+					pd := a.vm.pdOf(pg)
+					if pd.state != pdSplit || int(pd.class) != cls {
+						return fmt.Errorf("kmem: class %d bucket holds page %d (%s class %d)",
+							cls, pg, pdStateName(pd.state), pd.class)
+					}
+					if wantFree >= 0 && int(pd.nFree) != wantFree {
+						return fmt.Errorf("kmem: class %d bucket %d holds page %d with %d free",
+							cls, wantFree, pg, pd.nFree)
+					}
+					if pd.nFree == 0 {
+						return fmt.Errorf("kmem: class %d list holds empty page %d", cls, pg)
+					}
+					if home := a.vm.nodeOfPage(pg); home != p.node {
+						return fmt.Errorf("kmem: class %d node %d pool holds page %d homed on node %d",
+							cls, p.node, pg, home)
+					}
+					pg = pd.next
 				}
-				if wantFree >= 0 && int(pd.nFree) != wantFree {
-					return fmt.Errorf("kmem: class %d bucket %d holds page %d with %d free",
-						cls, wantFree, pg, pd.nFree)
-				}
-				if pd.nFree == 0 {
-					return fmt.Errorf("kmem: class %d list holds empty page %d", cls, pg)
-				}
-				pg = pd.next
+				return nil
 			}
-			return nil
-		}
-		if a.params.RadixSort {
-			for k := 1; k < len(p.buckets); k++ {
-				if err := checkList(&p.buckets[k], k); err != nil {
+			if a.params.RadixSort {
+				for k := 1; k < len(p.buckets); k++ {
+					if err := checkList(&p.buckets[k], k); err != nil {
+						return err
+					}
+				}
+			} else {
+				if err := checkList(&p.fifo, -1); err != nil {
 					return err
 				}
-			}
-		} else {
-			if err := checkList(&p.fifo, -1); err != nil {
-				return err
 			}
 		}
 	}
@@ -167,14 +172,29 @@ func (a *Allocator) CheckConsistency() error {
 		return nil
 	}
 	for cls := range a.classes {
-		g := a.classes[cls].global
-		for li, l := range g.lists {
-			if err := checkCached(l.Head(), l.Len(), cls, fmt.Sprintf("class %d global list %d", cls, li)); err != nil {
+		for _, g := range a.classes[cls].globals {
+			for li, l := range g.lists {
+				if err := checkCached(l.Head(), l.Len(), cls, fmt.Sprintf("class %d node %d global list %d", cls, g.node, li)); err != nil {
+					return err
+				}
+				// Home-node invariant: every block a global pool caches
+				// is homed on the pool's node.
+				for b := l.Head(); b != arena.NilAddr; b = a.mem.Load64(b) {
+					if home := a.vm.nodeOfPage(int32(b >> a.pageShift)); home != g.node {
+						return fmt.Errorf("kmem: class %d node %d global pool holds block %#x homed on node %d",
+							cls, g.node, b, home)
+					}
+				}
+			}
+			if err := checkCached(g.bucket.Head(), g.bucket.Len(), cls, fmt.Sprintf("class %d node %d global bucket", cls, g.node)); err != nil {
 				return err
 			}
-		}
-		if err := checkCached(g.bucket.Head(), g.bucket.Len(), cls, fmt.Sprintf("class %d global bucket", cls)); err != nil {
-			return err
+			for b := g.bucket.Head(); b != arena.NilAddr; b = a.mem.Load64(b) {
+				if home := a.vm.nodeOfPage(int32(b >> a.pageShift)); home != g.node {
+					return fmt.Errorf("kmem: class %d node %d global bucket holds block %#x homed on node %d",
+						cls, g.node, b, home)
+				}
+			}
 		}
 		for cpu := range a.percpu {
 			pc := &a.percpu[cpu][cls]

@@ -33,14 +33,27 @@ func (a *Allocator) Dump(w io.Writer) {
 				cpu, pc.main.Len(), pc.aux.Len(),
 				pc.ev[EvAlloc], pc.ev[EvFree], pc.ev[EvCPURefill], pc.ev[EvCPUSpill])
 		}
-		g := cs.global
-		fmt.Fprintf(w, "  global: %d full lists + %d in bucket; %d gets (%d refills), %d puts (%d spills)\n",
-			len(g.lists), g.bucket.Len(),
-			g.ev[EvGlobalGet], g.ev[EvGlobalRefill], g.ev[EvGlobalPut], g.ev[EvGlobalSpill])
+		for _, g := range cs.globals {
+			label := "global"
+			if a.nodes > 1 {
+				label = fmt.Sprintf("global[node %d]", g.node)
+			}
+			fmt.Fprintf(w, "  %s: %d full lists + %d in bucket; %d gets (%d refills), %d puts (%d spills)",
+				label, len(g.lists), g.bucket.Len(),
+				g.ev[EvGlobalGet], g.ev[EvGlobalRefill], g.ev[EvGlobalPut], g.ev[EvGlobalSpill])
+			if g.ev[EvRemoteFree]+g.ev[EvNodeSteal] > 0 {
+				fmt.Fprintf(w, "; %d remote frees, %d stolen", g.ev[EvRemoteFree], g.ev[EvNodeSteal])
+			}
+			fmt.Fprintln(w)
+		}
 
-		p := cs.pages
-		fmt.Fprintf(w, "  pages: %d carved, %d released; split-page occupancy:",
-			p.ev[EvPageCarve], p.ev[EvPageFree])
+		var carved, released uint64
+		blocksPerPage := cs.pages[0].blocksPerPage
+		for _, p := range cs.pages {
+			carved += p.ev[EvPageCarve]
+			released += p.ev[EvPageFree]
+		}
+		fmt.Fprintf(w, "  pages: %d carved, %d released; split-page occupancy:", carved, released)
 		// Histogram of free counts over split pages.
 		counts := map[int]int{}
 		for _, vb := range a.vm.dope {
@@ -58,9 +71,9 @@ func (a *Allocator) Dump(w io.Writer) {
 			fmt.Fprintf(w, " none\n")
 		} else {
 			fmt.Fprintln(w)
-			for free := 0; free <= p.blocksPerPage; free++ {
+			for free := 0; free <= blocksPerPage; free++ {
 				if n := counts[free]; n > 0 {
-					fmt.Fprintf(w, "    %4d pages with %d/%d blocks free\n", n, free, p.blocksPerPage)
+					fmt.Fprintf(w, "    %4d pages with %d/%d blocks free\n", n, free, blocksPerPage)
 				}
 			}
 		}
@@ -72,7 +85,11 @@ func (a *Allocator) Dump(w io.Writer) {
 		if vb == nil {
 			continue
 		}
-		fmt.Fprintf(w, "  vmblk %d @ %#x: %d header pages; map:", idx, vb.base, vb.headerPages)
+		if a.nodes > 1 {
+			fmt.Fprintf(w, "  vmblk %d @ %#x: node %d, %d header pages; map:", idx, vb.base, vb.home, vb.headerPages)
+		} else {
+			fmt.Fprintf(w, "  vmblk %d @ %#x: %d header pages; map:", idx, vb.base, vb.headerPages)
+		}
 		i := vb.dataStart()
 		for i < vb.end() {
 			pd := &vb.pds[i-vb.firstPage]

@@ -59,6 +59,12 @@ const (
 	EvGblTargetGrow
 	EvGblTargetShrink
 
+	// Node-crossing events (NUMA topologies; all zero on a single-node
+	// machine).
+	EvRemoteFree   // a spilled list was routed to another node's global pool (n = blocks)
+	EvNodeSteal    // a dry home pool stole cached blocks from another node (n = blocks)
+	EvInterconnect // a slow-path pool operation crossed the interconnect (n = crossings)
+
 	numLayerEvents
 )
 
@@ -88,6 +94,9 @@ var layerEventNames = [numLayerEvents]string{
 	EvTargetShrink:    "target-shrink",
 	EvGblTargetGrow:   "gbltarget-grow",
 	EvGblTargetShrink: "gbltarget-shrink",
+	EvRemoteFree:      "remote-free",
+	EvNodeSteal:       "node-steal",
+	EvInterconnect:    "interconnect",
 }
 
 // NumLayerEvents is the number of distinct layer events.

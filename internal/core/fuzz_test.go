@@ -7,6 +7,53 @@ import (
 	"kmem/internal/machine"
 )
 
+// FuzzSizeToClass checks the size-to-class rounding invariants for every
+// reachable request size: in-range sizes map to the smallest class that
+// fits, out-of-range sizes are rejected, and the cookie translation
+// agrees with the table.
+func FuzzSizeToClass(f *testing.F) {
+	cfg := machine.DefaultConfig()
+	cfg.NumCPUs = 1
+	cfg.MemBytes = 16 << 20
+	cfg.PhysPages = 64
+	m := machine.New(cfg)
+	a, err := New(m, Params{RadixSort: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(16))
+	f.Add(uint64(17))
+	f.Add(uint64(a.maxSmall))
+	f.Add(uint64(a.maxSmall) + 1)
+	f.Add(^uint64(0))
+
+	f.Fuzz(func(t *testing.T, size uint64) {
+		ck, err := a.GetCookie(size)
+		if size == 0 || size > uint64(a.maxSmall) {
+			if err == nil {
+				t.Fatalf("GetCookie(%d) accepted an out-of-range size", size)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("GetCookie(%d): %v", size, err)
+		}
+		cls := a.classFor(size)
+		if got := uint64(a.classes[cls].size); got < size {
+			t.Fatalf("class %d size %d cannot hold request %d", cls, got, size)
+		}
+		if cls > 0 && uint64(a.classes[cls-1].size) >= size {
+			t.Fatalf("size %d mapped to class %d but class %d already fits", size, cls, cls-1)
+		}
+		if uint64(ck.Size()) != uint64(a.classes[cls].size) {
+			t.Fatalf("cookie size %d disagrees with class size %d", ck.Size(), a.classes[cls].size)
+		}
+	})
+}
+
 // FuzzAllocatorOps drives the whole allocator with a byte-coded operation
 // sequence: every reachable state must preserve every invariant. Run with
 // `go test -fuzz=FuzzAllocatorOps ./internal/core` to explore; plain

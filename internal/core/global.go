@@ -5,10 +5,11 @@ import (
 	"kmem/internal/machine"
 )
 
-// globalPool is one size class's global layer. Its only purpose is to
-// support the case where "one CPU allocates buffers of a given size,
-// which are then passed to other CPUs that free them": freed buffers can
-// flow back to the allocating CPU without the expense of coalescing.
+// globalPool is one size class's global layer on one NUMA node (one pool
+// per class on a single-node machine). Its only purpose is to support
+// the case where "one CPU allocates buffers of a given size, which are
+// then passed to other CPUs that free them": freed buffers can flow back
+// to the allocating CPU without the expense of coalescing.
 //
 // Free blocks are kept as a stack of target-sized lists (gblfree in the
 // paper's Figure 3), so whole lists move to and from the per-CPU layer
@@ -20,10 +21,23 @@ import (
 // exchange, so an adaptive retune takes effect on the next get or put:
 // lists grouped under an old target are simply odd-sized under the new
 // one and flow through the bucket to be regrouped.
+//
+// Home-node invariant: a pool only ever holds blocks homed on its node.
+// Frees route every spilled block to its home pool through the dope
+// vector (routeSpill), refills come from the node-local page pool, and
+// the cross-node steal path removes blocks from a victim pool rather
+// than mixing them in. drainAll may therefore push straight to the
+// node-local page pool, and the invariant is asserted both there
+// (putBlockLocked) and by CheckConsistency.
 type globalPool struct {
-	al  *Allocator
-	cls int
-	ctl *classController
+	al   *Allocator
+	cls  int
+	node int
+	ctl  *classController
+
+	// pp is the node-local coalesce-to-page pool this pool refills from
+	// and spills to.
+	pp *pagePool
 
 	lk   *machine.SpinLock
 	line machine.Line
@@ -32,17 +46,19 @@ type globalPool struct {
 	bucket blocklist.List
 
 	// ev tallies this pool's slice of the event spine (EvGlobalGet,
-	// EvGlobalPut, EvGlobalRefill, EvGlobalSpill), written under lk.
+	// EvGlobalPut, EvGlobalRefill, EvGlobalSpill, plus the node-crossing
+	// EvRemoteFree/EvNodeSteal/EvInterconnect), written under lk.
 	ev eventCounts
 }
 
-func newGlobalPool(a *Allocator, cls int, ctl *classController) *globalPool {
+func newGlobalPool(a *Allocator, cls, node int, ctl *classController) *globalPool {
 	return &globalPool{
 		al:   a,
 		cls:  cls,
+		node: node,
 		ctl:  ctl,
-		lk:   machine.NewSpinLock(a.m),
-		line: a.m.NewMetaLine(),
+		lk:   machine.NewSpinLockOn(a.m, node),
+		line: a.m.NewMetaLineOn(node),
 	}
 }
 
@@ -65,7 +81,7 @@ func (g *globalPool) getList(c *machine.CPU) (blocklist.List, error) {
 	refilled := 0
 	if len(g.lists) == 0 && g.bucket.Empty() {
 		g.ev[EvGlobalRefill]++
-		fresh, err := g.al.classes[g.cls].pages.getLists(c, gbltarget, target)
+		fresh, err := g.pp.getLists(c, gbltarget, target)
 		if err != nil && len(fresh) == 0 {
 			c.Write(g.line)
 			g.lk.Release(c)
@@ -112,7 +128,7 @@ func (g *globalPool) getOne(c *machine.CPU) (blocklist.List, error) {
 	refilled := 0
 	if len(g.lists) == 0 && g.bucket.Empty() {
 		g.ev[EvGlobalRefill]++
-		fresh, err := g.al.classes[g.cls].pages.getLists(c, gbltarget, target)
+		fresh, err := g.pp.getLists(c, gbltarget, target)
 		if err != nil && len(fresh) == 0 {
 			c.Write(g.line)
 			g.lk.Release(c)
@@ -158,10 +174,17 @@ func (g *globalPool) putList(c *machine.CPU, l blocklist.List) {
 		return
 	}
 	target, gbltarget := g.ctl.curTarget(), g.ctl.curGblTarget()
+	remote := 0
 	g.lk.Acquire(c)
 	c.Work(insnGlobalOp)
 	c.Read(g.line)
 	g.ev[EvGlobalPut]++
+	if c.Node() != g.node {
+		// A block coming home: the freeing CPU lives on another node.
+		remote = l.Len()
+		g.ev[EvRemoteFree] += uint64(remote)
+		g.ev[EvInterconnect]++
+	}
 
 	if l.Len() == target {
 		g.lists = append(g.lists, l)
@@ -185,13 +208,17 @@ func (g *globalPool) putList(c *machine.CPU, l blocklist.List) {
 	c.Write(g.line)
 	g.lk.Release(c)
 	g.al.emit(g.cls, EvGlobalPut, 1)
+	if remote > 0 {
+		g.al.emit(g.cls, EvRemoteFree, remote)
+		g.al.emit(g.cls, EvInterconnect, 1)
+	}
 
 	// Push the excess to the coalescing layer outside the global lock;
 	// each block is examined individually there.
 	spilled := 0
 	for _, s := range spill {
 		spilled += s.Len()
-		g.al.classes[g.cls].pages.putBlocks(c, s)
+		g.pp.putBlocks(c, s)
 	}
 	if spilled > 0 {
 		g.al.emit(g.cls, EvGlobalSpill, spilled)
@@ -222,6 +249,38 @@ func (g *globalPool) notePut(c *machine.CPU, missed bool) {
 	g.ctl.noteGbl(g.al, c, g.cls, 1, m)
 }
 
+// stealList removes one cached list from this pool on behalf of a CPU
+// whose own node's pool ran dry. Unlike getList it never refills from
+// the page layer: a steal takes only blocks already cached here, so a
+// dry machine still funnels through the reclaim path rather than
+// carving remote pages. The stolen blocks keep this pool's home node —
+// when the thief's CPU cache spills them later, routeSpill sends them
+// back here.
+func (g *globalPool) stealList(c *machine.CPU) blocklist.List {
+	g.lk.Acquire(c)
+	c.Work(insnGlobalOp)
+	c.Read(g.line)
+	var out blocklist.List
+	if n := len(g.lists); n > 0 {
+		out = g.lists[n-1]
+		g.lists = g.lists[:n-1]
+	} else if !g.bucket.Empty() {
+		out = g.bucket.Take()
+	}
+	stolen := out.Len()
+	if stolen > 0 {
+		g.ev[EvNodeSteal] += uint64(stolen)
+		g.ev[EvInterconnect]++
+	}
+	c.Write(g.line)
+	g.lk.Release(c)
+	if stolen > 0 {
+		g.al.emit(g.cls, EvNodeSteal, stolen)
+		g.al.emit(g.cls, EvInterconnect, 1)
+	}
+	return out
+}
+
 // drainAll pushes every block in the pool down to the coalesce-to-page
 // layer. The low-memory reclaim path uses it to let fully-free pages be
 // released for other sizes and for user processes.
@@ -235,10 +294,10 @@ func (g *globalPool) drainAll(c *machine.CPU) {
 	g.lk.Release(c)
 
 	for _, l := range all {
-		g.al.classes[g.cls].pages.putBlocks(c, l)
+		g.pp.putBlocks(c, l)
 	}
 	if !bucket.Empty() {
-		g.al.classes[g.cls].pages.putBlocks(c, bucket)
+		g.pp.putBlocks(c, bucket)
 	}
 }
 

@@ -14,7 +14,7 @@ func TestGetOnePrefersBucket(t *testing.T) {
 	a, m := testAllocator(t, 1, 1024, Params{RadixSort: true, DisableSplitFreelist: true})
 	c := m.CPU(0)
 	cls := a.classFor(64)
-	g := a.classes[cls].global
+	g := a.classes[cls].globals[0]
 
 	// Prime the global layer through normal traffic.
 	var bs []arena.Addr
@@ -57,7 +57,7 @@ func TestGetOneRefillsWhenEmpty(t *testing.T) {
 	a, m := testAllocator(t, 1, 1024, Params{RadixSort: true, DisableSplitFreelist: true})
 	c := m.CPU(0)
 	cls := a.classFor(64)
-	g := a.classes[cls].global
+	g := a.classes[cls].globals[0]
 	if g.blocksHeld(c) != 0 {
 		t.Fatal("pool not empty at start")
 	}
@@ -81,7 +81,7 @@ func TestGetOneExhausted(t *testing.T) {
 	a, m := testAllocator(t, 1, 8, Params{RadixSort: true, DisableSplitFreelist: true}) // header only
 	c := m.CPU(0)
 	cls := a.classFor(64)
-	g := a.classes[cls].global
+	g := a.classes[cls].globals[0]
 	if _, err := g.getOne(c); err == nil {
 		t.Fatal("getOne on starved machine succeeded")
 	} else if !errors.Is(err, ErrNoMemory) && !errors.Is(err, errNoVA) {
@@ -94,7 +94,7 @@ func TestPutListOddSizesRegroup(t *testing.T) {
 	a, m := testAllocator(t, 1, 1024, Params{RadixSort: true})
 	c := m.CPU(0)
 	cls := a.classFor(32)
-	g := a.classes[cls].global
+	g := a.classes[cls].globals[0]
 	target := a.classes[cls].target
 
 	// Hand the pool several odd-sized lists directly.

@@ -14,7 +14,7 @@ func TestGlobalBucketRegroupsOddLists(t *testing.T) {
 	a, m := testAllocator(t, 1, 1024, Params{RadixSort: true})
 	c := m.CPU(0)
 	cls := a.classFor(64)
-	g := a.classes[cls].global
+	g := a.classes[cls].globals[0]
 	target := a.classes[cls].target
 
 	// Feed the global layer odd-sized lists (as low-memory cache flushes
@@ -55,7 +55,7 @@ func TestGlobalSpillRespectsCapacity(t *testing.T) {
 	a, m := testAllocator(t, 1, 2048, Params{RadixSort: true})
 	c := m.CPU(0)
 	cls := a.classFor(32)
-	g := a.classes[cls].global
+	g := a.classes[cls].globals[0]
 	target := a.classes[cls].target
 	capBlocks := g.capacityLists() * target
 

@@ -32,7 +32,9 @@ func (a *Allocator) reclaim(c *machine.CPU) {
 	// layer; pages whose blocks are all free are released immediately,
 	// returning physical memory to the system.
 	for cls := range a.classes {
-		a.classes[cls].global.drainAll(c)
+		for _, g := range a.classes[cls].globals {
+			g.drainAll(c)
+		}
 	}
 }
 
@@ -55,11 +57,22 @@ func (a *Allocator) DrainCPU(c *machine.CPU, cpu int) {
 			pc.target = ctl.curTarget()
 		}
 		il.Release(c)
-		if !main.Empty() {
-			a.classes[cls].global.putList(c, main)
-		}
-		if !aux.Empty() {
-			a.classes[cls].global.putList(c, aux)
+		if a.nodes == 1 {
+			if !main.Empty() {
+				a.classes[cls].globals[0].putList(c, main)
+			}
+			if !aux.Empty() {
+				a.classes[cls].globals[0].putList(c, aux)
+			}
+		} else {
+			// Drained caches may hold blocks from several nodes
+			// (steals); route each block to its home pool.
+			if !main.Empty() {
+				a.routeSpill(c, cls, main)
+			}
+			if !aux.Empty() {
+				a.routeSpill(c, cls, aux)
+			}
 		}
 	}
 }
@@ -73,6 +86,8 @@ func (a *Allocator) DrainAll(c *machine.CPU) {
 		a.DrainCPU(c, cpu)
 	}
 	for cls := range a.classes {
-		a.classes[cls].global.drainAll(c)
+		for _, g := range a.classes[cls].globals {
+			g.drainAll(c)
+		}
 	}
 }

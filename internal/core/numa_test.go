@@ -1,0 +1,325 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"kmem/internal/arena"
+	"kmem/internal/blocklist"
+	"kmem/internal/machine"
+)
+
+// numaAllocator builds a simulated allocator on a multi-node machine.
+func numaAllocator(t *testing.T, ncpu, nodes int, physPages int64, p Params) (*Allocator, *machine.Machine) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.NumCPUs = ncpu
+	cfg.Nodes = nodes
+	cfg.MemBytes = 16 << 20
+	cfg.PhysPages = physPages
+	m := machine.New(cfg)
+	a, err := New(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, m
+}
+
+func TestRemoteFreeRoutesHome(t *testing.T) {
+	// The paper's motivating pattern: CPU 0 (node 0) allocates, CPU 2
+	// (node 1) frees. Every freed block must route back to its home
+	// node's pool — never into the freeing CPU's node pool.
+	a, m := numaAllocator(t, 4, 2, 1024, Params{RadixSort: true})
+	c0, c2 := m.CPU(0), m.CPU(2)
+	if c0.Node() != 0 || c2.Node() != 1 {
+		t.Fatalf("node layout: cpu0 on %d, cpu2 on %d", c0.Node(), c2.Node())
+	}
+
+	var bs []arena.Addr
+	for i := 0; i < 200; i++ {
+		b, err := a.Alloc(c0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs = append(bs, b)
+	}
+	for _, b := range bs {
+		a.Free(c2, b, 64)
+	}
+	a.DrainCPU(c2, 2)
+
+	cls := a.classFor(64)
+	st := a.Stats(c0).Classes[cls]
+	if st.RemoteFrees == 0 {
+		t.Fatal("no remote frees recorded for a cross-node free storm")
+	}
+	if st.Interconnect == 0 {
+		t.Fatal("no interconnect crossings recorded")
+	}
+	// Home-node invariant: node 1's pool holds nothing (all blocks are
+	// homed on node 0), node 0's pool holds the returned blocks.
+	if n := a.classes[cls].globals[1].blocksHeld(c0); n != 0 {
+		t.Fatalf("node 1 pool holds %d foreign blocks", n)
+	}
+	if n := a.classes[cls].globals[0].blocksHeld(c0); n == 0 {
+		t.Fatal("node 0 pool got nothing back")
+	}
+	checkOK(t, a)
+	a.DrainAll(c0)
+	checkOK(t, a)
+}
+
+func TestNodeStealWhenHomeDry(t *testing.T) {
+	// Exhaust physical memory from node 0, then return a few blocks to
+	// node 0's pool. An allocation on node 1 cannot carve a node-local
+	// page (no physical pages left for a new vmblk), so it must steal
+	// the cached blocks cross-node rather than fail.
+	a, m := numaAllocator(t, 4, 2, 48, Params{RadixSort: true})
+	c0, c2 := m.CPU(0), m.CPU(2)
+
+	var live []arena.Addr
+	for {
+		b, err := a.Alloc(c0, 64)
+		if err != nil {
+			break // physical memory exhausted
+		}
+		live = append(live, b)
+	}
+	if len(live) < 64 {
+		t.Fatalf("only %d blocks before exhaustion", len(live))
+	}
+
+	// Return a modest number on the owning node — few enough that the
+	// global pool cannot overflow and release pages back to physmem.
+	for _, b := range live[:16] {
+		a.Free(c0, b, 64)
+	}
+	live = live[16:]
+	a.DrainCPU(c0, 0)
+	cls := a.classFor(64)
+	if n := a.classes[cls].globals[0].blocksHeld(c0); n == 0 {
+		t.Fatal("node 0 pool empty after frees")
+	}
+
+	b, err := a.Alloc(c2, 64)
+	if err != nil {
+		t.Fatalf("node 1 alloc failed despite cached blocks on node 0: %v", err)
+	}
+	st := a.Stats(c0).Classes[cls]
+	if st.NodeSteals == 0 {
+		t.Fatal("allocation succeeded without recording a node steal")
+	}
+	a.Free(c2, b, 64)
+	for _, l := range live {
+		a.Free(c0, l, 64)
+	}
+	a.DrainAll(c0)
+	checkOK(t, a)
+}
+
+func TestBucketRegroupAfterRetune(t *testing.T) {
+	// An adaptive retune changes target between exchanges: lists grouped
+	// under the old target are odd-sized under the new one and must flow
+	// through the bucket to be regrouped. The retune is simulated by
+	// storing the new target directly, exactly what the controller does.
+	a, m := testAllocator(t, 1, 1024, Params{RadixSort: true})
+	c := m.CPU(0)
+	cls := a.classFor(32)
+	g := a.classes[cls].globals[0]
+	oldTarget := g.ctl.curTarget()
+
+	mkList := func(n int) (l blocklist.List) {
+		for i := 0; i < n; i++ {
+			b, err := a.Alloc(c, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.Push(c, a.mem, b)
+		}
+		return l
+	}
+	// Build three lists grouped under the old target, then empty the pool
+	// of the refill traffic the allocations caused, so it holds exactly
+	// those three lists.
+	lists := make([]blocklist.List, 3)
+	for i := range lists {
+		lists[i] = mkList(oldTarget)
+	}
+	a.DrainCPU(c, 0)
+	g.drainAll(c)
+	for _, l := range lists {
+		g.putList(c, l)
+	}
+	g.lk.Acquire(c)
+	nOld := len(g.lists)
+	g.lk.Release(c)
+	if nOld != 3 {
+		t.Fatalf("%d full lists before retune, want 3", nOld)
+	}
+
+	newTarget := oldTarget + 3
+	g.ctl.target.Store(int64(newTarget))
+
+	// Exchange every cached list once: each comes out still grouped
+	// under the old target, is odd-sized under the new one, and must
+	// regroup through the bucket on its way back in.
+	var cycled []blocklist.List
+	for i := 0; i < nOld; i++ {
+		l, err := g.getList(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Len() != oldTarget {
+			t.Fatalf("exchange %d returned %d blocks, want the old grouping %d", i, l.Len(), oldTarget)
+		}
+		cycled = append(cycled, l)
+	}
+	for _, l := range cycled {
+		g.putList(c, l)
+	}
+
+	g.lk.Acquire(c)
+	total := g.bucket.Len()
+	for i, l := range g.lists {
+		if l.Len() != newTarget {
+			t.Fatalf("list %d has %d blocks after retune, want %d", i, l.Len(), newTarget)
+		}
+		total += l.Len()
+	}
+	if g.bucket.Len() >= newTarget {
+		t.Fatalf("bucket kept %d blocks, regroup threshold is %d", g.bucket.Len(), newTarget)
+	}
+	g.lk.Release(c)
+	if total != 3*oldTarget {
+		t.Fatalf("pool holds %d blocks, want %d conserved", total, 3*oldTarget)
+	}
+	a.DrainAll(c)
+	checkOK(t, a)
+}
+
+func TestDopeVectorHomeConsistency(t *testing.T) {
+	// Property: every address carved from a page resolves through the
+	// dope vector to that page's descriptor and to the home node of the
+	// vmblk the page belongs to, regardless of which CPU asks.
+	a, m := numaAllocator(t, 4, 2, 2048, Params{RadixSort: true})
+	type held struct {
+		b    arena.Addr
+		size uint64
+	}
+	var live []held
+	sizes := []uint64{16, 48, 64, 200, 1024, 4096}
+	for i := 0; i < 400; i++ {
+		c := m.CPU(i % 4)
+		sz := sizes[i%len(sizes)]
+		b, err := a.Alloc(c, sz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, held{b, sz})
+	}
+	// One large allocation per node exercises the span path too.
+	for _, cpu := range []int{0, 2} {
+		b, err := a.Alloc(m.CPU(cpu), 64<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, held{b, 64 << 10})
+	}
+
+	c := m.CPU(0)
+	for _, h := range live {
+		pg := int32(h.b >> a.pageShift)
+		vb := a.vm.vmblkOf(pg)
+		if vb == nil {
+			t.Fatalf("block %#x has no vmblk", h.b)
+		}
+		if got := a.vm.nodeOfPage(pg); got != int(vb.home) {
+			t.Fatalf("page %d: nodeOfPage %d, vmblk home %d", pg, got, vb.home)
+		}
+		for _, cpu := range []int{0, 3} { // ask from both nodes
+			if got := a.vm.homeOf(m.CPU(cpu), h.b); got != int(vb.home) {
+				t.Fatalf("homeOf(%#x) from cpu %d = %d, want %d", h.b, cpu, got, vb.home)
+			}
+		}
+		pd, _ := a.vm.lookup(c, h.b)
+		switch pd.state {
+		case pdSplit:
+			if h.size > uint64(a.classes[pd.class].size) {
+				t.Fatalf("block %#x: class %d size %d < request %d",
+					h.b, pd.class, a.classes[pd.class].size, h.size)
+			}
+		case pdAllocHead:
+			if h.size <= uint64(a.maxSmall) {
+				t.Fatalf("small block %#x resolved to a span head", h.b)
+			}
+		default:
+			t.Fatalf("block %#x resolves to %s page", h.b, pdStateName(pd.state))
+		}
+	}
+	for _, h := range live {
+		a.Free(c, h.b, h.size)
+	}
+	a.DrainAll(c)
+	checkOK(t, a)
+}
+
+func TestNativeCrossNodeFree(t *testing.T) {
+	// Native mode with a topology: producers on node 0 allocate, consumers
+	// on node 1 free, concurrently. The race detector sees the whole
+	// remote-routing path (routeSpill's dope-vector reads in particular).
+	cfg := machine.DefaultConfig()
+	cfg.Mode = machine.Native
+	cfg.NumCPUs = 4
+	cfg.Nodes = 2
+	cfg.MemBytes = 32 << 20
+	cfg.PhysPages = 4096
+	m := machine.New(cfg)
+	a, err := New(m, Params{RadixSort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := a.GetCookie(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perProducer = 5000
+	chans := [2]chan arena.Addr{
+		make(chan arena.Addr, 256),
+		make(chan arena.Addr, 256),
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ { // CPUs 0,1 = node 0
+		wg.Add(1)
+		go func(c *machine.CPU, out chan<- arena.Addr) {
+			defer wg.Done()
+			defer close(out)
+			for i := 0; i < perProducer; i++ {
+				b, err := a.AllocCookie(c, ck)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				out <- b
+			}
+		}(m.CPU(p), chans[p])
+	}
+	for q := 0; q < 2; q++ { // CPUs 2,3 = node 1
+		wg.Add(1)
+		go func(c *machine.CPU, in <-chan arena.Addr) {
+			defer wg.Done()
+			for b := range in {
+				a.FreeCookie(c, b, ck)
+			}
+		}(m.CPU(2+q), chans[q])
+	}
+	wg.Wait()
+
+	c := m.CPU(0)
+	st := a.Stats(c).Classes[a.classFor(128)]
+	if st.RemoteFrees == 0 {
+		t.Fatal("no remote frees in a cross-node producer/consumer run")
+	}
+	a.DrainAll(c)
+	checkOK(t, a)
+}

@@ -8,17 +8,23 @@ import (
 	"kmem/internal/machine"
 )
 
-// pagePool is one size class's coalesce-to-page layer. It gathers blocks
-// of its size and coalesces them into pages: each split page's descriptor
+// pagePool is one size class's coalesce-to-page layer on one NUMA node
+// (one pool per class on a single-node machine). It gathers blocks of
+// its size and coalesces them into pages: each split page's descriptor
 // carries a per-page freelist and a count of free blocks, so the layer
 // "can immediately determine when all of the blocks in a given page have
 // been freed up" — no mark-and-sweep, no offline sorting. Pages with free
 // blocks are kept on a radix-sorted freelist (indexed by free count) so
 // that "pages with the fewest free blocks will be allocated from most
 // frequently", giving nearly-free pages time to drain completely.
+//
+// Home-node invariant: every page in the pool is carved from a vmblk
+// homed on the pool's node, so its radix-sorted freelists and the pages
+// they thread through stay node-local.
 type pagePool struct {
 	al            *Allocator
 	cls           int
+	node          int
 	size          uint32
 	blocksPerPage int
 
@@ -39,14 +45,15 @@ type pagePool struct {
 	ev eventCounts
 }
 
-func newPagePool(a *Allocator, cls int, size uint32) *pagePool {
+func newPagePool(a *Allocator, cls, node int, size uint32) *pagePool {
 	p := &pagePool{
 		al:            a,
 		cls:           cls,
+		node:          node,
 		size:          size,
 		blocksPerPage: int(a.m.Config().PageBytes / uint64(size)),
-		lk:            machine.NewSpinLock(a.m),
-		line:          a.m.NewMetaLine(),
+		lk:            machine.NewSpinLockOn(a.m, node),
+		line:          a.m.NewMetaLineOn(node),
 		fifo:          newPdList(),
 	}
 	p.buckets = make([]pdList, p.blocksPerPage+1)
@@ -109,10 +116,11 @@ func (p *pagePool) refile(c *machine.CPU, pg int32, oldFree, newFree int) {
 	p.fileIn(c, pg, newFree)
 }
 
-// carvePage obtains one page from the vmblk layer and splits it into
-// blocks, building the per-page freelist inside the page itself.
+// carvePage obtains one page homed on the pool's node from the vmblk
+// layer and splits it into blocks, building the per-page freelist inside
+// the page itself.
 func (p *pagePool) carvePage(c *machine.CPU) (int32, error) {
-	pg, err := p.al.vm.allocPages(c, 1)
+	pg, err := p.al.vm.allocPages(c, 1, p.node)
 	if err != nil {
 		return -1, err
 	}
@@ -229,6 +237,10 @@ func (p *pagePool) putBlockLocked(c *machine.CPU, b arena.Addr) {
 	if pd.state != pdSplit || int(pd.class) != p.cls {
 		panic(fmt.Sprintf("kmem: block %#x returned to class %d but page is %s/class %d",
 			b, p.cls, pdStateName(pd.state), pd.class))
+	}
+	if home := p.al.vm.nodeOfPage(pg); home != p.node {
+		panic(fmt.Sprintf("kmem: block %#x homed on node %d returned to node %d pool",
+			b, home, p.node))
 	}
 	oldFree := int(pd.nFree)
 	p.al.mem.Store64(b, pd.freeHead)

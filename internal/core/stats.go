@@ -22,12 +22,17 @@ type ClassStats struct {
 	AllocRefills uint64 // allocations that visited the global layer
 	FreeSpills   uint64 // frees that pushed a list to the global layer
 
-	// Global layer.
+	// Global layer (summed over the per-node pools on NUMA machines).
 	GlobalGets    uint64
 	GlobalPuts    uint64
 	GlobalRefills uint64 // gets that reached the coalesce-to-page layer
 	GlobalSpills  uint64 // puts that reached the coalesce-to-page layer
 	GlobalLock    machine.LockStats
+
+	// Node-crossing traffic (zero on single-node machines).
+	RemoteFrees  uint64 // blocks routed to a non-local node's global pool
+	NodeSteals   uint64 // blocks stolen from other nodes' pools by dry refills
+	Interconnect uint64 // slow-path pool operations that crossed the interconnect
 
 	// Coalesce-to-page layer.
 	BlockGets  uint64
@@ -173,26 +178,34 @@ func (a *Allocator) Stats(c *machine.CPU) Stats {
 		cs := &a.classes[i]
 		st := &out.Classes[i]
 
-		g := cs.global
-		g.lk.Acquire(c)
-		st.GlobalGets = g.ev[EvGlobalGet]
-		st.GlobalPuts = g.ev[EvGlobalPut]
-		st.GlobalRefills = g.ev[EvGlobalRefill]
-		st.GlobalSpills = g.ev[EvGlobalSpill]
-		st.HeldGlobal = g.bucket.Len()
-		for _, l := range g.lists {
-			st.HeldGlobal += l.Len()
+		for _, g := range cs.globals {
+			g.lk.Acquire(c)
+			st.GlobalGets += g.ev[EvGlobalGet]
+			st.GlobalPuts += g.ev[EvGlobalPut]
+			st.GlobalRefills += g.ev[EvGlobalRefill]
+			st.GlobalSpills += g.ev[EvGlobalSpill]
+			st.RemoteFrees += g.ev[EvRemoteFree]
+			st.NodeSteals += g.ev[EvNodeSteal]
+			st.Interconnect += g.ev[EvInterconnect]
+			st.HeldGlobal += g.bucket.Len()
+			for _, l := range g.lists {
+				st.HeldGlobal += l.Len()
+			}
+			g.lk.Release(c)
+			ls := g.lk.Stats()
+			st.GlobalLock.Acquisitions += ls.Acquisitions
+			st.GlobalLock.Contended += ls.Contended
+			st.GlobalLock.SpinCycles += ls.SpinCycles
 		}
-		g.lk.Release(c)
-		st.GlobalLock = g.lk.Stats()
 
-		p := cs.pages
-		p.lk.Acquire(c)
-		st.BlockGets = p.ev[EvBlockGet]
-		st.BlockPuts = p.ev[EvBlockPut]
-		st.PageAllocs = p.ev[EvPageCarve]
-		st.PageFrees = p.ev[EvPageFree]
-		p.lk.Release(c)
+		for _, p := range cs.pages {
+			p.lk.Acquire(c)
+			st.BlockGets += p.ev[EvBlockGet]
+			st.BlockPuts += p.ev[EvBlockPut]
+			st.PageAllocs += p.ev[EvPageCarve]
+			st.PageFrees += p.ev[EvPageFree]
+			p.lk.Release(c)
+		}
 	}
 
 	a.vm.lk.Acquire(c)

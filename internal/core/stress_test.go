@@ -280,7 +280,7 @@ func TestNativeReclaimAtExhaustion(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var live atomic.Int64 // blocks currently held by the goroutines
+	var live atomic.Int64             // blocks currently held by the goroutines
 	observed := make([][]int64, cpus) // live count at each ErrNoMemory, per CPU
 	held := make([][]arena.Addr, cpus)
 

@@ -64,12 +64,15 @@ type pageDesc struct {
 }
 
 // vmblk is one 4 MB (by default) block of kernel virtual address space:
-// header pages holding the page descriptors, then the data pages.
+// header pages holding the page descriptors, then the data pages. Every
+// vmblk has a home NUMA node: all of its pages are homed there, and
+// blocks carved from them always return to that node's pools.
 type vmblk struct {
 	base        arena.Addr
 	firstPage   int32 // global page number of base
 	headerPages int32
 	pages       int32 // total pages including the header
+	home        int8  // owning NUMA node (0 on single-node machines)
 	pds         []pageDesc
 }
 
@@ -109,8 +112,12 @@ type vmblkLayer struct {
 	dope     []*vmblk
 	dopeLine machine.Line
 
-	next  int // index of the next vmblk slot to create
-	spans [maxSpanBucket + 1]pdList
+	next int // index of the next vmblk slot to create
+
+	// spans[node] holds the free-span freelists of the vmblks homed on
+	// that node, so page allocations stay node-local (one table on a
+	// single-node machine).
+	spans []nodeSpans
 
 	// ev tallies this layer's slice of the event spine (EvSpanAlloc,
 	// EvSpanFree, EvVmblkCreate, EvLargeAlloc, EvLargeFree, EvPagesMap,
@@ -119,6 +126,9 @@ type vmblkLayer struct {
 	ev eventCounts
 }
 
+// nodeSpans is one node's span freelists, indexed by span bucket.
+type nodeSpans [maxSpanBucket + 1]pdList
+
 func newVmblkLayer(a *Allocator) *vmblkLayer {
 	v := &vmblkLayer{
 		al:       a,
@@ -126,8 +136,11 @@ func newVmblkLayer(a *Allocator) *vmblkLayer {
 		dope:     make([]*vmblk, a.m.Config().MemBytes>>a.vmblkShift),
 		dopeLine: a.m.NewMetaLine(),
 	}
-	for i := range v.spans {
-		v.spans[i] = newPdList()
+	v.spans = make([]nodeSpans, a.m.NumNodes())
+	for n := range v.spans {
+		for i := range v.spans[n] {
+			v.spans[n][i] = newPdList()
+		}
 	}
 	return v
 }
@@ -173,6 +186,30 @@ func (v *vmblkLayer) pageAddr(pg int32) arena.Addr {
 	return arena.Addr(pg) << v.al.pageShift
 }
 
+// nodeOfPage returns the home node of page pg (no cost charges; use
+// homeOf for the charged dope-vector answer).
+func (v *vmblkLayer) nodeOfPage(pg int32) int {
+	vb := v.vmblkOf(pg)
+	if vb == nil {
+		panic(fmt.Sprintf("kmem: page %d has no vmblk", pg))
+	}
+	return int(vb.home)
+}
+
+// homeOf answers "which node owns this block" from the dope vector
+// alone: the home is a per-vmblk property, so no page-descriptor access
+// is needed. This is the charged lookup the cross-node free path uses to
+// route every spilled block back to its home node.
+func (v *vmblkLayer) homeOf(c *machine.CPU, addr arena.Addr) int {
+	c.Work(insnDopeLook)
+	c.Read(v.dopeLine)
+	vb := v.dope[addr>>v.al.vmblkShift]
+	if vb == nil {
+		panic(fmt.Sprintf("kmem: address %#x not managed by allocator", addr))
+	}
+	return int(vb.home)
+}
+
 // --- pdList operations ------------------------------------------------
 
 func (v *vmblkLayer) pdPush(c *machine.CPU, l *pdList, pg int32) {
@@ -215,9 +252,9 @@ func (v *vmblkLayer) isFreeTail(pd *pageDesc) bool {
 	return pd.state == pdFreeTail || (pd.state == pdFreeHead && pd.spanPages == 1)
 }
 
-// insertSpan marks [pg, pg+n) as a free span and files it on the proper
-// span freelist. Only the head and tail descriptors carry span state
-// (boundary tags); interior descriptors are never consulted.
+// insertSpan marks [pg, pg+n) as a free span and files it on its home
+// node's span freelist. Only the head and tail descriptors carry span
+// state (boundary tags); interior descriptors are never consulted.
 func (v *vmblkLayer) insertSpan(c *machine.CPU, pg, n int32) {
 	head := v.pdOf(pg)
 	head.state = pdFreeHead
@@ -232,28 +269,30 @@ func (v *vmblkLayer) insertSpan(c *machine.CPU, pg, n int32) {
 		tail.spanPages = uint32(n)
 		c.Write(tail.line)
 	}
-	v.pdPush(c, &v.spans[spanBucket(n)], pg)
+	v.pdPush(c, &v.spans[v.nodeOfPage(pg)][spanBucket(n)], pg)
 }
 
 // removeSpan unlinks the free span headed at pg from its freelist.
 func (v *vmblkLayer) removeSpan(c *machine.CPU, pg int32, n int32) {
-	v.pdRemove(c, &v.spans[spanBucket(n)], pg)
+	v.pdRemove(c, &v.spans[v.nodeOfPage(pg)][spanBucket(n)], pg)
 }
 
-// findSpan locates a free span of at least n pages (first fit, smallest
-// bucket first) and returns its head page and length, or -1.
-func (v *vmblkLayer) findSpan(c *machine.CPU, n int32) (int32, int32) {
+// findSpan locates a free span of at least n pages homed on the given
+// node (first fit, smallest bucket first) and returns its head page and
+// length, or -1.
+func (v *vmblkLayer) findSpan(c *machine.CPU, n int32, node int) (int32, int32) {
+	spans := &v.spans[node]
 	for b := spanBucket(n); b <= maxSpanBucket; b++ {
 		c.Work(1)
-		if v.spans[b].empty() {
+		if spans[b].empty() {
 			continue
 		}
 		if b < maxSpanBucket {
-			pg := v.spans[b].head
+			pg := spans[b].head
 			return pg, int32(b)
 		}
 		// Final bucket: lengths vary; walk first-fit.
-		for pg := v.spans[b].head; pg != -1; {
+		for pg := spans[b].head; pg != -1; {
 			pd := v.pdOf(pg)
 			c.Read(pd.line)
 			if int32(pd.spanPages) >= n {
@@ -265,11 +304,13 @@ func (v *vmblkLayer) findSpan(c *machine.CPU, n int32) (int32, int32) {
 	return -1, 0
 }
 
-// newVmblk carves the next vmblk out of the arena, maps physical pages
-// for its page-descriptor header, and donates its data pages as one big
-// free span. Returns errNoVA when the arena is exhausted and a physmem
-// error when the header cannot be backed.
-func (v *vmblkLayer) newVmblk(c *machine.CPU) error {
+// newVmblk carves the next vmblk out of the arena with the given home
+// node, maps physical pages for its page-descriptor header, registers
+// its pages' home with the machine, and donates its data pages as one
+// big free span on the node's span freelist. Returns errNoVA when the
+// arena is exhausted and a physmem error when the header cannot be
+// backed.
+func (v *vmblkLayer) newVmblk(c *machine.CPU, node int) error {
 	m := v.al.m
 	vmblkBytes := uint64(1) << v.al.vmblkShift
 	base := uint64(v.next) * vmblkBytes
@@ -290,8 +331,10 @@ func (v *vmblkLayer) newVmblk(c *machine.CPU) error {
 		firstPage:   int32(base >> v.al.pageShift),
 		headerPages: hdrPages,
 		pages:       pagesPer,
+		home:        int8(node),
 		pds:         make([]pageDesc, pagesPer),
 	}
+	m.SetPageHomeRange(int64(vb.firstPage), int64(pagesPer), node)
 	for i := range vb.pds {
 		pd := &vb.pds[i]
 		pd.prev, pd.next = -1, -1
@@ -335,26 +378,27 @@ func (v *vmblkLayer) unmapPhys(c *machine.CPU, n int64) {
 	c.Idle(n * v.al.m.Config().PageMapCycles)
 }
 
-// allocPages allocates a span of n virtual pages, backed by freshly
-// mapped physical memory. The head descriptor records the span length so
-// the span can later be freed given only its address.
-func (v *vmblkLayer) allocPages(c *machine.CPU, n int32) (int32, error) {
+// allocPages allocates a span of n virtual pages homed on the given
+// node, backed by freshly mapped physical memory. The head descriptor
+// records the span length so the span can later be freed given only its
+// address.
+func (v *vmblkLayer) allocPages(c *machine.CPU, n int32, node int) (int32, error) {
 	if n <= 0 {
 		panic(fmt.Sprintf("kmem: allocPages(%d)", n))
 	}
 	v.lk.Acquire(c)
 	defer v.lk.Release(c)
-	return v.allocPagesLocked(c, n)
+	return v.allocPagesLocked(c, n, node)
 }
 
-func (v *vmblkLayer) allocPagesLocked(c *machine.CPU, n int32) (int32, error) {
+func (v *vmblkLayer) allocPagesLocked(c *machine.CPU, n int32, node int) (int32, error) {
 	c.Work(insnSpanOp)
-	pg, length := v.findSpan(c, n)
+	pg, length := v.findSpan(c, n, node)
 	if pg == -1 {
-		if err := v.newVmblk(c); err != nil {
+		if err := v.newVmblk(c, node); err != nil {
 			return -1, err
 		}
-		pg, length = v.findSpan(c, n)
+		pg, length = v.findSpan(c, n, node)
 		if pg == -1 {
 			// A fresh vmblk's data span is smaller than n.
 			return -1, errNoVA
@@ -447,7 +491,7 @@ func (v *vmblkLayer) allocLarge(c *machine.CPU, size uint64) (arena.Addr, error)
 	n := v.pagesFor(size)
 	v.lk.Acquire(c)
 	defer v.lk.Release(c)
-	pg, err := v.allocPagesLocked(c, n)
+	pg, err := v.allocPagesLocked(c, n, c.Node())
 	if err != nil {
 		return arena.NilAddr, err
 	}

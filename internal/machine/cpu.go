@@ -9,8 +9,9 @@ import "fmt"
 // A CPU handle must be driven by at most one goroutine at a time, exactly
 // as a physical CPU executes one instruction stream.
 type CPU struct {
-	m  *Machine
-	id int
+	m    *Machine
+	id   int
+	node int
 
 	clock int64
 
@@ -21,13 +22,14 @@ type CPU struct {
 	tlb []uint64
 
 	// Statistics.
-	insns     uint64
-	hits      uint64
-	misses    uint64
-	atomics   uint64
-	tlbMisses uint64
-	busWait   int64
-	spinWait  int64
+	insns        uint64
+	hits         uint64
+	misses       uint64
+	atomics      uint64
+	tlbMisses    uint64
+	remoteMisses uint64
+	busWait      int64
+	spinWait     int64
 
 	// Optional per-access trace (Sim mode), used by the Analysis-section
 	// experiment to show how the worst few off-chip accesses dominate
@@ -73,6 +75,10 @@ func (k AccessKind) String() string {
 
 // ID returns the CPU number.
 func (c *CPU) ID() int { return c.id }
+
+// Node returns the NUMA node this CPU belongs to (0 on a single-node
+// machine).
+func (c *CPU) Node() int { return c.node }
 
 // Machine returns the machine this CPU belongs to.
 func (c *CPU) Machine() *Machine { return c.m }
@@ -129,6 +135,20 @@ func (c *CPU) tlbCheck(l Line) {
 	}
 }
 
+// remoteFor reports whether a transfer of line l by this CPU must cross
+// the inter-node interconnect: the line's home memory is on another
+// node, or its current exclusive owner is a CPU on another node.
+func (c *CPU) remoteFor(l Line, dir int8) bool {
+	m := c.m
+	if len(m.buses) == 1 {
+		return false
+	}
+	if m.lineHome(l) != c.node {
+		return true
+	}
+	return dir != ownerNone && int(dir) != c.id && m.cpus[dir].node != c.node
+}
+
 // access performs the cache/coherence accounting for one access to line l.
 func (c *CPU) access(l Line, kind AccessKind) {
 	m := c.m
@@ -149,7 +169,7 @@ func (c *CPU) access(l Line, kind AccessKind) {
 			// downgraded to shared.
 			c.misses++
 			before := c.clock
-			c.clock = m.busTxn(c)
+			c.clock = m.busTxn(c, c.remoteFor(l, *dir))
 			if *dir != ownerNone && *dir != int8(c.id) {
 				*dir = ownerNone
 			}
@@ -165,7 +185,7 @@ func (c *CPU) access(l Line, kind AccessKind) {
 			// generation of hardware, even when the line is owned.
 			c.atomics++
 			before := c.clock
-			c.clock = m.busTxn(c)
+			c.clock = m.busTxn(c, c.remoteFor(l, *dir))
 			c.clock += m.cfg.AtomicCycles
 			*dir = int8(c.id)
 			*slot = l
@@ -182,7 +202,7 @@ func (c *CPU) access(l Line, kind AccessKind) {
 			// invalidating other copies.
 			c.misses++
 			before := c.clock
-			c.clock = m.busTxn(c)
+			c.clock = m.busTxn(c, c.remoteFor(l, *dir))
 			*dir = int8(c.id)
 			*slot = l
 			cost = c.clock - before
@@ -272,6 +292,7 @@ type Stats struct {
 	Misses       uint64
 	Atomics      uint64
 	TLBMisses    uint64
+	RemoteMisses uint64
 	BusWait      int64
 	SpinWait     int64
 }
@@ -285,6 +306,7 @@ func (c *CPU) Stats() Stats {
 		Misses:       c.misses,
 		Atomics:      c.atomics,
 		TLBMisses:    c.tlbMisses,
+		RemoteMisses: c.remoteMisses,
 		BusWait:      c.busWait,
 		SpinWait:     c.spinWait,
 	}
@@ -292,6 +314,6 @@ func (c *CPU) Stats() Stats {
 
 // ResetStats zeroes the CPU's counters but not its clock.
 func (c *CPU) ResetStats() {
-	c.insns, c.hits, c.misses, c.atomics, c.tlbMisses = 0, 0, 0, 0, 0
+	c.insns, c.hits, c.misses, c.atomics, c.tlbMisses, c.remoteMisses = 0, 0, 0, 0, 0, 0
 	c.busWait, c.spinWait = 0, 0
 }

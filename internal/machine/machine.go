@@ -57,6 +57,13 @@ type Config struct {
 	Mode    Mode
 	NumCPUs int
 
+	// Nodes is the number of NUMA nodes. CPUs are assigned to nodes in
+	// contiguous blocks (cpu*Nodes/NumCPUs); each node has its own local
+	// bus, and the nodes are joined by an interconnect with its own
+	// occupancy and latency. The default (0 or 1) is a single node whose
+	// lone bus behaves exactly like the classic shared-bus Symmetry model.
+	Nodes int
+
 	// MemBytes is the size of the kernel virtual address arena.
 	MemBytes uint64
 	// PhysPages is the number of physical pages available for mapping.
@@ -93,6 +100,10 @@ type Config struct {
 	SpinRetryGap   int64 // cycles between spin retries on a held lock
 	PageMapCycles  int64 // VM-system cost to map one physical page
 	PageZeroCycles int64 // cost to zero a freshly mapped page
+
+	// NUMA cycle costs, used only when Nodes > 1.
+	RemoteMissCycles   int64 // extra stall when a line transfer crosses nodes
+	InterconnectCycles int64 // interconnect occupancy per remote transaction
 }
 
 // DefaultConfig returns a configuration approximating the paper's test
@@ -103,6 +114,7 @@ func DefaultConfig() Config {
 	return Config{
 		Mode:           Sim,
 		NumCPUs:        1,
+		Nodes:          1,
 		MemBytes:       64 << 20,
 		PhysPages:      2048,
 		PageBytes:      4096,
@@ -119,6 +131,9 @@ func DefaultConfig() Config {
 		SpinRetryGap:   50,
 		PageMapCycles:  1600,
 		PageZeroCycles: 1024,
+
+		RemoteMissCycles:   60,
+		InterconnectCycles: 24,
 	}
 }
 
@@ -137,14 +152,22 @@ type Machine struct {
 	metaDir  []int8
 	nextMeta uint64
 
-	// Shared bus: a ring of recent occupancy intervals. Operations
-	// execute in virtual-clock order but run to completion, so a
-	// logically earlier transaction may be simulated after a later one;
-	// interval chasing (rather than a single busy-until watermark) keeps
-	// arbitration causal. See busTxn.
-	busRing [busHistory]hold
-	busNext int
-	busTxns uint64
+	// Home node per line: metadata lines are homed where they are
+	// created (metaHome, parallel to metaDir); arena lines inherit the
+	// home of their page (pageHome, registered by the vmblk layer when a
+	// vmblk is carved; unregistered pages default to node 0).
+	metaHome []int8
+	pageHome []int8
+
+	// Per-node local buses plus the inter-node interconnect, each a ring
+	// of recent occupancy intervals. Operations execute in virtual-clock
+	// order but run to completion, so a logically earlier transaction may
+	// be simulated after a later one; interval chasing (rather than a
+	// single busy-until watermark) keeps arbitration causal. See busTxn.
+	// With Nodes=1, buses[0] reproduces the classic single shared bus
+	// cycle for cycle.
+	buses []busState
+	ic    busState
 
 	// Optional per-line off-chip traffic attribution (see profile.go).
 	profile   map[Line]*LineStats
@@ -164,6 +187,12 @@ const metaTag Line = 1 << 63
 func New(cfg Config) *Machine {
 	if cfg.NumCPUs < 1 || cfg.NumCPUs > MaxCPUs {
 		panic(fmt.Sprintf("machine: NumCPUs %d out of range [1,%d]", cfg.NumCPUs, MaxCPUs))
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.Nodes < 1 || cfg.Nodes > cfg.NumCPUs {
+		panic(fmt.Sprintf("machine: Nodes %d out of range [1,%d]", cfg.Nodes, cfg.NumCPUs))
 	}
 	if cfg.CacheLines&(cfg.CacheLines-1) != 0 || cfg.CacheLines <= 0 {
 		panic(fmt.Sprintf("machine: CacheLines %d not a power of two", cfg.CacheLines))
@@ -188,12 +217,15 @@ func New(cfg Config) *Machine {
 		for i := range m.arenaDir {
 			m.arenaDir[i] = ownerNone
 		}
+		m.pageHome = make([]int8, cfg.MemBytes/cfg.PageBytes)
 	}
+	m.buses = make([]busState, cfg.Nodes)
 	m.cpus = make([]CPU, cfg.NumCPUs)
 	for i := range m.cpus {
 		c := &m.cpus[i]
 		c.m = m
 		c.id = i
+		c.node = i * cfg.Nodes / cfg.NumCPUs
 		if cfg.Mode == Sim {
 			c.cache = make([]Line, cfg.CacheLines)
 			for j := range c.cache {
@@ -226,6 +258,14 @@ func (m *Machine) Phys() *physmem.Pool { return m.phys }
 // NumCPUs returns the number of CPUs.
 func (m *Machine) NumCPUs() int { return m.cfg.NumCPUs }
 
+// NumNodes returns the number of NUMA nodes (1 for the classic
+// single-bus machine).
+func (m *Machine) NumNodes() int { return len(m.buses) }
+
+// NodeOf returns the NUMA node CPU i belongs to. CPUs are assigned in
+// contiguous blocks so CPUs of one node share a local bus.
+func (m *Machine) NodeOf(cpu int) int { return cpu * len(m.buses) / m.cfg.NumCPUs }
+
 // CPU returns the handle for CPU i.
 func (m *Machine) CPU(i int) *CPU { return &m.cpus[i] }
 
@@ -239,13 +279,47 @@ func (m *Machine) Sim() bool { return m.cfg.Mode == Sim }
 //
 // NewMetaLine is meant for initialization time and is not safe for
 // concurrent use.
-func (m *Machine) NewMetaLine() Line {
+func (m *Machine) NewMetaLine() Line { return m.NewMetaLineOn(0) }
+
+// NewMetaLineOn reserves a fresh metadata cache line homed on the given
+// NUMA node, so accesses from other nodes pay the interconnect. With a
+// single node it is identical to NewMetaLine.
+func (m *Machine) NewMetaLineOn(node int) Line {
+	if node < 0 || node >= len(m.buses) {
+		panic(fmt.Sprintf("machine: NewMetaLineOn node %d out of range [0,%d)", node, len(m.buses)))
+	}
 	id := m.nextMeta
 	m.nextMeta++
 	if m.cfg.Mode == Sim {
 		m.metaDir = append(m.metaDir, ownerNone)
+		m.metaHome = append(m.metaHome, int8(node))
 	}
 	return metaTag | Line(id)
+}
+
+// SetPageHomeRange assigns the home node of n consecutive arena pages
+// starting at firstPage. The vmblk layer calls it when a vmblk is carved,
+// so every line of the vmblk's pages is homed on the vmblk's node.
+func (m *Machine) SetPageHomeRange(firstPage int64, n int64, node int) {
+	if m.pageHome == nil {
+		return
+	}
+	if node < 0 || node >= len(m.buses) {
+		panic(fmt.Sprintf("machine: SetPageHomeRange node %d out of range [0,%d)", node, len(m.buses)))
+	}
+	for i := firstPage; i < firstPage+n; i++ {
+		m.pageHome[i] = int8(node)
+	}
+}
+
+// lineHome returns the home node of line l.
+func (m *Machine) lineHome(l Line) int {
+	if l&metaTag != 0 {
+		return int(m.metaHome[l&^metaTag])
+	}
+	// Arena line: addr>>LineShift; its page is addr>>log2(PageBytes).
+	page := (uint64(l) << m.cfg.LineShift) / m.cfg.PageBytes
+	return int(m.pageHome[page])
 }
 
 // LineOf returns the cache line holding the arena address addr.
@@ -266,41 +340,82 @@ func (m *Machine) dirSlot(l Line) *int8 {
 // nearby virtual times can overlap a new one.
 const busHistory = 64
 
-// busTxn performs one bus transaction for CPU c: the transaction starts
-// when both the CPU and the bus are ready (chasing any recorded
-// occupancy intervals that overlap, i.e. queueing behind them), occupies
-// the bus for BusCycles, and stalls the CPU for MissCycles in total.
-func (m *Machine) busTxn(c *CPU) int64 {
-	start := c.clock
+// busState is one arbitrated transfer resource — a node-local bus or the
+// inter-node interconnect — remembered as a ring of occupancy intervals.
+type busState struct {
+	ring [busHistory]hold
+	next int
+	txns uint64
+}
+
+// chase returns the earliest time at or after t when the resource is
+// free, queueing behind any recorded interval that overlaps.
+func (b *busState) chase(t int64) int64 {
 	for {
 		next := int64(-1)
-		for i := range m.busRing {
-			h := &m.busRing[i]
-			if h.start <= start && start < h.end && h.end > next {
+		for i := range b.ring {
+			h := &b.ring[i]
+			if h.start <= t && t < h.end && h.end > next {
 				next = h.end
 			}
 		}
 		if next < 0 {
 			break
 		}
-		start = next
+		t = next
+	}
+	return t
+}
+
+// occupy records one occupancy interval in the ring.
+func (b *busState) occupy(start, end int64) {
+	b.ring[b.next] = hold{start: start, end: end}
+	b.next = (b.next + 1) % busHistory
+}
+
+// busTxn performs one bus transaction for CPU c: the transaction starts
+// when the CPU, its node's local bus and — for a remote transaction —
+// the interconnect are all ready (chasing any recorded occupancy
+// intervals, i.e. queueing behind them), occupies the local bus for
+// BusCycles (and the interconnect for InterconnectCycles), and stalls
+// the CPU for MissCycles (plus RemoteMissCycles when remote) in total.
+func (m *Machine) busTxn(c *CPU, remote bool) int64 {
+	b := &m.buses[c.node]
+	start := b.chase(c.clock)
+	if remote {
+		start = m.ic.chase(start)
 	}
 	if start > c.clock {
 		c.busWait += start - c.clock
 	}
-	m.busOccupy(start, start+m.cfg.BusCycles)
-	m.busTxns++
+	b.occupy(start, start+m.cfg.BusCycles)
+	b.txns++
+	if remote {
+		m.ic.occupy(start, start+m.cfg.InterconnectCycles)
+		m.ic.txns++
+		c.remoteMisses++
+		return start + m.cfg.MissCycles + m.cfg.RemoteMissCycles
+	}
 	return start + m.cfg.MissCycles
 }
 
-// busOccupy records one occupancy interval in the ring.
-func (m *Machine) busOccupy(start, end int64) {
-	m.busRing[m.busNext] = hold{start: start, end: end}
-	m.busNext = (m.busNext + 1) % busHistory
+// BusTransactions returns the cumulative number of bus transactions,
+// summed over every node's local bus.
+func (m *Machine) BusTransactions() uint64 {
+	var n uint64
+	for i := range m.buses {
+		n += m.buses[i].txns
+	}
+	return n
 }
 
-// BusTransactions returns the cumulative number of bus transactions.
-func (m *Machine) BusTransactions() uint64 { return m.busTxns }
+// NodeBusTransactions returns the cumulative transactions on one node's
+// local bus.
+func (m *Machine) NodeBusTransactions(node int) uint64 { return m.buses[node].txns }
+
+// InterconnectTransactions returns the cumulative transactions that
+// crossed the inter-node interconnect (always 0 with a single node).
+func (m *Machine) InterconnectTransactions() uint64 { return m.ic.txns }
 
 // CyclesToSeconds converts a cycle count to seconds at the configured
 // clock rate.

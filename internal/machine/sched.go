@@ -114,5 +114,8 @@ func (m *Machine) ResetStats() {
 	for i := range m.cpus {
 		m.cpus[i].ResetStats()
 	}
-	m.busTxns = 0
+	for i := range m.buses {
+		m.buses[i].txns = 0
+	}
+	m.ic.txns = 0
 }

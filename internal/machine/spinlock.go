@@ -40,9 +40,17 @@ type hold struct{ start, end int64 }
 // overlap a new acquire; with at most 64 CPUs, 128 intervals is ample.
 const holdHistory = 128
 
-// NewSpinLock returns a lock whose lock word lives on its own cache line.
+// NewSpinLock returns a lock whose lock word lives on its own cache line,
+// homed on node 0.
 func NewSpinLock(m *Machine) *SpinLock {
 	return &SpinLock{line: m.NewMetaLine()}
+}
+
+// NewSpinLockOn returns a lock whose lock word lives on its own cache
+// line homed on the given NUMA node, so remote acquirers pay the
+// interconnect.
+func NewSpinLockOn(m *Machine, node int) *SpinLock {
+	return &SpinLock{line: m.NewMetaLineOn(node)}
 }
 
 // maxRetryCharge bounds the bus traffic charged for one contended
@@ -96,11 +104,18 @@ func (l *SpinLock) Acquire(c *CPU) {
 		if retries > maxRetryCharge {
 			retries = maxRetryCharge
 		}
-		// The spinning CPU's periodic test-and-set retries occupy the
-		// bus across its wait window, degrading everyone else.
+		// The spinning CPU's periodic test-and-set retries occupy its
+		// node's bus across the wait window, degrading everyone sharing
+		// it — and the interconnect too when the lock word is homed on
+		// another node.
 		if retries > 0 {
-			c.m.busOccupy(c.clock, c.clock+retries*c.m.cfg.BusCycles)
-			c.m.busTxns += uint64(retries)
+			b := &c.m.buses[c.node]
+			b.occupy(c.clock, c.clock+retries*c.m.cfg.BusCycles)
+			b.txns += uint64(retries)
+			if len(c.m.buses) > 1 && c.m.lineHome(l.line) != c.node {
+				c.m.ic.occupy(c.clock, c.clock+retries*c.m.cfg.InterconnectCycles)
+				c.m.ic.txns += uint64(retries)
+			}
 		}
 		c.clock = t
 		// The winning test-and-set after the previous holder's release.

@@ -87,6 +87,9 @@ const (
 	EvTargetShrink    = core.EvTargetShrink
 	EvGblTargetGrow   = core.EvGblTargetGrow
 	EvGblTargetShrink = core.EvGblTargetShrink
+	EvRemoteFree      = core.EvRemoteFree
+	EvNodeSteal       = core.EvNodeSteal
+	EvInterconnect    = core.EvInterconnect
 )
 
 // AdaptiveConfig tunes the per-class adaptive target controller; the
@@ -126,6 +129,11 @@ type Config struct {
 	Mode Mode
 	// CPUs is the number of processors (default 1, max 64).
 	CPUs int
+	// Nodes is the number of NUMA nodes (default 1: the classic
+	// single-bus machine). CPUs are assigned to nodes in contiguous
+	// blocks; each node gets its own bus, node-local global and page
+	// pools, and home-node-tagged vmblks.
+	Nodes int
 	// MemBytes is the virtual arena size (default 64 MB).
 	MemBytes uint64
 	// PhysPages bounds mapped physical pages (default 2048).
@@ -177,6 +185,9 @@ func NewSystem(cfg Config) (*System, error) {
 		if cfg.CPUs > 0 {
 			mc.NumCPUs = cfg.CPUs
 		}
+		if cfg.Nodes > 0 {
+			mc.Nodes = cfg.Nodes
+		}
 		if cfg.MemBytes > 0 {
 			mc.MemBytes = cfg.MemBytes
 		}
@@ -206,6 +217,9 @@ func (s *System) CPU(i int) *CPU { return s.m.CPU(i) }
 
 // NumCPUs returns the number of processors.
 func (s *System) NumCPUs() int { return s.m.NumCPUs() }
+
+// NumNodes returns the number of NUMA nodes.
+func (s *System) NumNodes() int { return s.m.NumNodes() }
 
 // Alloc allocates at least size bytes (standard kmem_alloc interface).
 func (s *System) Alloc(c *CPU, size uint64) (Addr, error) { return s.a.Alloc(c, size) }
