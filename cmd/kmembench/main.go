@@ -13,6 +13,7 @@
 //	kmembench ablate    [-param target|split|radix|lazybuddy|all]
 //	kmembench adaptive  [-bursts 400] [-burst 400] [-size 128] [-json]
 //	kmembench topology  [-cpus 8] [-nodes 1,2,4] [-pairing near|cross] [-seconds 0.02]
+//	kmembench pressure  [-cpus 4] [-nodes 1,2,4] [-pages 96,64,48,32] [-rounds 400]
 //	kmembench all
 //
 // Every subcommand accepts -json to emit its result rows as one JSON
@@ -56,6 +57,8 @@ func main() {
 		err = cmdTopology(args)
 	case "cyclic":
 		err = cmdCyclic(args)
+	case "pressure":
+		err = cmdPressure(args)
 	case "projection":
 		err = cmdProjection(args)
 	case "all":
@@ -84,6 +87,7 @@ func usage() {
   adaptive   adaptive target controller vs the paper's fixed heuristic
   topology   NUMA sweep: producer/consumer cross-CPU frees vs node count
   cyclic     the day/night commercial workload (design goal 6)
+  pressure   memory-pressure sweep: fail-fast Alloc vs blocking AllocWait under shrinking pools
   projection scaling under a widening CPU/memory gap (the paper's closing claim)
   all        everything above with default settings`)
 }
@@ -416,6 +420,42 @@ func cmdCyclic(args []string) error {
 	return nil
 }
 
+func cmdPressure(args []string) error {
+	fs := flag.NewFlagSet("pressure", flag.ExitOnError)
+	cpus := fs.Int("cpus", 4, "CPUs")
+	nodes := fs.String("nodes", "1,2,4", "comma-separated node counts to sweep")
+	pages := fs.String("pages", "96,64,48,32", "comma-separated physical pool sizes to sweep")
+	rounds := fs.Int("rounds", 400, "allocation rounds per point")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nodeCounts, err := parseInts(*nodes)
+	if err != nil {
+		return err
+	}
+	pagesRaw, err := parseSizes(*pages)
+	if err != nil {
+		return err
+	}
+	pageCounts := make([]int64, len(pagesRaw))
+	for i, p := range pagesRaw {
+		pageCounts[i] = int64(p)
+	}
+	res, err := bench.RunPressure(*cpus, nodeCounts, pageCounts, *rounds)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return emitJSON(res)
+	}
+	res.Table().Fprint(os.Stdout)
+	fmt.Println("\nEach point runs the same oversubscribed churn twice: \"nosleep\" counts every")
+	fmt.Println("transient exhaustion as a failure; \"wait\" parks on the per-class wait queue")
+	fmt.Println("and is woken by frees and reclaim progress (failures only after the bound).")
+	return nil
+}
+
 func cmdProjection(args []string) error {
 	fs := flag.NewFlagSet("projection", flag.ExitOnError)
 	seconds := fs.Float64("seconds", 0.05, "virtual seconds per point")
@@ -487,6 +527,10 @@ func cmdAll() error {
 	}
 	fmt.Println("\n=== Cyclic day/night workload ========================================")
 	if err := cmdCyclic(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Memory-pressure sweep ============================================")
+	if err := cmdPressure(nil); err != nil {
 		return err
 	}
 	fmt.Println("\n=== Projection: widening CPU/memory gap ==============================")

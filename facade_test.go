@@ -1,6 +1,7 @@
 package kmem
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -168,5 +169,109 @@ func TestFacadeAdaptiveAndHook(t *testing.T) {
 	st := s.Stats(c)
 	if st.Classes[cls].TargetGrows == 0 {
 		t.Error("stats recorded no target grows")
+	}
+}
+
+func TestFacadeErrNoVADistinctFromErrNoMemory(t *testing.T) {
+	// A 4 MB arena holds exactly one vmblk; with physical pages to spare,
+	// repeated 2 MB allocations exhaust address space, not frames, and
+	// the caller must be able to tell the two apart.
+	s, err := NewSystem(Config{MemBytes: 4 << 20, PhysPages: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.CPU(0)
+	var held []Addr
+	for {
+		b, err := s.Alloc(c, 2<<20)
+		if err != nil {
+			if !errors.Is(err, ErrNoVA) {
+				t.Fatalf("VA exhaustion error = %v, want ErrNoVA", err)
+			}
+			if errors.Is(err, ErrNoMemory) {
+				t.Fatal("ErrNoVA must not match ErrNoMemory")
+			}
+			break
+		}
+		held = append(held, b)
+	}
+	if len(held) != 1 {
+		t.Fatalf("placed %d 2MB spans in a 4MB arena, want 1", len(held))
+	}
+	for _, b := range held {
+		s.Free(c, b, 2<<20)
+	}
+}
+
+func TestFacadePressureAndAllocWait(t *testing.T) {
+	// The pressure model end to end through the public API: watermarks
+	// from Config, Pressure() level, bounded AllocWait failure while
+	// exhausted, success after a free, and the Stats.Pressure counters.
+	s, err := NewSystem(Config{
+		CPUs:      1,
+		PhysPages: 20,
+		Pressure:  &PressureConfig{LowPages: 8, MinPages: 6},
+		Wait:      &WaitConfig{MaxWaits: 2, BaseBackoffCycles: 500, MaxBackoffCycles: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.CPU(0)
+	var held []Addr
+	for {
+		b, err := s.Alloc(c, 4096)
+		if err != nil {
+			if !errors.Is(err, ErrNoMemory) {
+				t.Fatalf("exhaustion error = %v, want ErrNoMemory", err)
+			}
+			break
+		}
+		held = append(held, b)
+	}
+	if s.Pressure() != PressureCritical {
+		t.Fatalf("Pressure() at exhaustion = %v", s.Pressure())
+	}
+	if _, err := s.AllocWait(c, 4096); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("AllocWait on exhausted system = %v, want ErrNoMemory", err)
+	}
+	s.Free(c, held[len(held)-1], 4096)
+	held = held[:len(held)-1]
+	b, err := s.AllocWait(c, 4096)
+	if err != nil {
+		t.Fatalf("AllocWait after free: %v", err)
+	}
+	held = append(held, b)
+	st := s.Stats(c)
+	if st.Pressure.Waits == 0 || st.Pressure.Transitions == 0 {
+		t.Fatalf("pressure stats not plumbed: %+v", st.Pressure)
+	}
+	for _, b := range held {
+		s.Free(c, b, 4096)
+	}
+	s.DrainAll(c)
+	if s.Pressure() != PressureOK {
+		t.Fatalf("Pressure() after release = %v", s.Pressure())
+	}
+}
+
+func TestFacadeFaultInjection(t *testing.T) {
+	fs := NewFaultSet(7)
+	fs.Arm(FaultPagePoolRefill, FaultSpec{})
+	s, err := NewSystem(Config{CPUs: 1, Faults: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.CPU(0)
+	if _, err := s.Alloc(c, 64); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("Alloc under armed fault = %v, want ErrNoMemory", err)
+	}
+	fs.Disarm(FaultPagePoolRefill)
+	b, err := s.Alloc(c, 64)
+	if err != nil {
+		t.Fatalf("Alloc after disarm: %v", err)
+	}
+	s.Free(c, b, 64)
+	if st := s.Stats(c); st.Pressure.FaultsInjected == 0 {
+		t.Fatal("fault injections not counted in stats")
 	}
 }

@@ -1,0 +1,50 @@
+package bench
+
+import "testing"
+
+func TestPressureSweepExercisesMachinery(t *testing.T) {
+	res, err := RunPressure(4, []int{1}, []int64{32}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2 (nosleep + wait)", len(res.Rows))
+	}
+	nosleep, wait := res.Rows[0], res.Rows[1]
+	if nosleep.Mode != "nosleep" || wait.Mode != "wait" {
+		t.Fatalf("row order: %s, %s", nosleep.Mode, wait.Mode)
+	}
+	// Both modes run the same deterministic churn, so the allocation
+	// outcomes match; the wait rows additionally pay for their parking.
+	if nosleep.Allocs == 0 || nosleep.ReclaimSteps == 0 || nosleep.Transitions == 0 {
+		t.Fatalf("nosleep row shows no pressure activity: %+v", nosleep)
+	}
+	if wait.Waits == 0 {
+		t.Fatalf("wait row recorded no waits: %+v", wait)
+	}
+	if wait.VirtualMS <= nosleep.VirtualMS {
+		t.Fatalf("wait backoff charged no virtual time: %.1f vs %.1f",
+			wait.VirtualMS, nosleep.VirtualMS)
+	}
+	// Incremental reclaim carries the whole sweep: the stop-the-world
+	// path must never run once the pool is at its critical watermark.
+	if nosleep.Reclaims != 0 || wait.Reclaims != 0 {
+		t.Fatalf("stop-the-world reclaims ran: %d/%d", nosleep.Reclaims, wait.Reclaims)
+	}
+}
+
+func TestPressureSweepDeterministic(t *testing.T) {
+	a, err := RunPressure(2, []int{1}, []int64{32}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPressure(2, []int{1}, []int64{32}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d differs between identical runs:\n%+v\n%+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}

@@ -42,6 +42,19 @@ type Allocator struct {
 	intr   []machine.IntrLock
 
 	reclaims atomic.Uint64
+
+	// Memory-pressure machinery (pressure.go). pressure mirrors the
+	// physmem pool's level (always 0 with Params.Pressure nil); waitqs
+	// holds one AllocWait queue per class plus one for large requests.
+	pressure            atomic.Int32
+	waitqs              []waitq
+	waitCfg             WaitConfig
+	reclaimCursor       atomic.Uint32
+	waits               atomic.Uint64
+	wakes               atomic.Uint64
+	faultsInjected      atomic.Uint64
+	pressureTransitions atomic.Uint64
+	reclaimStepsDone    atomic.Uint64
 }
 
 // classState groups one size class's parameters and upper layers. target
@@ -131,6 +144,12 @@ func New(m *machine.Machine, params Params) (*Allocator, error) {
 			a.percpu[cpu][k].line = m.NewMetaLineOn(m.NodeOf(cpu))
 			a.percpu[cpu][k].target = a.classes[k].ctl.curTarget()
 		}
+	}
+
+	a.waitCfg = p.Wait.withDefaults()
+	a.waitqs = make([]waitq, len(p.Classes)+1)
+	if err := a.initPressure(); err != nil {
+		return nil, err
 	}
 	return a, nil
 }
@@ -247,7 +266,10 @@ func (a *Allocator) FreeByAddr(c *machine.CPU, addr arena.Addr) {
 // --- per-class operations -------------------------------------------------
 
 // allocClass allocates one block of class cls on CPU c: per-CPU cache
-// first, then the global layer, then (once) the low-memory reclaim path.
+// first, then the global layer, then the low-memory reclaim path. Under
+// PressureCritical the reclaim retries are incremental — a budget of
+// reclaimSteps() single-CPU/single-pool steps, each followed by a retry —
+// instead of the one stop-the-world flush used otherwise.
 func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
 	if a.params.DebugOwnership {
 		defer c.EndExclusive(c.BeginExclusive())
@@ -257,7 +279,7 @@ func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
 	il := &a.intr[cpu]
 	ctl := a.classes[cls].ctl
 	single := a.params.DisableSplitFreelist
-	reclaimed := false
+	reclaimBudget := -1 // -1: reclaim not yet attempted
 	for {
 		il.Acquire(c)
 		var b arena.Addr
@@ -323,13 +345,21 @@ func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
 			}
 			continue
 		}
-		if !reclaimed {
-			reclaimed = true
-			a.reclaim(c)
+		if reclaimBudget == -1 {
+			if a.pressureLevel() == PressureCritical {
+				reclaimBudget = a.reclaimSteps()
+			} else {
+				reclaimBudget = 0
+				a.reclaim(c)
+				continue
+			}
+		}
+		if reclaimBudget > 0 {
+			reclaimBudget--
+			a.reclaimStep(c)
 			continue
 		}
-		_ = err
-		return arena.NilAddr, ErrNoMemory
+		return arena.NilAddr, exhaustErr(err)
 	}
 }
 
@@ -359,10 +389,12 @@ func (a *Allocator) freeClass(c *machine.CPU, cls int, addr arena.Addr) {
 
 	il.Acquire(c)
 	var spill blocklist.List
+	// Under pressure the cache's spill threshold is halved (effTarget),
+	// so frees surrender surplus to the lower layers sooner.
 	if a.params.DisableSplitFreelist {
-		spill = a.freeFastSingle(c, pc, pc.target, addr)
+		spill = a.freeFastSingle(c, pc, a.effTarget(pc.target), addr)
 	} else {
-		spill = a.freeFast(c, pc, pc.target, addr)
+		spill = a.freeFast(c, pc, a.effTarget(pc.target), addr)
 	}
 	var delta uint64
 	noted := false
@@ -408,19 +440,30 @@ func (a *Allocator) routeSpill(c *machine.CPU, cls int, spill blocklist.List) {
 	}
 }
 
-// allocLargeWithReclaim is the large path plus one reclaim retry, so that
-// multi-page allocations also benefit from low-memory recovery.
+// allocLargeWithReclaim is the large path plus reclaim retries, so that
+// multi-page allocations also benefit from low-memory recovery. As in
+// allocClass, PressureCritical takes incremental steps with a retry
+// after each, while the normal path keeps the single stop-the-world
+// reclaim retry.
 func (a *Allocator) allocLargeWithReclaim(c *machine.CPU, size uint64) (arena.Addr, error) {
 	b, err := a.vm.allocLarge(c, size)
 	if err == nil {
 		return b, nil
 	}
-	a.reclaim(c)
-	b, err = a.vm.allocLarge(c, size)
-	if err != nil {
-		return arena.NilAddr, ErrNoMemory
+	if a.pressureLevel() == PressureCritical {
+		for i := a.reclaimSteps(); i > 0; i-- {
+			a.reclaimStep(c)
+			if b, err = a.vm.allocLarge(c, size); err == nil {
+				return b, nil
+			}
+		}
+	} else {
+		a.reclaim(c)
+		if b, err = a.vm.allocLarge(c, size); err == nil {
+			return b, nil
+		}
 	}
-	return b, nil
+	return arena.NilAddr, exhaustErr(err)
 }
 
 // poison fills a freed block's payload (past the link word) with a

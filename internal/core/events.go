@@ -65,6 +65,17 @@ const (
 	EvNodeSteal    // a dry home pool stole cached blocks from another node (n = blocks)
 	EvInterconnect // a slow-path pool operation crossed the interconnect (n = crossings)
 
+	// Memory-pressure events (class -1 except EvWait/EvWake, which carry
+	// the waiting class or -1 for large requests). EvPressure reports a
+	// level transition with n = new level + 1 (1 = ok, 2 = low,
+	// 3 = critical; the offset keeps n nonzero so Hooks see every
+	// transition). EvReclaimStep counts incremental-reclaim steps.
+	EvPressure
+	EvWait          // an AllocWait caller parked (n = 1)
+	EvWake          // parked waiters were released (n = waiters woken)
+	EvFaultInjected // an armed fault point fired (n = 1)
+	EvReclaimStep   // one incremental reclaim step ran (n = 1)
+
 	numLayerEvents
 )
 
@@ -97,6 +108,11 @@ var layerEventNames = [numLayerEvents]string{
 	EvRemoteFree:      "remote-free",
 	EvNodeSteal:       "node-steal",
 	EvInterconnect:    "interconnect",
+	EvPressure:        "pressure",
+	EvWait:            "wait",
+	EvWake:            "wake",
+	EvFaultInjected:   "fault-injected",
+	EvReclaimStep:     "reclaim-step",
 }
 
 // NumLayerEvents is the number of distinct layer events.

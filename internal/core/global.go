@@ -72,7 +72,7 @@ func (g *globalPool) capacityLists() int { return 2 * g.ctl.curGblTarget() }
 // coalesce-to-page layer, so only one in gbltarget global accesses incurs
 // coalescing-layer overhead. An empty result means low memory.
 func (g *globalPool) getList(c *machine.CPU) (blocklist.List, error) {
-	target, gbltarget := g.ctl.curTarget(), g.ctl.curGblTarget()
+	target, gbltarget := g.al.effTarget(g.ctl.curTarget()), g.ctl.curGblTarget()
 	g.lk.Acquire(c)
 	c.Work(insnGlobalOp)
 	c.Read(g.line)
@@ -119,7 +119,7 @@ func (g *globalPool) getList(c *machine.CPU) (blocklist.List, error) {
 // getOne hands a single block to a per-CPU cache — used only by the
 // no-split-freelist ablation (A2), which exchanges blocks one at a time.
 func (g *globalPool) getOne(c *machine.CPU) (blocklist.List, error) {
-	target, gbltarget := g.ctl.curTarget(), g.ctl.curGblTarget()
+	target, gbltarget := g.al.effTarget(g.ctl.curTarget()), g.ctl.curGblTarget()
 	g.lk.Acquire(c)
 	c.Work(insnGlobalOp)
 	c.Read(g.line)
@@ -195,10 +195,20 @@ func (g *globalPool) putList(c *machine.CPU, l blocklist.List) {
 		}
 	}
 
+	// Under memory pressure the pool stops retaining its surplus: the
+	// capacity drops from 2*gbltarget to gbltarget and everything above
+	// it is pushed down, so fully-free pages surface at the coalescing
+	// layer as fast as frees arrive. The normal path (no pressure) keeps
+	// the paper's hysteresis: spill gbltarget lists on crossing
+	// 2*gbltarget.
 	var spill []blocklist.List
-	if len(g.lists) > 2*gbltarget {
+	limit, spillN := 2*gbltarget, gbltarget
+	if g.al.pressureLevel() >= PressureLow {
+		limit, spillN = gbltarget, len(g.lists)-gbltarget
+	}
+	if len(g.lists) > limit {
 		g.ev[EvGlobalSpill]++
-		n := gbltarget
+		n := spillN
 		if n > len(g.lists) {
 			n = len(g.lists)
 		}
@@ -224,6 +234,9 @@ func (g *globalPool) putList(c *machine.CPU, l blocklist.List) {
 		g.al.emit(g.cls, EvGlobalSpill, spilled)
 	}
 	g.notePut(c, spilled > 0)
+	// Blocks of this class just became reachable from the global layer:
+	// release any parked AllocWait callers of the class.
+	g.al.wakeClass(g.cls)
 }
 
 // noteGet and notePut feed the controller's global-layer estimator.

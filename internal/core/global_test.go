@@ -84,7 +84,7 @@ func TestGetOneExhausted(t *testing.T) {
 	g := a.classes[cls].globals[0]
 	if _, err := g.getOne(c); err == nil {
 		t.Fatal("getOne on starved machine succeeded")
-	} else if !errors.Is(err, ErrNoMemory) && !errors.Is(err, errNoVA) {
+	} else if !errors.Is(err, ErrNoMemory) && !errors.Is(err, ErrNoVA) {
 		// physmem error is also acceptable; what matters is failure.
 		t.Logf("error: %v", err)
 	}

@@ -36,6 +36,7 @@ func (a *Allocator) reclaim(c *machine.CPU) {
 			g.drainAll(c)
 		}
 	}
+	a.wakeAll()
 }
 
 // Reclaims reports how many times the low-memory path has run.

@@ -120,6 +120,10 @@ func (p *pagePool) refile(c *machine.CPU, pg int32, oldFree, newFree int) {
 // layer and splits it into blocks, building the per-page freelist inside
 // the page itself.
 func (p *pagePool) carvePage(c *machine.CPU) (int32, error) {
+	if p.al.params.Faults.Should(FaultPagePoolRefill) {
+		p.al.noteFault()
+		return -1, ErrNoMemory
+	}
 	pg, err := p.al.vm.allocPages(c, 1, p.node)
 	if err != nil {
 		return -1, err

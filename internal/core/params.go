@@ -4,7 +4,12 @@
 // interface. See DESIGN.md for the layer-by-layer description.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"kmem/internal/faultpoint"
+)
 
 // DefaultClasses is the paper's "default set of nine power-of-two block
 // sizes (16, 32, 64, 128, 256, 512, 1024, 2048, and 4096 bytes)".
@@ -66,6 +71,125 @@ type Params struct {
 	// see LayerEvent). Hooks fire on slow paths only; a nil Hook adds no
 	// work to the alloc/free fast path.
 	Hook Hook
+
+	// Pressure enables the memory-pressure model: physmem watermarks,
+	// graceful degradation of cache targets under PressureLow, and
+	// incremental (per-step) reclaim under PressureCritical. Nil keeps
+	// the pre-pressure behavior exactly: no watermarks, full
+	// stop-the-world reclaim on exhaustion, cycle-identical slow paths.
+	Pressure *PressureConfig
+
+	// Wait configures AllocWait's bounded blocking. Nil selects
+	// DefaultWaitConfig when AllocWait is used; the no-sleep Alloc path
+	// ignores it entirely.
+	Wait *WaitConfig
+
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// allocator's exhaustion seams (FaultPhysMap, FaultVmblkCarve,
+	// FaultPagePoolRefill). Nil — the default — compiles the checks down
+	// to a nil-receiver test on slow paths only.
+	Faults *faultpoint.Set
+}
+
+// Names of the fault points compiled into the allocator's exhaustion
+// paths. Arm them on Params.Faults to force the corresponding failure.
+const (
+	// FaultPhysMap fails physmem.Pool.Map with ErrNoPages — a physical
+	// frame shortage, possibly mid-allocation after virtual space was
+	// already carved.
+	FaultPhysMap = "physmem.map"
+	// FaultVmblkCarve fails vmblk creation with ErrNoVA — virtual
+	// address-space exhaustion.
+	FaultVmblkCarve = "vmblk.carve"
+	// FaultPagePoolRefill fails the coalesce-to-page layer's page carve —
+	// exhaustion seen from the middle of the stack.
+	FaultPagePoolRefill = "pagepool.refill"
+)
+
+// PressureConfig sets the free-page watermarks driving the pressure
+// model. Zero values select fractions of physical capacity.
+type PressureConfig struct {
+	// LowPages is the free-page count at or below which the pool is
+	// under PressureLow: per-CPU cache targets are halved and the global
+	// layer stops retaining its gbltarget surplus. 0 selects capacity/8.
+	LowPages int64
+	// MinPages is the free-page count at or below which the pool is
+	// under PressureCritical: allocation slow paths perform incremental
+	// reclaim steps instead of failing into a stop-the-world flush.
+	// 0 selects capacity/32 (at least 1).
+	MinPages int64
+}
+
+func (pc *PressureConfig) watermarks(capacity int64) (low, min int64) {
+	low, min = pc.LowPages, pc.MinPages
+	if low == 0 {
+		low = capacity / 8
+	}
+	if min == 0 {
+		min = capacity / 32
+	}
+	if min < 1 {
+		min = 1
+	}
+	if low < min {
+		low = min
+	}
+	return low, min
+}
+
+// WaitConfig bounds AllocWait's blocking behavior.
+type WaitConfig struct {
+	// MaxWaits is the number of park/retry rounds before AllocWait gives
+	// up with ErrNoMemory (or ErrNoVA). 0 selects 32.
+	MaxWaits int
+	// BaseBackoffCycles / MaxBackoffCycles bound the exponential backoff
+	// charged to the waiting CPU in simulator mode. 0 selects 4096 and
+	// 1<<18 respectively.
+	BaseBackoffCycles int64
+	MaxBackoffCycles  int64
+	// BaseBackoff / MaxBackoff bound the real-time exponential backoff in
+	// native mode (waiters also wake early on frees and reclaim
+	// progress). 0 selects 50µs and 5ms respectively.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// DefaultWaitConfig is the WaitConfig used when Params.Wait is nil.
+var DefaultWaitConfig = WaitConfig{
+	MaxWaits:          32,
+	BaseBackoffCycles: 4096,
+	MaxBackoffCycles:  1 << 18,
+	BaseBackoff:       50 * time.Microsecond,
+	MaxBackoff:        5 * time.Millisecond,
+}
+
+func (w *WaitConfig) withDefaults() WaitConfig {
+	out := DefaultWaitConfig
+	if w == nil {
+		return out
+	}
+	if w.MaxWaits > 0 {
+		out.MaxWaits = w.MaxWaits
+	}
+	if w.BaseBackoffCycles > 0 {
+		out.BaseBackoffCycles = w.BaseBackoffCycles
+	}
+	if w.MaxBackoffCycles > 0 {
+		out.MaxBackoffCycles = w.MaxBackoffCycles
+	}
+	if w.BaseBackoff > 0 {
+		out.BaseBackoff = w.BaseBackoff
+	}
+	if w.MaxBackoff > 0 {
+		out.MaxBackoff = w.MaxBackoff
+	}
+	if out.MaxBackoffCycles < out.BaseBackoffCycles {
+		out.MaxBackoffCycles = out.BaseBackoffCycles
+	}
+	if out.MaxBackoff < out.BaseBackoff {
+		out.MaxBackoff = out.BaseBackoff
+	}
+	return out
 }
 
 // DefaultTarget is the paper's heuristic limiting the memory tied up in
@@ -168,4 +292,8 @@ const (
 	insnDopeLook  = 6  // two-level dope-vector address arithmetic
 	insnLargeOp   = 32 // large-block path bookkeeping
 	insnReclaim   = 400
+	// One incremental reclaim step (flush one CPU cache or drain one
+	// global pool) — the per-caller charge that replaces insnReclaim's
+	// stop-the-world bill under PressureCritical.
+	insnReclaimStep = 40
 )

@@ -117,12 +117,25 @@ type VMStats struct {
 	MapFailures  uint64
 }
 
+// PressureStats reports the memory-pressure machinery's activity. All
+// zero when Params.Pressure is nil, no AllocWait caller ever parked, and
+// no fault was injected.
+type PressureStats struct {
+	Level          PressureLevel // current level (mirrors Phys.Pressure)
+	Transitions    uint64        // level changes observed by the allocator
+	Waits          uint64        // AllocWait park/backoff rounds
+	Wakes          uint64        // parked waiters released
+	FaultsInjected uint64        // armed fault points that fired
+	ReclaimSteps   uint64        // incremental reclaim steps run
+}
+
 // Stats is a full snapshot of the allocator.
 type Stats struct {
 	Classes  []ClassStats
 	VM       VMStats
 	Phys     physmem.Stats
 	Reclaims uint64
+	Pressure PressureStats
 }
 
 // Stats gathers a snapshot; pass the calling CPU's handle as everywhere
@@ -221,5 +234,13 @@ func (a *Allocator) Stats(c *machine.CPU) Stats {
 	}
 	a.vm.lk.Release(c)
 	out.Phys = a.m.Phys().Stats()
+	out.Pressure = PressureStats{
+		Level:          a.pressureLevel(),
+		Transitions:    a.pressureTransitions.Load(),
+		Waits:          a.waits.Load(),
+		Wakes:          a.wakes.Load(),
+		FaultsInjected: a.faultsInjected.Load(),
+		ReclaimSteps:   a.reclaimStepsDone.Load(),
+	}
 	return out
 }

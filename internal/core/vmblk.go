@@ -12,8 +12,11 @@ import (
 // after the low-memory reclaim path has drained every cache.
 var ErrNoMemory = errors.New("kmem: out of memory")
 
-// errNoVA is returned internally when the arena has no further vmblks.
-var errNoVA = errors.New("kmem: kernel virtual address space exhausted")
+// ErrNoVA is returned when the kernel virtual address space (the arena's
+// supply of vmblks) is exhausted — a failure mode distinct from physical
+// frame shortage (ErrNoMemory): no amount of reclaim creates more
+// address space, so callers should not retry through the blocking path.
+var ErrNoVA = errors.New("kmem: kernel virtual address space exhausted")
 
 // pdSize is the virtual-address footprint of one page descriptor inside a
 // vmblk's header, as laid out in Figure 6 of the paper ("a group of page
@@ -307,15 +310,19 @@ func (v *vmblkLayer) findSpan(c *machine.CPU, n int32, node int) (int32, int32) 
 // newVmblk carves the next vmblk out of the arena with the given home
 // node, maps physical pages for its page-descriptor header, registers
 // its pages' home with the machine, and donates its data pages as one
-// big free span on the node's span freelist. Returns errNoVA when the
+// big free span on the node's span freelist. Returns ErrNoVA when the
 // arena is exhausted and a physmem error when the header cannot be
 // backed.
 func (v *vmblkLayer) newVmblk(c *machine.CPU, node int) error {
 	m := v.al.m
+	if v.al.params.Faults.Should(FaultVmblkCarve) {
+		v.al.noteFault()
+		return ErrNoVA
+	}
 	vmblkBytes := uint64(1) << v.al.vmblkShift
 	base := uint64(v.next) * vmblkBytes
 	if base+vmblkBytes > m.Config().MemBytes {
-		return errNoVA
+		return ErrNoVA
 	}
 	pageBytes := m.Config().PageBytes
 	pagesPer := int32(vmblkBytes / pageBytes)
@@ -370,12 +377,19 @@ func (v *vmblkLayer) mapPhys(c *machine.CPU, n int64) error {
 	return nil
 }
 
-// unmapPhys returns n physical pages and charges the unmap cost.
+// unmapPhys returns n physical pages and charges the unmap cost. Pages
+// coming free is the machine-level progress signal, so every unmap also
+// releases any parked AllocWait callers.
 func (v *vmblkLayer) unmapPhys(c *machine.CPU, n int64) {
-	v.al.m.Phys().Unmap(n)
+	if err := v.al.m.Phys().Unmap(n); err != nil {
+		// The span bookkeeping guarantees n > 0; an error here means the
+		// layer's own accounting is broken.
+		panic(fmt.Sprintf("kmem: unmapPhys(%d): %v", n, err))
+	}
 	v.ev[EvPagesUnmap] += uint64(n)
 	v.al.emit(-1, EvPagesUnmap, int(n))
 	c.Idle(n * v.al.m.Config().PageMapCycles)
+	v.al.wakeAll()
 }
 
 // allocPages allocates a span of n virtual pages homed on the given
@@ -401,7 +415,7 @@ func (v *vmblkLayer) allocPagesLocked(c *machine.CPU, n int32, node int) (int32,
 		pg, length = v.findSpan(c, n, node)
 		if pg == -1 {
 			// A fresh vmblk's data span is smaller than n.
-			return -1, errNoVA
+			return -1, ErrNoVA
 		}
 	}
 	if err := v.mapPhys(c, int64(n)); err != nil {

@@ -40,7 +40,8 @@ func TestMultipleVmblkGrowth(t *testing.T) {
 
 func TestVirtualAddressExhaustion(t *testing.T) {
 	// Arena sized to exactly one vmblk: VA runs out before physical
-	// memory, and the allocator must report ErrNoMemory, not wedge.
+	// memory, and the allocator must report the typed ErrNoVA (distinct
+	// from the ErrNoMemory frame shortage), not wedge.
 	cfg := machine.DefaultConfig()
 	cfg.MemBytes = 4 << 20 // one vmblk
 	cfg.PhysPages = 1 << 20
@@ -55,7 +56,7 @@ func TestVirtualAddressExhaustion(t *testing.T) {
 	for {
 		b, err := a.Alloc(c, size)
 		if err != nil {
-			if !errors.Is(err, ErrNoMemory) {
+			if !errors.Is(err, ErrNoVA) {
 				t.Fatalf("unexpected error: %v", err)
 			}
 			break

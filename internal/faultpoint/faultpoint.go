@@ -1,0 +1,160 @@
+// Package faultpoint is a deterministic fault-injection registry.
+//
+// The allocator's exhaustion paths — physical-page map failure, virtual
+// address-space exhaustion, page-pool refill failure — are the hardest
+// code in the system to reach from a test: provoking them for real means
+// actually filling the heap, and provoking them *mid-operation* (after
+// some resources of a multi-step allocation have been claimed) is nearly
+// impossible on demand. A fault point is a named hook compiled into such
+// a path; tests and the `kmembench pressure` harness arm points with a
+// deterministic schedule (skip the first N hits, then fire M times, or
+// fire with seeded probability p) and the path fails exactly as if the
+// underlying resource were exhausted. Disarmed or unarmed points cost
+// one mutex acquisition and a map lookup, and only on slow paths.
+//
+// Determinism: the probabilistic schedule draws from a rand.Rand seeded
+// at Set construction, and every decision is serialized under the Set's
+// mutex. On the single-goroutine simulator the full decision sequence is
+// therefore reproducible from the seed alone; under native concurrency
+// the per-point counters remain exact (the mutex makes Should atomic)
+// even though goroutine interleaving chooses which caller sees a given
+// firing.
+package faultpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Spec schedules one fault point's firings. The zero Spec fires on every
+// hit while armed.
+type Spec struct {
+	// After skips the first After hits before the point may fire —
+	// "let the allocator warm up, then fail the Nth map".
+	After uint64
+	// Count caps the number of firings; 0 means unlimited.
+	Count uint64
+	// Prob, when in (0,1), fires each eligible hit with this probability
+	// using the Set's seeded source. 0 or >= 1 fires deterministically on
+	// every eligible hit.
+	Prob float64
+}
+
+// Stats is a snapshot of one fault point's counters.
+type Stats struct {
+	Hits  uint64 // times the point was evaluated while armed
+	Fired uint64 // times it reported failure
+}
+
+type point struct {
+	spec  Spec
+	hits  uint64
+	fired uint64
+}
+
+// Set is a registry of named fault points sharing one seeded random
+// source. A nil *Set is valid and never fires, so production code may
+// consult an optional Set without a guard.
+type Set struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	points map[string]*point
+}
+
+// New returns an empty Set whose probabilistic schedules draw from the
+// given seed.
+func New(seed int64) *Set {
+	return &Set{
+		rng:    rand.New(rand.NewSource(seed)),
+		points: make(map[string]*point),
+	}
+}
+
+// Arm installs (or replaces) the named point's schedule and resets its
+// counters.
+func (s *Set) Arm(name string, spec Spec) {
+	s.mu.Lock()
+	s.points[name] = &point{spec: spec}
+	s.mu.Unlock()
+}
+
+// Disarm removes the named point; subsequent Should calls return false
+// and are not counted.
+func (s *Set) Disarm(name string) {
+	s.mu.Lock()
+	delete(s.points, name)
+	s.mu.Unlock()
+}
+
+// Should reports whether the named point fires on this hit. Unarmed
+// points (and a nil Set) never fire.
+func (s *Set) Should(name string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.points[name]
+	if !ok {
+		return false
+	}
+	p.hits++
+	if p.hits <= p.spec.After {
+		return false
+	}
+	if p.spec.Count > 0 && p.fired >= p.spec.Count {
+		return false
+	}
+	if p.spec.Prob > 0 && p.spec.Prob < 1 && s.rng.Float64() >= p.spec.Prob {
+		return false
+	}
+	p.fired++
+	return true
+}
+
+// PointStats returns the named point's counters (zero if unarmed).
+func (s *Set) PointStats(name string) Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.points[name]; ok {
+		return Stats{Hits: p.hits, Fired: p.fired}
+	}
+	return Stats{}
+}
+
+// Fired returns the total firings across every armed point.
+func (s *Set) Fired() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, p := range s.points {
+		n += p.fired
+	}
+	return n
+}
+
+// String lists the armed points and their counters, for test failures.
+func (s *Set) String() string {
+	if s == nil {
+		return "faultpoint.Set(nil)"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := "faultpoints{"
+	first := true
+	for name, p := range s.points {
+		if !first {
+			out += " "
+		}
+		first = false
+		out += fmt.Sprintf("%s:%d/%d", name, p.fired, p.hits)
+	}
+	return out + "}"
+}

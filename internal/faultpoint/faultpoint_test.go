@@ -1,0 +1,141 @@
+package faultpoint
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilSetNeverFires(t *testing.T) {
+	var s *Set
+	if s.Should("anything") {
+		t.Fatal("nil set fired")
+	}
+	if s.Fired() != 0 {
+		t.Fatal("nil set counted firings")
+	}
+	if got := s.PointStats("anything"); got != (Stats{}) {
+		t.Fatalf("nil set stats = %+v", got)
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		if s.Should("not-armed") {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	if st := s.PointStats("not-armed"); st.Hits != 0 {
+		t.Fatalf("unarmed point counted %d hits", st.Hits)
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	s := New(1)
+	s.Arm("p", Spec{After: 3, Count: 2})
+	var fired []int
+	for i := 0; i < 10; i++ {
+		if s.Should("p") {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("fired at %v, want [3 4]", fired)
+	}
+	if st := s.PointStats("p"); st.Hits != 10 || st.Fired != 2 {
+		t.Fatalf("stats = %+v, want 10 hits / 2 fired", st)
+	}
+}
+
+func TestZeroSpecAlwaysFires(t *testing.T) {
+	s := New(1)
+	s.Arm("p", Spec{})
+	for i := 0; i < 5; i++ {
+		if !s.Should("p") {
+			t.Fatalf("hit %d did not fire", i)
+		}
+	}
+}
+
+func TestProbDeterministicBySeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		s := New(seed)
+		s.Arm("p", Spec{Prob: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = s.Should("p")
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+	var fired int
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired < 30 || fired > 90 {
+		t.Fatalf("prob 0.3 fired %d/200 times", fired)
+	}
+}
+
+func TestDisarmStops(t *testing.T) {
+	s := New(1)
+	s.Arm("p", Spec{})
+	if !s.Should("p") {
+		t.Fatal("armed point did not fire")
+	}
+	s.Disarm("p")
+	if s.Should("p") {
+		t.Fatal("disarmed point fired")
+	}
+	if st := s.PointStats("p"); st != (Stats{}) {
+		t.Fatalf("disarmed point kept stats %+v", st)
+	}
+}
+
+func TestConcurrentShouldCountsExactly(t *testing.T) {
+	s := New(7)
+	s.Arm("p", Spec{Count: 50})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 100
+	fired := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if s.Should("p") {
+					fired[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range fired {
+		total += n
+	}
+	if total != 50 {
+		t.Fatalf("Count=50 fired %d times across goroutines", total)
+	}
+	if st := s.PointStats("p"); st.Hits != goroutines*per || st.Fired != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

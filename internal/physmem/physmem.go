@@ -10,6 +10,12 @@
 // is what drives the allocator's low-memory path and the worst-case
 // benchmark (Figure 9), and the map/unmap operation counts are what make
 // large-block allocation measurably dearer in that figure.
+//
+// The pool also carries the machine's memory-pressure model: optional
+// low/min free-page watermarks divide its state into ok / low / critical
+// pressure levels, and a registered pressure function observes every
+// level transition. With watermarks unset (the default) the pool reports
+// PressureOK forever and behaves exactly as before.
 package physmem
 
 import (
@@ -21,6 +27,38 @@ import (
 // ErrNoPages is returned by Map when physical memory is exhausted.
 var ErrNoPages = errors.New("physmem: out of physical pages")
 
+// ErrBadCount is returned by Map and Unmap for a non-positive page
+// count — a caller bug, but an unwindable one: no accounting has been
+// touched, so the caller may recover. Panics are reserved for states
+// where the accounting itself is provably corrupt (unmapping more pages
+// than are mapped).
+var ErrBadCount = errors.New("physmem: non-positive page count")
+
+// PressureLevel classifies how close the pool is to exhaustion.
+type PressureLevel int32
+
+const (
+	// PressureOK: free pages above the low watermark (or no watermarks).
+	PressureOK PressureLevel = iota
+	// PressureLow: free pages at or below the low watermark.
+	PressureLow
+	// PressureCritical: free pages at or below the min watermark.
+	PressureCritical
+)
+
+// String returns the level's conventional name.
+func (l PressureLevel) String() string {
+	switch l {
+	case PressureOK:
+		return "ok"
+	case PressureLow:
+		return "low"
+	case PressureCritical:
+		return "critical"
+	}
+	return fmt.Sprintf("PressureLevel(%d)", int32(l))
+}
+
 // Pool is a finite pool of physical pages. It is safe for concurrent use.
 type Pool struct {
 	mu        sync.Mutex
@@ -30,9 +68,24 @@ type Pool struct {
 	mapOps    uint64
 	unmapOps  uint64
 	failures  uint64
+
+	// Watermarks over *free* pages (capacity - mapped); 0 disables the
+	// pressure model.
+	lowWater    int64
+	minWater    int64
+	transitions uint64
+
+	// onPressure observes level transitions; called outside mu, in the
+	// order the transitions occurred.
+	onPressure func(old, new PressureLevel)
+
+	// mapHook, when set, may veto a Map before any page is claimed —
+	// the fault-injection seam for tests and kmembench pressure.
+	mapHook func(n int64) error
 }
 
-// NewPool returns a pool holding capacity physical pages.
+// NewPool returns a pool holding capacity physical pages and no
+// watermarks (pressure model disabled).
 func NewPool(capacity int64) *Pool {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("physmem: invalid capacity %d", capacity))
@@ -40,49 +93,140 @@ func NewPool(capacity int64) *Pool {
 	return &Pool{capacity: capacity}
 }
 
-// Map claims n physical pages, backing freshly allocated virtual pages.
-// It claims all n or none, returning ErrNoPages when fewer than n pages
-// remain.
-func (p *Pool) Map(n int64) error {
-	if n <= 0 {
-		panic(fmt.Sprintf("physmem: Map(%d)", n))
+// SetWatermarks enables the pressure model: the pool is at PressureLow
+// when free pages drop to low or below, and PressureCritical at min or
+// below. Setting both to 0 disables the model. Watermarks must satisfy
+// 0 <= min <= low <= capacity.
+func (p *Pool) SetWatermarks(low, min int64) error {
+	if min < 0 || low < min || low > p.capacity {
+		return fmt.Errorf("physmem: watermarks low=%d min=%d invalid for capacity %d",
+			low, min, p.capacity)
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.lowWater, p.minWater = low, min
+	p.mu.Unlock()
+	return nil
+}
+
+// SetPressureFunc registers f to observe every pressure-level transition.
+// f runs outside the pool's lock, after the transition is visible, in
+// transition order; it must be safe for concurrent use and must not call
+// back into the pool.
+func (p *Pool) SetPressureFunc(f func(old, new PressureLevel)) {
+	p.mu.Lock()
+	p.onPressure = f
+	p.mu.Unlock()
+}
+
+// SetMapHook registers f to run at the top of every Map call with the
+// requested page count. A non-nil return fails the Map (counted as a
+// failure) before any page is claimed — the deterministic seam fault
+// injection uses to force the exhaustion paths.
+func (p *Pool) SetMapHook(f func(n int64) error) {
+	p.mu.Lock()
+	p.mapHook = f
+	p.mu.Unlock()
+}
+
+// levelLocked computes the pressure level; caller holds mu.
+func (p *Pool) levelLocked() PressureLevel {
+	free := p.capacity - p.mapped
+	switch {
+	case p.minWater > 0 && free <= p.minWater:
+		return PressureCritical
+	case p.lowWater > 0 && free <= p.lowWater:
+		return PressureLow
+	}
+	return PressureOK
+}
+
+// Map claims n physical pages, backing freshly allocated virtual pages.
+// It claims all n or none, returning ErrNoPages when fewer than n pages
+// remain and ErrBadCount for a non-positive n.
+func (p *Pool) Map(n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: Map(%d)", ErrBadCount, n)
+	}
+	p.mu.Lock()
+	hook := p.mapHook
+	p.mu.Unlock()
+	if hook != nil {
+		if err := hook(n); err != nil {
+			p.mu.Lock()
+			p.failures++
+			p.mu.Unlock()
+			return err
+		}
+	}
+	p.mu.Lock()
 	if p.mapped+n > p.capacity {
 		p.failures++
+		p.mu.Unlock()
 		return ErrNoPages
 	}
+	before := p.levelLocked()
 	p.mapped += n
 	p.mapOps += uint64(n)
 	if p.mapped > p.highWater {
 		p.highWater = p.mapped
 	}
+	after := p.levelLocked()
+	var f func(old, new PressureLevel)
+	if after != before {
+		p.transitions++
+		f = p.onPressure
+	}
+	p.mu.Unlock()
+	if f != nil {
+		f(before, after)
+	}
 	return nil
 }
 
-// Unmap returns n physical pages to the system.
-func (p *Pool) Unmap(n int64) {
+// Unmap returns n physical pages to the system. A non-positive n returns
+// ErrBadCount with no accounting change; unmapping more pages than are
+// mapped panics — at that point the caller's accounting is corrupt and
+// there is nothing sound to unwind to.
+func (p *Pool) Unmap(n int64) error {
 	if n <= 0 {
-		panic(fmt.Sprintf("physmem: Unmap(%d)", n))
+		return fmt.Errorf("%w: Unmap(%d)", ErrBadCount, n)
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.mapped < n {
+		p.mu.Unlock()
 		panic(fmt.Sprintf("physmem: Unmap(%d) with only %d mapped", n, p.mapped))
 	}
+	before := p.levelLocked()
 	p.mapped -= n
 	p.unmapOps += uint64(n)
+	after := p.levelLocked()
+	var f func(old, new PressureLevel)
+	if after != before {
+		p.transitions++
+		f = p.onPressure
+	}
+	p.mu.Unlock()
+	if f != nil {
+		f(before, after)
+	}
+	return nil
 }
 
 // Stats is a snapshot of pool accounting.
 type Stats struct {
 	Capacity  int64  // total physical pages
 	Mapped    int64  // pages currently mapped
+	Free      int64  // pages still available (Capacity - Mapped)
 	HighWater int64  // maximum pages ever simultaneously mapped
 	MapOps    uint64 // cumulative pages mapped
 	UnmapOps  uint64 // cumulative pages unmapped
-	Failures  uint64 // Map calls refused for lack of pages
+	Failures  uint64 // Map calls refused (exhaustion or injected fault)
+
+	// Pressure model (zero watermarks = model disabled, Pressure ok).
+	LowWater    int64         // free-page low watermark
+	MinWater    int64         // free-page min (critical) watermark
+	Pressure    PressureLevel // current level
+	Transitions uint64        // level changes since construction
 }
 
 // Stats returns a consistent snapshot of the pool counters.
@@ -90,13 +234,25 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return Stats{
-		Capacity:  p.capacity,
-		Mapped:    p.mapped,
-		HighWater: p.highWater,
-		MapOps:    p.mapOps,
-		UnmapOps:  p.unmapOps,
-		Failures:  p.failures,
+		Capacity:    p.capacity,
+		Mapped:      p.mapped,
+		Free:        p.capacity - p.mapped,
+		HighWater:   p.highWater,
+		MapOps:      p.mapOps,
+		UnmapOps:    p.unmapOps,
+		Failures:    p.failures,
+		LowWater:    p.lowWater,
+		MinWater:    p.minWater,
+		Pressure:    p.levelLocked(),
+		Transitions: p.transitions,
 	}
+}
+
+// Pressure returns the current pressure level.
+func (p *Pool) Pressure() PressureLevel {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.levelLocked()
 }
 
 // Mapped returns the number of pages currently mapped.

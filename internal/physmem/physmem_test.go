@@ -62,9 +62,7 @@ func TestPanics(t *testing.T) {
 	p := NewPool(4)
 	for name, f := range map[string]func(){
 		"zero capacity": func() { NewPool(0) },
-		"map zero":      func() { _ = p.Map(0) },
-		"unmap zero":    func() { p.Unmap(0) },
-		"unmap excess":  func() { p.Unmap(1) },
+		"unmap excess":  func() { _ = p.Unmap(1) },
 	} {
 		func() {
 			defer func() {
@@ -74,6 +72,113 @@ func TestPanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+func TestBadCountErrors(t *testing.T) {
+	p := NewPool(4)
+	for name, err := range map[string]error{
+		"map zero":     p.Map(0),
+		"map negative": p.Map(-3),
+		"unmap zero":   p.Unmap(0),
+		"unmap neg":    p.Unmap(-1),
+	} {
+		if !errors.Is(err, ErrBadCount) {
+			t.Errorf("%s: err = %v, want ErrBadCount", name, err)
+		}
+	}
+	// None of those may have touched the accounting.
+	if s := p.Stats(); s.Mapped != 0 || s.MapOps != 0 || s.UnmapOps != 0 {
+		t.Fatalf("bad-count calls changed accounting: %+v", s)
+	}
+}
+
+func TestWatermarksAndPressure(t *testing.T) {
+	p := NewPool(100)
+	if p.Pressure() != PressureOK {
+		t.Fatal("pressure model active without watermarks")
+	}
+	if err := p.SetWatermarks(20, 5); err != nil {
+		t.Fatal(err)
+	}
+	var transitions []string
+	p.SetPressureFunc(func(old, new PressureLevel) {
+		transitions = append(transitions, old.String()+">"+new.String())
+	})
+	_ = p.Map(70) // free 30: ok
+	if p.Pressure() != PressureOK {
+		t.Fatalf("pressure at free=30 = %v", p.Pressure())
+	}
+	_ = p.Map(15) // free 15: low
+	if p.Pressure() != PressureLow {
+		t.Fatalf("pressure at free=15 = %v", p.Pressure())
+	}
+	_ = p.Map(12) // free 3: critical
+	if p.Pressure() != PressureCritical {
+		t.Fatalf("pressure at free=3 = %v", p.Pressure())
+	}
+	_ = p.Unmap(95) // free 98: back to ok
+	want := []string{"ok>low", "low>critical", "critical>ok"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+	s := p.Stats()
+	if s.LowWater != 20 || s.MinWater != 5 || s.Pressure != PressureOK ||
+		s.Transitions != 3 || s.Free != 98 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSetWatermarksValidation(t *testing.T) {
+	p := NewPool(10)
+	for name, pair := range map[string][2]int64{
+		"min negative":   {5, -1},
+		"low below min":  {2, 5},
+		"low > capacity": {11, 1},
+	} {
+		if err := p.SetWatermarks(pair[0], pair[1]); err == nil {
+			t.Errorf("%s: SetWatermarks(%d, %d) accepted", name, pair[0], pair[1])
+		}
+	}
+	if err := p.SetWatermarks(0, 0); err != nil {
+		t.Fatalf("disabling watermarks: %v", err)
+	}
+}
+
+func TestMapHook(t *testing.T) {
+	p := NewPool(10)
+	fail := errors.New("injected")
+	var seen []int64
+	p.SetMapHook(func(n int64) error {
+		seen = append(seen, n)
+		if len(seen) == 2 {
+			return fail
+		}
+		return nil
+	})
+	if err := p.Map(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Map(4); !errors.Is(err, fail) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if got := p.Mapped(); got != 3 {
+		t.Fatalf("vetoed Map claimed pages: Mapped = %d", got)
+	}
+	if s := p.Stats(); s.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", s.Failures)
+	}
+	if len(seen) != 2 || seen[0] != 3 || seen[1] != 4 {
+		t.Fatalf("hook saw %v", seen)
+	}
+	p.SetMapHook(nil)
+	if err := p.Map(1); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"kmem/internal/arena"
 	"kmem/internal/core"
+	"kmem/internal/faultpoint"
 	"kmem/internal/machine"
 )
 
@@ -90,6 +91,11 @@ const (
 	EvRemoteFree      = core.EvRemoteFree
 	EvNodeSteal       = core.EvNodeSteal
 	EvInterconnect    = core.EvInterconnect
+	EvPressure        = core.EvPressure
+	EvWait            = core.EvWait
+	EvWake            = core.EvWake
+	EvFaultInjected   = core.EvFaultInjected
+	EvReclaimStep     = core.EvReclaimStep
 )
 
 // AdaptiveConfig tunes the per-class adaptive target controller; the
@@ -103,11 +109,57 @@ type EventCounter = core.EventCounter
 var TraceHook = core.TraceHook
 
 // ErrNoMemory is returned when an allocation cannot be satisfied even
-// after the low-memory reclaim path has drained every cache.
+// after the low-memory reclaim path has drained every cache — a
+// physical-frame shortage, which frees elsewhere can relieve.
 var ErrNoMemory = core.ErrNoMemory
+
+// ErrNoVA is returned when the kernel virtual address space is
+// exhausted. Unlike ErrNoMemory it is not relieved by reclaim or by
+// waiting: no free creates more address space, only more vmblks would.
+var ErrNoVA = core.ErrNoVA
 
 // ErrBadSize is returned for zero-sized requests.
 var ErrBadSize = core.ErrBadSize
+
+// PressureLevel classifies the physical pool's distance from exhaustion
+// (PressureOK / PressureLow / PressureCritical); see Config.Pressure.
+type PressureLevel = core.PressureLevel
+
+// Pressure levels, in increasing severity.
+const (
+	PressureOK       = core.PressureOK
+	PressureLow      = core.PressureLow
+	PressureCritical = core.PressureCritical
+)
+
+// PressureConfig sets the free-page watermarks that drive graceful
+// degradation (PressureLow) and incremental reclaim (PressureCritical).
+type PressureConfig = core.PressureConfig
+
+// WaitConfig bounds AllocWait's blocking: retry rounds and the
+// exponential backoff (cycles in Sim mode, durations in Native mode).
+type WaitConfig = core.WaitConfig
+
+// PressureStats reports pressure-model activity in Stats.Pressure.
+type PressureStats = core.PressureStats
+
+// FaultSet is a registry of deterministic fault points; arm the names
+// below on Config.Faults to force the allocator's exhaustion paths.
+type FaultSet = faultpoint.Set
+
+// FaultSpec schedules one fault point's firings (skip After hits, fire
+// Count times, optionally with seeded probability Prob).
+type FaultSpec = faultpoint.Spec
+
+// NewFaultSet returns an empty FaultSet drawing from the given seed.
+var NewFaultSet = faultpoint.New
+
+// Fault-point names compiled into the allocator's exhaustion paths.
+const (
+	FaultPhysMap        = core.FaultPhysMap        // physmem map fails with ErrNoPages
+	FaultVmblkCarve     = core.FaultVmblkCarve     // vmblk creation fails with ErrNoVA
+	FaultPagePoolRefill = core.FaultPagePoolRefill // page carve fails with ErrNoMemory
+)
 
 // Mode selects the execution substrate.
 type Mode int
@@ -154,6 +206,18 @@ type Config struct {
 	Adaptive *AdaptiveConfig
 	// Hook, when non-nil, receives every layer-boundary event.
 	Hook Hook
+	// Pressure enables the memory-pressure model (watermarks on the
+	// physical pool, degraded cache targets under PressureLow,
+	// incremental reclaim under PressureCritical). Nil — the default —
+	// keeps the pre-pressure behavior and cycle counts exactly.
+	Pressure *PressureConfig
+	// Wait bounds AllocWait's blocking; nil selects core defaults
+	// (32 rounds, 50µs–5ms native backoff, 4096–262144 cycles in Sim).
+	Wait *WaitConfig
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// exhaustion seams (FaultPhysMap, FaultVmblkCarve,
+	// FaultPagePoolRefill).
+	Faults *FaultSet
 	// Poison fills freed memory with a pattern and checks it on
 	// reallocation (debugging aid).
 	Poison bool
@@ -203,6 +267,9 @@ func NewSystem(cfg Config) (*System, error) {
 		RadixSort:      true,
 		Adaptive:       cfg.Adaptive,
 		Hook:           cfg.Hook,
+		Pressure:       cfg.Pressure,
+		Wait:           cfg.Wait,
+		Faults:         cfg.Faults,
 		Poison:         cfg.Poison,
 		DebugOwnership: cfg.DebugOwnership,
 	})
@@ -222,7 +289,20 @@ func (s *System) NumCPUs() int { return s.m.NumCPUs() }
 func (s *System) NumNodes() int { return s.m.NumNodes() }
 
 // Alloc allocates at least size bytes (standard kmem_alloc interface).
+// It never sleeps: on exhaustion it fails fast with ErrNoMemory (or
+// ErrNoVA) after at most one reclaim pass — the KM_NOSLEEP behavior.
 func (s *System) Alloc(c *CPU, size uint64) (Addr, error) { return s.a.Alloc(c, size) }
+
+// AllocWait is the blocking (KM_SLEEP-style) allocation: on exhaustion
+// it parks on the size class's wait queue with bounded exponential
+// backoff, retrying as frees and reclaim progress release it, and
+// returns the typed exhaustion error only after Config.Wait.MaxWaits
+// rounds. Deterministic (charged idle cycles) in Sim mode.
+func (s *System) AllocWait(c *CPU, size uint64) (Addr, error) { return s.a.AllocWait(c, size) }
+
+// Pressure returns the current memory-pressure level (always PressureOK
+// when Config.Pressure is nil).
+func (s *System) Pressure() PressureLevel { return s.a.Pressure() }
 
 // Free releases a block allocated with the same size (kmem_free).
 func (s *System) Free(c *CPU, b Addr, size uint64) { s.a.Free(c, b, size) }
