@@ -13,6 +13,7 @@
 //	kmembench ablate    [-param target|split|radix|lazybuddy|all]
 //	kmembench adaptive  [-bursts 400] [-burst 400] [-size 128] [-json]
 //	kmembench topology  [-cpus 8] [-nodes 1,2,4] [-pairing near|cross] [-seconds 0.02]
+//	kmembench scaling   [-cpus 2,4,8] [-nodes 1,2,4] [-seconds 0.005] [-size 128] [-json]
 //	kmembench pressure  [-cpus 4] [-nodes 1,2,4] [-pages 96,64,48,32] [-rounds 400]
 //	kmembench all
 //
@@ -55,6 +56,8 @@ func main() {
 		err = cmdAdaptive(args)
 	case "topology":
 		err = cmdTopology(args)
+	case "scaling":
+		err = cmdScaling(args)
 	case "cyclic":
 		err = cmdCyclic(args)
 	case "pressure":
@@ -86,6 +89,7 @@ func usage() {
   ablate     design-choice ablations (A1-A5 in DESIGN.md)
   adaptive   adaptive target controller vs the paper's fixed heuristic
   topology   NUMA sweep: producer/consumer cross-CPU frees vs node count
+  scaling    CPUs x nodes sweep, remote-free shards on/off, lock cycle accounting
   cyclic     the day/night commercial workload (design goal 6)
   pressure   memory-pressure sweep: fail-fast Alloc vs blocking AllocWait under shrinking pools
   projection scaling under a widening CPU/memory gap (the paper's closing claim)
@@ -504,6 +508,44 @@ func cmdTopology(args []string) error {
 	return nil
 }
 
+func cmdScaling(args []string) error {
+	fs := flag.NewFlagSet("scaling", flag.ExitOnError)
+	cpus := fs.String("cpus", "2,4,8", "comma-separated CPU counts (each even)")
+	nodes := fs.String("nodes", "1,2,4", "comma-separated node counts (sweep skips counts that do not divide the CPUs)")
+	seconds := fs.Float64("seconds", 0.005, "virtual seconds per point")
+	size := fs.Uint64("size", 128, "block size")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cpuCounts, err := parseInts(*cpus)
+	if err != nil {
+		return err
+	}
+	nodeCounts, err := parseInts(*nodes)
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunScaling(cpuCounts, nodeCounts, *size, *seconds)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return emitJSON(res)
+	}
+	res.Table().Fprint(os.Stdout)
+	if routed, sharded := res.Point(8, 4, "prodcons", false), res.Point(8, 4, "prodcons", true); routed != nil && sharded != nil &&
+		routed.Pairs > 0 && sharded.Pairs > 0 && sharded.RemotePuts > 0 {
+		ratio := (float64(routed.RemotePuts) / float64(routed.Pairs)) /
+			(float64(sharded.RemotePuts) / float64(sharded.Pairs))
+		fmt.Printf("\n8 CPUs / 4 nodes, prodcons: shards cut remote putList trips %.1fx per pair\n", ratio)
+	}
+	fmt.Println("\nEach configuration runs with remote-free shards off (per-spill routing) and on")
+	fmt.Println("(per-CPU staging, one batched putList per flush); \"lock wait\" and \"lock hold\"")
+	fmt.Println("are the pool locks' spin and hold cycles from the EvLockWait accounting.")
+	return nil
+}
+
 func cmdAll() error {
 	fmt.Println("=== Figures 7 & 8: best-case scaling =================================")
 	if err := cmdBestCase(nil); err != nil {
@@ -546,5 +588,9 @@ func cmdAll() error {
 		return err
 	}
 	fmt.Println("\n=== NUMA topology sweep ==============================================")
-	return cmdTopology(nil)
+	if err := cmdTopology(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Scaling sweep: remote-free shards and lock accounting ============")
+	return cmdScaling(nil)
 }

@@ -61,6 +61,15 @@ func TestSubcommandsRunSmall(t *testing.T) {
 	if err := cmdTopology([]string{"-cpus", "3"}); err == nil {
 		t.Fatal("odd CPU count accepted")
 	}
+	if err := cmdScaling([]string{"-cpus", "2,4", "-nodes", "1,2", "-seconds", "0.002"}); err != nil {
+		t.Fatalf("scaling: %v", err)
+	}
+	if err := cmdScaling([]string{"-cpus", "4", "-nodes", "2", "-seconds", "0.002", "-json"}); err != nil {
+		t.Fatalf("scaling json: %v", err)
+	}
+	if err := cmdScaling([]string{"-cpus", "5"}); err == nil {
+		t.Fatal("odd CPU count accepted by scaling")
+	}
 	if err := cmdTopology([]string{"-pairing", "diag"}); err == nil {
 		t.Fatal("unknown pairing accepted")
 	}

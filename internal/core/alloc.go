@@ -33,13 +33,26 @@ type Allocator struct {
 	// code paths.
 	nodes int
 
+	// shards reports whether the per-CPU remote-free shards are active:
+	// multi-node machine and not Params.DisableRemoteShards. When false
+	// the free path is byte-for-byte the pre-shard code.
+	shards bool
+
 	classes       []classState
 	sizeToClass   []int8
 	sizeTableLine machine.Line
 
 	vm     *vmblkLayer
 	percpu [][]pcpu // [cpu][class]
-	intr   []machine.IntrLock
+	intr   []paddedIntrLock
+
+	// spillScratch[cpu] is that CPU's reusable per-node partition buffer
+	// for routeSpill, sized [nodes]. Each CPU handle is driven by one
+	// goroutine at a time (the per-CPU contract), so no lock guards it,
+	// and routeSpill leaves every entry empty — allocating it once in New
+	// keeps the spill slow path free of per-call make garbage. Nil on
+	// single-node machines, which never route.
+	spillScratch [][]blocklist.List
 
 	reclaims atomic.Uint64
 
@@ -135,14 +148,26 @@ func New(m *machine.Machine, params Params) (*Allocator, error) {
 		a.classes[i] = cs
 	}
 
+	a.shards = a.nodes > 1 && !p.DisableRemoteShards
 	n := m.NumCPUs()
 	a.percpu = make([][]pcpu, n)
-	a.intr = make([]machine.IntrLock, n)
+	a.intr = make([]paddedIntrLock, n)
 	for cpu := 0; cpu < n; cpu++ {
 		a.percpu[cpu] = make([]pcpu, len(p.Classes))
 		for k := range a.percpu[cpu] {
-			a.percpu[cpu][k].line = m.NewMetaLineOn(m.NodeOf(cpu))
-			a.percpu[cpu][k].target = a.classes[k].ctl.curTarget()
+			pc := &a.percpu[cpu][k]
+			pc.line = m.NewMetaLineOn(m.NodeOf(cpu))
+			pc.target = a.classes[k].ctl.curTarget()
+			pc.memoVmblk = -1
+			if a.shards {
+				pc.remote = make([]blocklist.List, a.nodes)
+			}
+		}
+	}
+	if a.nodes > 1 {
+		a.spillScratch = make([][]blocklist.List, n)
+		for cpu := range a.spillScratch {
+			a.spillScratch[cpu] = make([]blocklist.List, a.nodes)
 		}
 	}
 
@@ -389,9 +414,40 @@ func (a *Allocator) freeClass(c *machine.CPU, cls int, addr arena.Addr) {
 
 	il.Acquire(c)
 	var spill blocklist.List
-	// Under pressure the cache's spill threshold is halved (effTarget),
-	// so frees surrender surplus to the lower layers sooner.
-	if a.params.DisableSplitFreelist {
+	// flushHome is the destination node when spill is a full remote
+	// shard; -1 marks a classic main/aux spill, which still routes by
+	// per-block lookup (a cache may mix stolen blocks from any node).
+	flushHome := -1
+	if a.shards {
+		// Classify the block's home first: remote blocks stage in the
+		// per-node shard and never enter main/aux, so a shard flush is
+		// already wholly owned by one node. The 1-entry memo answers
+		// repeat lookups within one vmblk with a compare instead of the
+		// dope-vector charge; a vmblk's home never changes, so the memo
+		// can never go stale.
+		idx := int64(addr >> a.vmblkShift)
+		var home int
+		if pc.memoVmblk == idx {
+			c.Work(insnHomeMemo)
+			pc.ev[EvHomeMemoHit]++
+			home = int(pc.memoHome)
+		} else {
+			home = a.vm.homeOf(c, addr)
+			pc.memoVmblk = idx
+			pc.memoHome = int8(home)
+		}
+		if home != c.Node() {
+			spill = a.freeShard(c, pc, a.effTarget(pc.target), home, addr)
+			flushHome = home
+		} else if a.params.DisableSplitFreelist {
+			spill = a.freeFastSingle(c, pc, a.effTarget(pc.target), addr)
+		} else {
+			spill = a.freeFast(c, pc, a.effTarget(pc.target), addr)
+		}
+	} else if a.params.DisableSplitFreelist {
+		// Under pressure the cache's spill threshold is halved
+		// (effTarget), so frees surrender surplus to the lower layers
+		// sooner.
 		spill = a.freeFastSingle(c, pc, a.effTarget(pc.target), addr)
 	} else {
 		spill = a.freeFast(c, pc, a.effTarget(pc.target), addr)
@@ -409,12 +465,20 @@ func (a *Allocator) freeClass(c *machine.CPU, cls int, addr arena.Addr) {
 	if !spill.Empty() {
 		n := spill.Len()
 		c.Work(insnRefill)
-		if a.nodes == 1 {
+		switch {
+		case flushHome >= 0:
+			// A full remote shard: one batched putList straight to its
+			// home pool — no per-block routing, one remote lock trip per
+			// target remote frees.
+			a.classes[cls].globals[flushHome].putList(c, spill)
+			a.emit(cls, EvShardFlush, n)
+		case a.nodes == 1:
 			a.classes[cls].globals[0].putList(c, spill)
-		} else {
+			a.emit(cls, EvCPUSpill, n)
+		default:
 			a.routeSpill(c, cls, spill)
+			a.emit(cls, EvCPUSpill, n)
 		}
-		a.emit(cls, EvCPUSpill, n)
 	}
 	if noted {
 		ctl.noteCPU(a, c, cls, delta, 1)
@@ -427,15 +491,17 @@ func (a *Allocator) freeClass(c *machine.CPU, cls int, addr arena.Addr) {
 // its node's pool. On a single-node machine the direct putList path is
 // used instead and no per-block lookup happens. A CPU's cache may mix
 // nodes (stolen blocks live beside local ones), so every spill routes.
+// The partition buffer is the calling CPU's reusable spillScratch —
+// taken empty, left empty — so this path allocates nothing per call.
 func (a *Allocator) routeSpill(c *machine.CPU, cls int, spill blocklist.List) {
-	per := make([]blocklist.List, a.nodes)
+	per := a.spillScratch[c.ID()]
 	for !spill.Empty() {
 		b := spill.Pop(c, a.mem)
 		per[a.vm.homeOf(c, b)].Push(c, a.mem, b)
 	}
 	for node := range per {
 		if !per[node].Empty() {
-			a.classes[cls].globals[node].putList(c, per[node])
+			a.classes[cls].globals[node].putList(c, per[node].Take())
 		}
 	}
 }

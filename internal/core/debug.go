@@ -204,6 +204,25 @@ func (a *Allocator) CheckConsistency() error {
 			if err := checkCached(pc.aux.Head(), pc.aux.Len(), cls, fmt.Sprintf("cpu %d class %d aux", cpu, cls)); err != nil {
 				return err
 			}
+			// Remote shards: every staged block must be homed on the
+			// shard's node (by construction the sharded free path never
+			// stages a local block, and shard k only ever receives
+			// node-k-homed blocks).
+			for node := range pc.remote {
+				sh := &pc.remote[node]
+				if err := checkCached(sh.Head(), sh.Len(), cls, fmt.Sprintf("cpu %d class %d shard %d", cpu, cls, node)); err != nil {
+					return err
+				}
+				if node == a.m.NodeOf(cpu) && !sh.Empty() {
+					return fmt.Errorf("kmem: cpu %d class %d stages local blocks in its own node-%d shard", cpu, cls, node)
+				}
+				for b := sh.Head(); b != arena.NilAddr; b = a.mem.Load64(b) {
+					if home := a.vm.nodeOfPage(int32(b >> a.pageShift)); home != node {
+						return fmt.Errorf("kmem: cpu %d class %d shard %d holds block %#x homed on node %d",
+							cpu, cls, node, b, home)
+					}
+				}
+			}
 		}
 	}
 

@@ -76,6 +76,23 @@ const (
 	EvFaultInjected // an armed fault point fired (n = 1)
 	EvReclaimStep   // one incremental reclaim step ran (n = 1)
 
+	// Remote-free shard events (NUMA topologies with shards enabled; all
+	// zero otherwise). EvHomeMemoHit counts sharded frees whose home was
+	// answered by the per-CPU vmblk memo instead of a charged dope-vector
+	// lookup; like EvAlloc/EvFree it is tallied per CPU but never pushed
+	// through a Hook, keeping the free fast path hook-free.
+	EvShardFlush  // a full remote shard was flushed home in one batched putList (n = blocks)
+	EvHomeMemoHit // a sharded free's home lookup hit the per-CPU vmblk memo (n = 1)
+
+	// Lock-contention accounting (Sim mode). EvRemotePut counts slow-path
+	// putList calls that acquired another node's pool lock — the remote
+	// lock trips the shards exist to batch away. EvLockWait carries the
+	// cycles an acquire spent spinning on a contended pool lock
+	// (n = wait cycles), attributed to the pool's class (-1 for the
+	// vmblk layer's lock).
+	EvRemotePut
+	EvLockWait
+
 	numLayerEvents
 )
 
@@ -113,6 +130,10 @@ var layerEventNames = [numLayerEvents]string{
 	EvWake:            "wake",
 	EvFaultInjected:   "fault-injected",
 	EvReclaimStep:     "reclaim-step",
+	EvShardFlush:      "shard-flush",
+	EvHomeMemoHit:     "home-memo-hit",
+	EvRemotePut:       "remote-put",
+	EvLockWait:        "lock-wait",
 }
 
 // NumLayerEvents is the number of distinct layer events.

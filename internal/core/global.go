@@ -74,6 +74,7 @@ func (g *globalPool) capacityLists() int { return 2 * g.ctl.curGblTarget() }
 func (g *globalPool) getList(c *machine.CPU) (blocklist.List, error) {
 	target, gbltarget := g.al.effTarget(g.ctl.curTarget()), g.ctl.curGblTarget()
 	g.lk.Acquire(c)
+	g.noteLockWait()
 	c.Work(insnGlobalOp)
 	c.Read(g.line)
 	g.ev[EvGlobalGet]++
@@ -121,6 +122,7 @@ func (g *globalPool) getList(c *machine.CPU) (blocklist.List, error) {
 func (g *globalPool) getOne(c *machine.CPU) (blocklist.List, error) {
 	target, gbltarget := g.al.effTarget(g.ctl.curTarget()), g.ctl.curGblTarget()
 	g.lk.Acquire(c)
+	g.noteLockWait()
 	c.Work(insnGlobalOp)
 	c.Read(g.line)
 	g.ev[EvGlobalGet]++
@@ -176,13 +178,18 @@ func (g *globalPool) putList(c *machine.CPU, l blocklist.List) {
 	target, gbltarget := g.ctl.curTarget(), g.ctl.curGblTarget()
 	remote := 0
 	g.lk.Acquire(c)
+	g.noteLockWait()
 	c.Work(insnGlobalOp)
 	c.Read(g.line)
 	g.ev[EvGlobalPut]++
 	if c.Node() != g.node {
 		// A block coming home: the freeing CPU lives on another node.
+		// EvRemotePut counts the lock trip itself — the per-acquisition
+		// cost the remote-free shards batch down — while EvRemoteFree
+		// counts the blocks carried.
 		remote = l.Len()
 		g.ev[EvRemoteFree] += uint64(remote)
+		g.ev[EvRemotePut]++
 		g.ev[EvInterconnect]++
 	}
 
@@ -220,6 +227,7 @@ func (g *globalPool) putList(c *machine.CPU, l blocklist.List) {
 	g.al.emit(g.cls, EvGlobalPut, 1)
 	if remote > 0 {
 		g.al.emit(g.cls, EvRemoteFree, remote)
+		g.al.emit(g.cls, EvRemotePut, 1)
 		g.al.emit(g.cls, EvInterconnect, 1)
 	}
 
@@ -237,6 +245,18 @@ func (g *globalPool) putList(c *machine.CPU, l blocklist.List) {
 	// Blocks of this class just became reachable from the global layer:
 	// release any parked AllocWait callers of the class.
 	g.al.wakeClass(g.cls)
+}
+
+// noteLockWait attributes the cycles the just-completed Acquire spent
+// spinning on this pool's lock to the event spine (EvLockWait). Called
+// immediately after Acquire, while the lock is still held — LastWait is
+// only meaningful there. Uncontended acquires (and Native mode, which
+// does not model spin time) cost one predictable branch.
+func (g *globalPool) noteLockWait() {
+	if w := g.lk.LastWait(); w > 0 {
+		g.ev[EvLockWait] += uint64(w)
+		g.al.emit(g.cls, EvLockWait, int(w))
+	}
 }
 
 // noteGet and notePut feed the controller's global-layer estimator.
@@ -271,6 +291,7 @@ func (g *globalPool) notePut(c *machine.CPU, missed bool) {
 // back here.
 func (g *globalPool) stealList(c *machine.CPU) blocklist.List {
 	g.lk.Acquire(c)
+	g.noteLockWait()
 	c.Work(insnGlobalOp)
 	c.Read(g.line)
 	var out blocklist.List

@@ -54,6 +54,7 @@ func (a *Allocator) DrainCPU(c *machine.CPU, cpu int) {
 		il.Acquire(c)
 		pc := &a.percpu[cpu][cls]
 		main, aux := pc.takeAll(c)
+		shards := pc.takeShards(c)
 		if ctl.enabled {
 			pc.target = ctl.curTarget()
 		}
@@ -73,6 +74,17 @@ func (a *Allocator) DrainCPU(c *machine.CPU, cpu int) {
 			}
 			if !aux.Empty() {
 				a.routeSpill(c, cls, aux)
+			}
+		}
+		// Partial remote shards go straight to their home pools: each
+		// shard is wholly owned by one node already, so no routing pass
+		// is needed. (shards is nil on single-node machines, under
+		// DisableRemoteShards, and when nothing is staged.)
+		for node := range shards {
+			if !shards[node].Empty() {
+				n := shards[node].Len()
+				a.classes[cls].globals[node].putList(c, shards[node])
+				a.emit(cls, EvShardFlush, n)
 			}
 		}
 	}

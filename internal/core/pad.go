@@ -1,0 +1,24 @@
+package core
+
+import "kmem/internal/machine"
+
+// cacheLineBytes is the padding granularity for per-CPU structures that
+// live adjacent in one slice. It matches the 64-byte coherence line of
+// every machine the Native backend runs on (and the simulator's default
+// LineBytes).
+const cacheLineBytes = 64
+
+// paddedIntrLock pads each per-CPU IntrLock out to its own cache line.
+//
+// In Sim mode IntrLock is costless (interrupt disable, no shared word),
+// but in Native mode it is a real sync.Mutex — 8 bytes — and the
+// allocator keeps one per CPU in a single slice. Unpadded, eight CPUs'
+// locks share one 64-byte line, so every fast-path alloc/free on one CPU
+// invalidates the line holding its seven neighbours' locks: textbook
+// false sharing on the hottest lock in the system. The padding trades
+// 56 bytes per CPU for private lines. BenchmarkIntrLockFalseSharing
+// measures the delta.
+type paddedIntrLock struct {
+	machine.IntrLock
+	_ [cacheLineBytes - 8]byte
+}

@@ -64,6 +64,15 @@ func newPagePool(a *Allocator, cls, node int, size uint32) *pagePool {
 	return p
 }
 
+// noteLockWait attributes the just-completed Acquire's spin cycles to
+// the event spine (EvLockWait); see globalPool.noteLockWait.
+func (p *pagePool) noteLockWait() {
+	if w := p.lk.LastWait(); w > 0 {
+		p.ev[EvLockWait] += uint64(w)
+		p.al.emit(p.cls, EvLockWait, int(w))
+	}
+}
+
 // pickPage returns a split page with free blocks — the one with the
 // fewest free blocks under the paper's radix policy, or FIFO order under
 // the ablation — or -1 when none exists.
@@ -162,6 +171,7 @@ func (p *pagePool) carvePage(c *machine.CPU) (int32, error) {
 // means no memory could be found at this layer.
 func (p *pagePool) getLists(c *machine.CPU, nLists, target int) ([]blocklist.List, error) {
 	p.lk.Acquire(c)
+	p.noteLockWait()
 	defer p.lk.Release(c)
 	c.Read(p.line)
 
@@ -225,6 +235,7 @@ func (p *pagePool) getLists(c *machine.CPU, nLists, target int) ([]blocklist.Lis
 func (p *pagePool) putBlocks(c *machine.CPU, blocks blocklist.List) {
 	n := blocks.Len()
 	p.lk.Acquire(c)
+	p.noteLockWait()
 	defer p.lk.Release(c)
 	c.Read(p.line)
 	for !blocks.Empty() {

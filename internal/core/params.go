@@ -58,6 +58,19 @@ type Params struct {
 	// is the default (false).
 	DisableSplitFreelist bool
 
+	// DisableRemoteShards turns off the per-CPU remote-free shards on
+	// multi-node machines, restoring the per-spill routing of the first
+	// NUMA implementation: every spilled list is partitioned by home via
+	// per-block dope-vector lookups and each partition takes its own
+	// putList lock trip. With shards enabled (the default on Nodes > 1)
+	// a free whose block is homed on another node stages it in a per-CPU
+	// per-class per-node shard under interrupt-disable only, and the
+	// shard flushes to its home pool in one batched putList when it
+	// reaches target blocks. Single-node machines never build shards, so
+	// this flag has no effect there and the classic free path is
+	// byte-for-byte unchanged.
+	DisableRemoteShards bool
+
 	// Adaptive enables the per-class adaptive target controller: a
 	// windowed miss-rate estimator that grows and shrinks target and
 	// gbltarget online to hold the observed miss rates near a setpoint
@@ -290,6 +303,7 @@ const (
 	insnPageSetup = 40 // carving or releasing one page
 	insnSpanOp    = 48 // span alloc/free incl. boundary-tag merge checks
 	insnDopeLook  = 6  // two-level dope-vector address arithmetic
+	insnHomeMemo  = 2  // vmblk-base compare against the per-CPU home memo
 	insnLargeOp   = 32 // large-block path bookkeeping
 	insnReclaim   = 400
 	// One incremental reclaim step (flush one CPU cache or drain one

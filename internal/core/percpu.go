@@ -32,6 +32,26 @@ type pcpu struct {
 	// report to the adaptive controller; the delta batches fast-path
 	// operations into the controller's window at refill/spill time.
 	notedOps uint64
+
+	// remote[n] is this cache's remote-free shard for node n: frees of
+	// blocks homed on node n != the CPU's own node stage here under the
+	// IntrLock alone, and the shard flushes to node n's global pool in
+	// one batched putList when it reaches target blocks — one remote
+	// lock trip per target remote frees instead of one per spill
+	// partition. nil on single-node machines and under
+	// Params.DisableRemoteShards; the owner CPU's shard for its own node
+	// is never used (home frees go through main).
+	remote []blocklist.List
+
+	// memoVmblk/memoHome are the 1-entry home-lookup memo: the vmblk
+	// index of the last block this cache classified on the sharded free
+	// path and that vmblk's home node. A block's 4 MB vmblk determines
+	// its home and a vmblk's home never changes, so consecutive frees
+	// within one vmblk answer "local or remote?" with a compare
+	// (insnHomeMemo) instead of a charged dope-vector lookup.
+	// memoVmblk is -1 until the first miss fills it.
+	memoVmblk int64
+	memoHome  int8
 }
 
 // ops returns the fast-path operation count; caller holds the IntrLock.
@@ -114,6 +134,29 @@ func (a *Allocator) freeFastSingle(c *machine.CPU, pc *pcpu, target int, b arena
 	return spill
 }
 
+// freeShard is the sharded remote-free path: push block b (homed on node
+// home, not the executing CPU's node) onto the per-node shard. When the
+// shard reaches target blocks it is taken whole for the caller to flush
+// to node home's global pool in one batched putList after releasing the
+// IntrLock. Charging mirrors freeFast: read cache state, push link,
+// write cache state, residual straight-line work, plus the constant-time
+// whole-list take on a flush. The caller holds the CPU's IntrLock.
+func (a *Allocator) freeShard(c *machine.CPU, pc *pcpu, target int, home int, b arena.Addr) blocklist.List {
+	c.Read(pc.line)
+	sh := &pc.remote[home]
+	sh.Push(c, a.mem, b)
+	pc.ev[EvFree]++
+	c.Write(pc.line)
+	c.Work(insnCookieFreeResidual)
+	var flush blocklist.List
+	if sh.Len() >= target {
+		flush = sh.Take()
+		pc.ev[EvShardFlush]++
+		c.Work(2)
+	}
+	return flush
+}
+
 // takeAll empties both halves of the cache, returning the blocks for the
 // global layer. Used by cache drains; caller holds the IntrLock.
 func (pc *pcpu) takeAll(c *machine.CPU) (blocklist.List, blocklist.List) {
@@ -124,5 +167,36 @@ func (pc *pcpu) takeAll(c *machine.CPU) (blocklist.List, blocklist.List) {
 	return m, x
 }
 
-// held reports the number of blocks cached; caller holds the IntrLock.
-func (pc *pcpu) held() int { return pc.main.Len() + pc.aux.Len() }
+// takeShards empties every remote shard, returning the staged lists
+// indexed by home node (nil when the cache has no shards or nothing is
+// staged). Each returned list is already partitioned by home, so drains
+// hand them straight to the home pools without routeSpill's per-block
+// lookups. Caller holds the IntrLock.
+func (pc *pcpu) takeShards(c *machine.CPU) []blocklist.List {
+	var out []blocklist.List
+	for n := range pc.remote {
+		if pc.remote[n].Empty() {
+			continue
+		}
+		if out == nil {
+			out = make([]blocklist.List, len(pc.remote))
+		}
+		out[n] = pc.remote[n].Take()
+		pc.ev[EvShardFlush]++
+		c.Work(2)
+	}
+	if out != nil {
+		c.Write(pc.line)
+	}
+	return out
+}
+
+// held reports the number of blocks cached, including blocks staged in
+// remote shards; caller holds the IntrLock.
+func (pc *pcpu) held() int {
+	n := pc.main.Len() + pc.aux.Len()
+	for i := range pc.remote {
+		n += pc.remote[i].Len()
+	}
+	return n
+}

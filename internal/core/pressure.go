@@ -43,7 +43,10 @@ func (a *Allocator) Pressure() PressureLevel { return a.pressureLevel() }
 // effTarget degrades a per-CPU cache target under pressure: at
 // PressureLow and above, targets are halved (minimum 1), so caches
 // retain less and frees spill sooner. With the pressure model off it is
-// the identity.
+// the identity. The remote-free shards use the same clamped value as
+// their flush threshold, so under pressure staged remote blocks also
+// reach their home pools (and from there the coalescing layer) in half
+// the time.
 func (a *Allocator) effTarget(t int) int {
 	if a.pressure.Load() == 0 {
 		return t

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+// shardGoldenCycles runs a fixed, deterministic mixed workload — standard
+// and cookie alloc/free, cross-CPU (and on multi-node machines,
+// cross-node) frees, the large path, a Stats snapshot, and a full drain —
+// and returns each CPU's final virtual clock. The workload touches every
+// path the remote-free shards change, so comparing its per-CPU cycle
+// counts against recorded goldens proves bit-for-bit cycle identity.
+func shardGoldenCycles(t *testing.T, nodes int, p Params) []int64 {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.NumCPUs = 4
+	cfg.Nodes = nodes
+	cfg.MemBytes = 16 << 20
+	cfg.PhysPages = 1024
+	m := machine.New(cfg)
+	a, err := New(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sizes := []uint64{16, 64, 128, 1024, 4096}
+	type held struct {
+		b arena.Addr
+		s uint64
+	}
+	var live []held
+	for i := 0; i < 600; i++ {
+		c := m.CPU(i % 4)
+		sz := sizes[i%len(sizes)]
+		b, err := a.Alloc(c, sz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, held{b, sz})
+	}
+	// Cross-CPU frees, shifted by two CPUs so every free is remote on the
+	// 4-node machine and exercises the routing path.
+	for i, h := range live {
+		a.Free(m.CPU((i+2)%4), h.b, h.s)
+	}
+	live = live[:0]
+
+	// Cookie churn with all-to-all handoff: each producer's blocks are
+	// freed round-robin across every CPU, mixing home nodes in each
+	// freeing CPU's cache exactly the way the shards are designed for.
+	ck, err := a.GetCookie(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 40; r++ {
+		var bs []arena.Addr
+		for cpu := 0; cpu < 4; cpu++ {
+			c := m.CPU(cpu)
+			for k := 0; k < 25; k++ {
+				b, err := a.AllocCookie(c, ck)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bs = append(bs, b)
+			}
+		}
+		for j, b := range bs {
+			a.FreeCookie(m.CPU(j%4), b, ck)
+		}
+	}
+
+	// Large path, freed from a neighbor CPU.
+	for cpu := 0; cpu < 4; cpu++ {
+		b, err := a.Alloc(m.CPU(cpu), 3*4096+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Free(m.CPU((cpu+1)%4), b, 3*4096+100)
+	}
+
+	_ = a.Stats(m.CPU(0))
+	a.DrainAll(m.CPU(0))
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, 4)
+	for i := range out {
+		out[i] = m.CPU(i).Now()
+	}
+	return out
+}
+
+// Golden per-CPU cycle counts captured at the PR 3 HEAD (before the
+// remote-free shards existed), on the workload above. The shard code
+// must not move a single cycle on a single-node machine, nor on a
+// multi-node machine with Params.DisableRemoteShards — those
+// configurations must execute the pre-shard free path instruction for
+// instruction.
+var (
+	goldenCyclesNodes1        = []int64{1088286, 854282, 846702, 834108}
+	goldenCyclesNodes4Routing = []int64{1869145, 985306, 961125, 996438}
+)
+
+func assertGolden(t *testing.T, name string, got, want []int64) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: cpu %d ran %d cycles, golden is %d (drift %+d)",
+				name, i, got[i], want[i], got[i]-want[i])
+		}
+	}
+}
+
+// TestShardCycleIdentitySingleNode proves the shard code is invisible on
+// single-node machines: the workload's per-CPU cycle counts match the
+// pre-shard goldens exactly.
+func TestShardCycleIdentitySingleNode(t *testing.T) {
+	got := shardGoldenCycles(t, 1, Params{RadixSort: true})
+	assertGolden(t, "nodes=1", got, goldenCyclesNodes1)
+}
+
+// TestShardCycleIdentityDisabled proves DisableRemoteShards restores the
+// per-spill routing path bit for bit on a 4-node machine.
+func TestShardCycleIdentityDisabled(t *testing.T) {
+	got := shardGoldenCycles(t, 4, Params{RadixSort: true, DisableRemoteShards: true})
+	assertGolden(t, "nodes=4 shards-off", got, goldenCyclesNodes4Routing)
+}
+
+// TestShardCycleDeterminism pins the sharded configuration's own cycle
+// counts: two runs must agree exactly (the simulator is deterministic),
+// and the sharded path must not be slower than per-spill routing on this
+// remote-heavy workload.
+func TestShardCycleDeterminism(t *testing.T) {
+	a := shardGoldenCycles(t, 4, Params{RadixSort: true})
+	b := shardGoldenCycles(t, 4, Params{RadixSort: true})
+	assertGolden(t, "nodes=4 sharded repeat", b, a)
+	var sharded, routed int64
+	for i := range a {
+		sharded += a[i]
+		routed += goldenCyclesNodes4Routing[i]
+	}
+	if sharded >= routed {
+		t.Errorf("sharded workload ran %d total cycles, per-spill routing golden is %d — shards should be cheaper", sharded, routed)
+	}
+}

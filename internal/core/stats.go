@@ -28,11 +28,22 @@ type ClassStats struct {
 	GlobalRefills uint64 // gets that reached the coalesce-to-page layer
 	GlobalSpills  uint64 // puts that reached the coalesce-to-page layer
 	GlobalLock    machine.LockStats
+	PageLock      machine.LockStats // the coalesce-to-page pools' locks
 
 	// Node-crossing traffic (zero on single-node machines).
 	RemoteFrees  uint64 // blocks routed to a non-local node's global pool
+	RemotePuts   uint64 // putList lock trips taken against a non-local pool
 	NodeSteals   uint64 // blocks stolen from other nodes' pools by dry refills
 	Interconnect uint64 // slow-path pool operations that crossed the interconnect
+
+	// Remote-free shard activity (zero with shards off).
+	ShardFlushes uint64 // remote shards flushed home in one batched putList
+	HomeMemoHits uint64 // sharded frees answered by the per-CPU home memo
+
+	// Lock-contention cycles attributed to this class's pools (Sim mode):
+	// cycles CPUs spent spinning on the global and page-pool locks, from
+	// the event spine (EvLockWait).
+	LockWaitCycles uint64
 
 	// Coalesce-to-page layer.
 	BlockGets  uint64
@@ -115,6 +126,11 @@ type VMStats struct {
 	PagesMapped  uint64
 	PagesUnmap   uint64
 	MapFailures  uint64
+
+	// Lock is the layer lock's contention snapshot; LockWaitCycles is the
+	// same spin time as attributed through the event spine (EvLockWait).
+	Lock           machine.LockStats
+	LockWaitCycles uint64
 }
 
 // PressureStats reports the memory-pressure machinery's activity. All
@@ -182,6 +198,8 @@ func (a *Allocator) Stats(c *machine.CPU) Stats {
 			st.Frees += pc.ev[EvFree]
 			st.AllocRefills += pc.ev[EvCPURefill]
 			st.FreeSpills += pc.ev[EvCPUSpill]
+			st.ShardFlushes += pc.ev[EvShardFlush]
+			st.HomeMemoHits += pc.ev[EvHomeMemoHit]
 			st.HeldPerCPU += pc.held()
 		}
 		il.Release(c)
@@ -198,8 +216,10 @@ func (a *Allocator) Stats(c *machine.CPU) Stats {
 			st.GlobalRefills += g.ev[EvGlobalRefill]
 			st.GlobalSpills += g.ev[EvGlobalSpill]
 			st.RemoteFrees += g.ev[EvRemoteFree]
+			st.RemotePuts += g.ev[EvRemotePut]
 			st.NodeSteals += g.ev[EvNodeSteal]
 			st.Interconnect += g.ev[EvInterconnect]
+			st.LockWaitCycles += g.ev[EvLockWait]
 			st.HeldGlobal += g.bucket.Len()
 			for _, l := range g.lists {
 				st.HeldGlobal += l.Len()
@@ -209,6 +229,7 @@ func (a *Allocator) Stats(c *machine.CPU) Stats {
 			st.GlobalLock.Acquisitions += ls.Acquisitions
 			st.GlobalLock.Contended += ls.Contended
 			st.GlobalLock.SpinCycles += ls.SpinCycles
+			st.GlobalLock.HoldCycles += ls.HoldCycles
 		}
 
 		for _, p := range cs.pages {
@@ -217,22 +238,30 @@ func (a *Allocator) Stats(c *machine.CPU) Stats {
 			st.BlockPuts += p.ev[EvBlockPut]
 			st.PageAllocs += p.ev[EvPageCarve]
 			st.PageFrees += p.ev[EvPageFree]
+			st.LockWaitCycles += p.ev[EvLockWait]
 			p.lk.Release(c)
+			ls := p.lk.Stats()
+			st.PageLock.Acquisitions += ls.Acquisitions
+			st.PageLock.Contended += ls.Contended
+			st.PageLock.SpinCycles += ls.SpinCycles
+			st.PageLock.HoldCycles += ls.HoldCycles
 		}
 	}
 
 	a.vm.lk.Acquire(c)
 	out.VM = VMStats{
-		SpanAllocs:   a.vm.ev[EvSpanAlloc],
-		SpanFrees:    a.vm.ev[EvSpanFree],
-		VmblkCreates: a.vm.ev[EvVmblkCreate],
-		LargeAllocs:  a.vm.ev[EvLargeAlloc],
-		LargeFrees:   a.vm.ev[EvLargeFree],
-		PagesMapped:  a.vm.ev[EvPagesMap],
-		PagesUnmap:   a.vm.ev[EvPagesUnmap],
-		MapFailures:  a.vm.ev[EvMapFail],
+		SpanAllocs:     a.vm.ev[EvSpanAlloc],
+		SpanFrees:      a.vm.ev[EvSpanFree],
+		VmblkCreates:   a.vm.ev[EvVmblkCreate],
+		LargeAllocs:    a.vm.ev[EvLargeAlloc],
+		LargeFrees:     a.vm.ev[EvLargeFree],
+		PagesMapped:    a.vm.ev[EvPagesMap],
+		PagesUnmap:     a.vm.ev[EvPagesUnmap],
+		MapFailures:    a.vm.ev[EvMapFail],
+		LockWaitCycles: a.vm.ev[EvLockWait],
 	}
 	a.vm.lk.Release(c)
+	out.VM.Lock = a.vm.lk.Stats()
 	out.Phys = a.m.Phys().Stats()
 	out.Pressure = PressureStats{
 		Level:          a.pressureLevel(),

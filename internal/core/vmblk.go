@@ -148,6 +148,16 @@ func newVmblkLayer(a *Allocator) *vmblkLayer {
 	return v
 }
 
+// noteLockWait attributes the just-completed Acquire's spin cycles on
+// the layer lock to the event spine (EvLockWait, class -1); see
+// globalPool.noteLockWait.
+func (v *vmblkLayer) noteLockWait() {
+	if w := v.lk.LastWait(); w > 0 {
+		v.ev[EvLockWait] += uint64(w)
+		v.al.emit(-1, EvLockWait, int(w))
+	}
+}
+
 // pdOf resolves a global page number to its descriptor. The caller must
 // know the page belongs to an existing vmblk.
 func (v *vmblkLayer) pdOf(pg int32) *pageDesc {
@@ -401,6 +411,7 @@ func (v *vmblkLayer) allocPages(c *machine.CPU, n int32, node int) (int32, error
 		panic(fmt.Sprintf("kmem: allocPages(%d)", n))
 	}
 	v.lk.Acquire(c)
+	v.noteLockWait()
 	defer v.lk.Release(c)
 	return v.allocPagesLocked(c, n, node)
 }
@@ -448,6 +459,7 @@ func (v *vmblkLayer) allocPagesLocked(c *machine.CPU, n int32, node int) (int32,
 // neighbors via the boundary tags.
 func (v *vmblkLayer) freePages(c *machine.CPU, pg, n int32) {
 	v.lk.Acquire(c)
+	v.noteLockWait()
 	v.freePagesLocked(c, pg, n)
 	v.lk.Release(c)
 }
@@ -504,6 +516,7 @@ func (v *vmblkLayer) allocLarge(c *machine.CPU, size uint64) (arena.Addr, error)
 	c.Work(insnLargeOp)
 	n := v.pagesFor(size)
 	v.lk.Acquire(c)
+	v.noteLockWait()
 	defer v.lk.Release(c)
 	pg, err := v.allocPagesLocked(c, n, c.Node())
 	if err != nil {
@@ -519,6 +532,7 @@ func (v *vmblkLayer) allocLarge(c *machine.CPU, size uint64) (arena.Addr, error)
 func (v *vmblkLayer) freeLarge(c *machine.CPU, addr arena.Addr) {
 	c.Work(insnLargeOp)
 	v.lk.Acquire(c)
+	v.noteLockWait()
 	pd, pg := v.lookup(c, addr)
 	if pd.state != pdAllocHead {
 		panic(fmt.Sprintf("kmem: freeLarge(%#x) of %s page", addr, pdStateName(pd.state)))

@@ -29,7 +29,9 @@ type SpinLock struct {
 
 	acquisitions uint64
 	contended    uint64
-	spinCycles   int64
+	spinCycles   int64 // total cycles spent waiting for the lock
+	holdCycles   int64 // total cycles the lock was held
+	lastWait     int64 // wait cycles of the most recent Acquire (0 if uncontended)
 }
 
 // hold is one completed critical section in virtual time.
@@ -68,6 +70,7 @@ func (l *SpinLock) Acquire(c *CPU) {
 		return
 	}
 	l.acquisitions++
+	l.lastWait = 0
 	// Initial test-and-set attempt. The successful test-and-set belongs
 	// to the hold interval: between the winner's bus-locked RMW and its
 	// release store, no other CPU can take the lock.
@@ -98,6 +101,7 @@ func (l *SpinLock) Acquire(c *CPU) {
 		}
 		wasContended = true
 		l.spinCycles += wait
+		l.lastWait += wait
 		c.spinWait += wait
 		c.noteWait(l.line, wait)
 		retries := wait / c.m.cfg.SpinRetryGap
@@ -140,6 +144,7 @@ func (l *SpinLock) Release(c *CPU) {
 	if h.end == h.start {
 		h.end++ // zero-length sections still exclude exact ties
 	}
+	l.holdCycles += h.end - h.start
 	if len(l.holds) < holdHistory {
 		l.holds = append(l.holds, h)
 	} else {
@@ -148,11 +153,23 @@ func (l *SpinLock) Release(c *CPU) {
 	}
 }
 
-// LockStats is a snapshot of spinlock contention counters.
+// LastWait returns the cycles the most recent Acquire spent waiting for
+// the lock (0 for an uncontended acquire, and always 0 in Native mode).
+// The value is only meaningful while the caller still holds the lock —
+// layers read it right after Acquire to attribute contention to the
+// event spine (EvLockWait).
+func (l *SpinLock) LastWait() int64 { return l.lastWait }
+
+// LockStats is a snapshot of spinlock contention counters. SpinCycles is
+// the accumulated wait time (cycles CPUs spent spinning for the lock);
+// HoldCycles is the accumulated time the lock was held. Their ratio is
+// the classic contention diagnostic: wait >> hold means the lock is the
+// bottleneck, hold >> wait means the critical section is merely long.
 type LockStats struct {
 	Acquisitions uint64
 	Contended    uint64
 	SpinCycles   int64
+	HoldCycles   int64
 }
 
 // Stats returns the lock's contention counters.
@@ -161,6 +178,7 @@ func (l *SpinLock) Stats() LockStats {
 		Acquisitions: l.acquisitions,
 		Contended:    l.contended,
 		SpinCycles:   l.spinCycles,
+		HoldCycles:   l.holdCycles,
 	}
 }
 
