@@ -72,9 +72,18 @@ func (k *CookieKMA) Free(c *machine.CPU, addr arena.Addr, size uint64) {
 // DrainAll implements Coalescer.
 func (k *CookieKMA) DrainAll(c *machine.CPU) { k.A.DrainAll(c) }
 
+// AllocWait implements Waiter via the core allocator's blocking path
+// (cookies carry no wait semantics of their own).
+func (k *CookieKMA) AllocWait(c *machine.CPU, size uint64) (arena.Addr, error) {
+	return k.A.AllocWait(c, size)
+}
+
 var (
 	_ Allocator = NewKMA{}
 	_ Coalescer = NewKMA{}
+	_ Waiter    = NewKMA{}
 	_ Allocator = (*CookieKMA)(nil)
 	_ Coalescer = (*CookieKMA)(nil)
+	_ Waiter    = (*CookieKMA)(nil)
+	_ Waiter    = RetryWait{}
 )

@@ -27,3 +27,46 @@ type Coalescer interface {
 	// DrainAll flushes every internal cache so free memory coalesces.
 	DrainAll(c *machine.CPU)
 }
+
+// Waiter is implemented by allocators with a blocking, DYNIX
+// KM_SLEEP-style allocation path: on exhaustion AllocWait retries after
+// bounded waits instead of failing immediately, returning the typed
+// exhaustion error only once its wait budget is spent.
+type Waiter interface {
+	AllocWait(c *machine.CPU, size uint64) (arena.Addr, error)
+}
+
+// RetryWait is the KM_SLEEP polyfill for baseline allocators that have
+// no native blocking path: AllocWait retries the plain Alloc with a
+// charged idle backoff between rounds. In the simulator the idle periods
+// advance virtual time (other simulated CPUs may free memory meanwhile);
+// in native mode the retries are immediate and bounded. Embedding keeps
+// the wrapped allocator's Name and interfaces.
+type RetryWait struct {
+	Allocator
+	// MaxWaits bounds the retry rounds (0 selects 8).
+	MaxWaits int
+	// BackoffCycles is the first idle period, doubled each round
+	// (0 selects 4096).
+	BackoffCycles int64
+}
+
+// AllocWait implements Waiter by polling Alloc.
+func (w RetryWait) AllocWait(c *machine.CPU, size uint64) (arena.Addr, error) {
+	maxWaits := w.MaxWaits
+	if maxWaits <= 0 {
+		maxWaits = 8
+	}
+	backoff := w.BackoffCycles
+	if backoff <= 0 {
+		backoff = 4096
+	}
+	for attempt := 0; ; attempt++ {
+		addr, err := w.Alloc(c, size)
+		if err == nil || attempt >= maxWaits {
+			return addr, err
+		}
+		c.Idle(backoff)
+		backoff *= 2
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"kmem/internal/allocif"
 	"kmem/internal/arena"
 	"kmem/internal/machine"
+	"kmem/internal/physmem"
 )
 
 // Instance is one allocator under test plus its capabilities.
@@ -41,6 +42,125 @@ func Run(t *testing.T, f Factory) {
 	t.Run("CrossSizeReuse", func(t *testing.T) { testCrossSizeReuse(t, f) })
 	t.Run("MultiCPU", func(t *testing.T) { testMultiCPU(t, f) })
 	t.Run("QuickProperties", func(t *testing.T) { testQuickProperties(t, f) })
+	t.Run("AllocWaitExhaustRecover", func(t *testing.T) { testAllocWait(t, f) })
+	t.Run("FaultInjectionRecovery", func(t *testing.T) { testFaultInjection(t, f) })
+}
+
+// testAllocWait is the KM_SLEEP contract, for every allocator exposing a
+// blocking path (the paper's allocator natively; baselines through the
+// allocif.RetryWait polyfill): AllocWait succeeds while memory is
+// available, returns a typed error after bounded waits on a genuinely
+// exhausted heap — it must not hang — and succeeds again once memory is
+// freed.
+func testAllocWait(t *testing.T, f Factory) {
+	in := f(t, 1, 128)
+	w, ok := in.A.(allocif.Waiter)
+	if !ok {
+		t.Skipf("%s has no blocking allocation path", in.A.Name())
+	}
+	c := in.M.CPU(0)
+	size := uint64(1024)
+
+	b, err := w.AllocWait(c, size)
+	if err != nil {
+		t.Fatalf("AllocWait(%d) with free memory: %v", size, err)
+	}
+	in.A.Free(c, b, size)
+
+	// Exhaust the heap non-blockingly, then the blocking path must fail
+	// in bounded time rather than sleep forever.
+	var bs []arena.Addr
+	for {
+		b, err := in.A.Alloc(c, size)
+		if err != nil {
+			break
+		}
+		bs = append(bs, b)
+		if len(bs) > 1<<20 {
+			t.Fatal("allocator never reported exhaustion")
+		}
+	}
+	if _, err := w.AllocWait(c, size); err == nil {
+		t.Fatal("AllocWait succeeded on an exhausted heap with no concurrent frees")
+	}
+
+	for _, b := range bs {
+		in.A.Free(c, b, size)
+	}
+	b, err = w.AllocWait(c, size)
+	if err != nil {
+		t.Fatalf("AllocWait(%d) after recovery: %v", size, err)
+	}
+	in.A.Free(c, b, size)
+	check(t, in)
+}
+
+// testFaultInjection is the exhaustion-unwind contract: with the
+// physical pool's map hook vetoing every page map (the generic seam all
+// allocators share), allocation pressure must surface a clean error —
+// injected mid-run for allocators that map lazily, natural exhaustion
+// for those that pre-map their heap — while the allocator stays
+// consistent; after the hook is disarmed and memory freed, normal
+// service resumes.
+func testFaultInjection(t *testing.T, f Factory) {
+	in := f(t, 1, 512)
+	c := in.M.CPU(0)
+	type rec struct {
+		b    arena.Addr
+		size uint64
+	}
+
+	// Warm up so per-CPU and global caches hold state to unwind around.
+	var live []rec
+	sizes := []uint64{32, 128, 1024, 4000}
+	for i := 0; i < 64; i++ {
+		size := sizes[i%len(sizes)]
+		b, err := in.A.Alloc(c, size)
+		if err != nil {
+			t.Fatalf("warmup alloc(%d): %v", size, err)
+		}
+		live = append(live, rec{b, size})
+	}
+
+	armed := true
+	injected := 0
+	in.M.Phys().SetMapHook(func(n int64) error {
+		if armed {
+			injected++
+			return physmem.ErrNoPages
+		}
+		return nil
+	})
+	defer in.M.Phys().SetMapHook(nil)
+
+	sawErr := false
+	for i := 0; !sawErr; i++ {
+		size := sizes[i%len(sizes)]
+		b, err := in.A.Alloc(c, size)
+		if err != nil {
+			sawErr = true
+			break
+		}
+		live = append(live, rec{b, size})
+		if i > 1<<20 {
+			t.Fatal("no allocation failure surfaced while the map hook was armed")
+		}
+	}
+	check(t, in) // the failed operation must have unwound cleanly
+
+	// Disarm, free everything: full service must resume.
+	armed = false
+	for _, r := range live {
+		in.A.Free(c, r.b, r.size)
+	}
+	for _, size := range sizes {
+		b, err := in.A.Alloc(c, size)
+		if err != nil {
+			t.Fatalf("alloc(%d) after disarm and full free: %v", size, err)
+		}
+		in.A.Free(c, b, size)
+	}
+	check(t, in)
 }
 
 // testQuickProperties property-tests the allocator contract: for any op

@@ -41,14 +41,25 @@ func (a *Allocator) CheckConsistency() error {
 		}
 		mappedPages += int64(vb.headerPages)
 		i := vb.dataStart()
+		prevFree := false
 		for i < vb.end() {
 			pd := &vb.pds[i-vb.firstPage]
+			if pd.state != pdFreeHead {
+				prevFree = false
+			}
 			switch pd.state {
 			case pdFreeHead:
 				n := int32(pd.spanPages)
 				if n < 1 || i+n > vb.end() {
 					return fmt.Errorf("kmem: free span at page %d has bad length %d", i, n)
 				}
+				// Coalescing invariant: two free spans must never touch —
+				// freePages merges both directions, so an adjacent pair
+				// means a boundary-tag merge was missed.
+				if prevFree {
+					return fmt.Errorf("kmem: free span at page %d adjoins the previous free span (missed coalesce)", i)
+				}
+				prevFree = true
 				if n > 1 {
 					tail := &vb.pds[i+n-1-vb.firstPage]
 					if tail.state != pdFreeTail || tail.spanPages != uint32(n) {
@@ -231,4 +242,44 @@ func (a *Allocator) CheckConsistency() error {
 			got, mappedPages)
 	}
 	return nil
+}
+
+// HomeOf returns the NUMA home node of the page holding address b (0 on
+// a single-node machine). Uncharged and lock-free: intended for oracles
+// and tests inspecting a quiescent allocator, where the torture
+// harness's shadow model checks each block's home against the dope
+// vector after every operation.
+func (a *Allocator) HomeOf(b arena.Addr) int {
+	return a.vm.nodeOfPage(int32(b >> a.pageShift))
+}
+
+// RoundedSize returns the size the allocator actually reserves for a
+// request: the size class's block size for small requests, the
+// page-rounded size for large ones. Uncharged; used by shadow oracles to
+// compute the true extent of a live block when checking for overlap.
+func (a *Allocator) RoundedSize(size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	if size <= uint64(a.maxSmall) {
+		return uint64(a.classes[a.classFor(size)].size)
+	}
+	pb := a.m.Config().PageBytes
+	return (size + pb - 1) / pb * pb
+}
+
+// HeaderPages returns the total header pages of every vmblk created so
+// far — the mapped-page floor a fully freed, fully drained allocator
+// settles at ("the physical memory is returned to the system; the
+// virtual memory is retained"). Uncharged; the torture harness's leak
+// check compares physmem's Mapped against exactly this number at the end
+// of a run.
+func (a *Allocator) HeaderPages() int64 {
+	var n int64
+	for _, vb := range a.vm.dope {
+		if vb != nil {
+			n += int64(vb.headerPages)
+		}
+	}
+	return n
 }

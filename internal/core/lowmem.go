@@ -1,6 +1,9 @@
 package core
 
-import "kmem/internal/machine"
+import (
+	"kmem/internal/blocklist"
+	"kmem/internal/machine"
+)
 
 // reclaim is the low-memory path behind design goal 5: it must be
 // possible for "any given CPU ... to allocate the last remaining buffer,
@@ -54,7 +57,10 @@ func (a *Allocator) DrainCPU(c *machine.CPU, cpu int) {
 		il.Acquire(c)
 		pc := &a.percpu[cpu][cls]
 		main, aux := pc.takeAll(c)
-		shards := pc.takeShards(c)
+		var shards []blocklist.List
+		if !tortureBug(TortureBugSkipShardFlush) {
+			shards = pc.takeShards(c)
+		}
 		if ctl.enabled {
 			pc.target = ctl.curTarget()
 		}

@@ -9,6 +9,21 @@ import (
 	"kmem/internal/machine"
 )
 
+// scaledOps bounds a Native-mode stress loop: the full count normally,
+// a tenth of it under -short. Every concurrent loop in these tests must
+// be op-bounded — never wall-clock-bounded — so a slow host does the
+// same work as a fast one and the race detector's schedule coverage is
+// reproducible per run length.
+func scaledOps(n int) int {
+	if testing.Short() {
+		if n >= 10 {
+			return n / 10
+		}
+		return n
+	}
+	return n
+}
+
 // nativeAllocator builds an allocator in Native mode: real goroutines,
 // real mutexes, no cost model. These tests are what the race detector
 // sees.
@@ -38,7 +53,7 @@ func TestNativeConcurrentSameCPUDiscipline(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(c.ID())))
 			var held []arena.Addr
 			var sizes []uint64
-			for op := 0; op < 20000; op++ {
+			for op := 0; op < scaledOps(20000); op++ {
 				if len(held) == 0 || (rng.Intn(2) == 0 && len(held) < 64) {
 					sz := uint64(16 << rng.Intn(8))
 					b, err := a.Alloc(c, sz)
@@ -78,13 +93,14 @@ func TestNativeProducerConsumer(t *testing.T) {
 		t.Fatal(err)
 	}
 	ch := make(chan arena.Addr, 256)
+	perWorker := scaledOps(30000)
 	var wg sync.WaitGroup
 
 	for p := 0; p < 2; p++ {
 		wg.Add(1)
 		go func(c *machine.CPU) {
 			defer wg.Done()
-			for i := 0; i < 30000; i++ {
+			for i := 0; i < perWorker; i++ {
 				b, err := a.AllocCookie(c, ck)
 				if err != nil {
 					t.Errorf("alloc: %v", err)
@@ -99,7 +115,7 @@ func TestNativeProducerConsumer(t *testing.T) {
 		wg.Add(1)
 		go func(c *machine.CPU) {
 			defer wg.Done()
-			for i := 0; i < 30000; i++ {
+			for i := 0; i < perWorker; i++ {
 				b := <-ch
 				if got := m.Mem().Load64(b + 8); got != uint64(b) {
 					t.Errorf("block %#x corrupted: %#x", b, got)
@@ -127,7 +143,7 @@ func TestNativeLowMemoryContention(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(42 + c.ID())))
 			var held []arena.Addr
-			for op := 0; op < 4000; op++ {
+			for op := 0; op < scaledOps(4000); op++ {
 				if rng.Intn(3) != 0 && len(held) < 32 {
 					b, err := a.Alloc(c, 2048)
 					if err == nil {
@@ -160,7 +176,7 @@ func TestNativeLargeAndSmallMix(t *testing.T) {
 		go func(c *machine.CPU) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(7 * (c.ID() + 1))))
-			for op := 0; op < 3000; op++ {
+			for op := 0; op < scaledOps(3000); op++ {
 				sz := uint64(1) << (4 + rng.Intn(12)) // 16B .. 32KB
 				b, err := a.Alloc(c, sz)
 				if err != nil {
@@ -187,7 +203,10 @@ func TestNativeStatsDuringTraffic(t *testing.T) {
 		wg.Add(1)
 		go func(c *machine.CPU) {
 			defer wg.Done()
-			for {
+			// Op-bounded even though stop normally ends the loop first: if
+			// the snapshot loop below ever deadlocked, the workers must not
+			// spin forever and mask it as a timeout of this goroutine.
+			for op := 0; op < scaledOps(1_000_000); op++ {
 				select {
 				case <-stop:
 					return

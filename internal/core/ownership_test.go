@@ -5,7 +5,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
-	"time"
 
 	"kmem/internal/machine"
 )
@@ -25,11 +24,13 @@ func TestDebugOwnershipCatchesSharedHandle(t *testing.T) {
 	// it (without it, the internal locks silently serialize the bug).
 	// Catching requires the scheduler to actually overlap the two
 	// goroutines inside an allocation; on a single-core host that can
-	// take a while, so keep trying within a generous budget. (The
-	// primitive itself is tested deterministically in internal/machine.)
+	// take a while, so the budget is a generous op count — never a
+	// wall-clock deadline, which would make the test's work depend on
+	// host speed. (The primitive itself is tested deterministically in
+	// internal/machine.)
+	attempts := scaledOps(2_000_000)
 	c := m.CPU(0)
 	var caught atomic.Bool
-	deadline := time.Now().Add(5 * time.Second)
 	var wg sync.WaitGroup
 	for g := 0; g < 2; g++ {
 		wg.Add(1)
@@ -40,7 +41,7 @@ func TestDebugOwnershipCatchesSharedHandle(t *testing.T) {
 					caught.Store(true)
 				}
 			}()
-			for !caught.Load() && time.Now().Before(deadline) {
+			for op := 0; op < attempts && !caught.Load(); op++ {
 				b, err := a.Alloc(c, 64)
 				if err != nil {
 					return
@@ -72,7 +73,7 @@ func TestDebugOwnershipAllowsCorrectUse(t *testing.T) {
 		wg.Add(1)
 		go func(c *machine.CPU) {
 			defer wg.Done()
-			for i := 0; i < 20000; i++ {
+			for i := 0; i < scaledOps(20000); i++ {
 				b, err := a.Alloc(c, 64)
 				if err != nil {
 					t.Error(err)

@@ -49,7 +49,7 @@ func TestPressureWaitNative(t *testing.T) {
 		wg.Add(1)
 		go func(c *machine.CPU) {
 			defer wg.Done()
-			for round := 0; round < 150; round++ {
+			for round := 0; round < scaledOps(150); round++ {
 				var held [4]arena.Addr
 				for j := range held {
 					b, err := a.AllocWait(c, 2048)
@@ -111,7 +111,7 @@ func TestConcurrentReclaimRace(t *testing.T) {
 		producers.Add(1)
 		go func(c *machine.CPU) {
 			defer producers.Done()
-			for i := 0; i < 10000; i++ {
+			for i := 0; i < scaledOps(10000); i++ {
 				b, err := a.Alloc(c, 256)
 				if err != nil {
 					continue // exhaustion is fine; corruption is not
@@ -137,7 +137,10 @@ func TestConcurrentReclaimRace(t *testing.T) {
 		go func(c *machine.CPU) {
 			defer maint.Done()
 			rng := rand.New(rand.NewSource(int64(c.ID())))
-			for {
+			// Op-bounded backstop: stop normally ends the loop, but if the
+			// producers ever wedged, the maintenance CPUs must not spin
+			// forever hammering reclaim.
+			for op := 0; op < scaledOps(1_000_000); op++ {
 				select {
 				case <-stop:
 					return

@@ -1,0 +1,21 @@
+package core
+
+// Planted-bug identifiers for the torture harness's mutation self-check.
+// A correctness harness is only worth trusting if it demonstrably fails
+// when the allocator is broken, so under the torturecheck build tag two
+// historically-plausible bugs can be armed at runtime (see
+// torturebug_on.go); in normal builds the hooks are constant-false
+// branches the compiler deletes (torturebug_off.go).
+const (
+	// TortureBugSkipShardFlush makes DrainCPU drop its flush of the
+	// staged remote-free shards: blocks parked for other nodes never
+	// reach their home pools, so a drain leaks them and a fully-freed
+	// heap never returns to its header-pages-only footprint.
+	TortureBugSkipShardFlush = iota
+	// TortureBugDropRightMerge makes freePagesLocked skip the rightward
+	// boundary-tag coalesce, leaving adjacent free spans that the
+	// consistency audit's coalescing invariant rejects.
+	TortureBugDropRightMerge
+
+	numTortureBugs
+)

@@ -1,0 +1,16 @@
+//go:build !torturecheck
+
+package core
+
+// TortureBugsAvailable reports whether this binary was built with the
+// torturecheck tag and can arm planted bugs.
+const TortureBugsAvailable = false
+
+// tortureBug reports whether planted bug b is armed. Without the
+// torturecheck tag it is constant false and the guarded branches
+// disappear at compile time, so production builds carry no mutation
+// hooks at all.
+func tortureBug(b int) bool { return false }
+
+// SetTortureBug is a no-op without the torturecheck build tag.
+func SetTortureBug(b int, on bool) {}

@@ -1,0 +1,21 @@
+//go:build torturecheck
+
+package core
+
+import "sync/atomic"
+
+// TortureBugsAvailable reports whether this binary was built with the
+// torturecheck tag and can arm planted bugs.
+const TortureBugsAvailable = true
+
+// tortureBugs holds the armed state of each planted bug. Atomic so the
+// Native-mode tests may arm/disarm around concurrent phases.
+var tortureBugs [numTortureBugs]atomic.Bool
+
+// tortureBug reports whether planted bug b is armed.
+func tortureBug(b int) bool { return tortureBugs[b].Load() }
+
+// SetTortureBug arms or disarms planted bug b. Global (the hooks sit on
+// paths without an Allocator receiver handy), so tests arming bugs must
+// not run in parallel with other allocator tests.
+func SetTortureBug(b int, on bool) { tortureBugs[b].Store(on) }

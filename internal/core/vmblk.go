@@ -487,7 +487,7 @@ func (v *vmblkLayer) freePagesLocked(c *machine.CPU, pg, n int32) {
 		}
 	}
 	// Coalesce right: the page just past the original span.
-	if pg+n < vb.end() {
+	if pg+n < vb.end() && !tortureBug(TortureBugDropRightMerge) {
 		right := v.pdOf(pg + n)
 		c.Read(right.line)
 		if right.state == pdFreeHead {

@@ -15,6 +15,10 @@ type CPU struct {
 
 	clock int64
 
+	// Seeded tie-break priority for the scheduler heap; 0 (compare by id)
+	// unless schedule jitter is armed. See jitter.go.
+	tiePri uint64
+
 	// Direct-mapped cache: cache[line % CacheLines] holds the resident
 	// line, or invalidLine.
 	cache []Line

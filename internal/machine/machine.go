@@ -172,6 +172,13 @@ type Machine struct {
 	// Optional per-line off-chip traffic attribution (see profile.go).
 	profile   map[Line]*LineStats
 	lineNames map[Line]string
+
+	// Optional seeded schedule perturbation and schedule hashing
+	// (see jitter.go). jit == nil means the scheduler is byte-identical
+	// to the unjittered model.
+	jit         *jitter
+	schedHashOn bool
+	schedHash   uint64
 }
 
 const ownerNone = int8(-1)

@@ -31,14 +31,20 @@ func (m *Machine) Run(body func(c *CPU) bool) {
 	wg.Wait()
 }
 
-// cpuHeap orders CPUs by virtual clock (ties broken by ID for
-// determinism).
+// cpuHeap orders CPUs by virtual clock. Ties go to the CPU's jitter tie
+// priority — all zero unless schedule jitter is armed, in which case
+// each CPU carries a seeded pseudo-random priority refreshed per op —
+// and finally to the ID, so the order is always total and, without
+// jitter, identical to the historical clock-then-id schedule.
 type cpuHeap []*CPU
 
 func (h cpuHeap) Len() int { return len(h) }
 func (h cpuHeap) Less(i, j int) bool {
 	if h[i].clock != h[j].clock {
 		return h[i].clock < h[j].clock
+	}
+	if h[i].tiePri != h[j].tiePri {
+		return h[i].tiePri < h[j].tiePri
 	}
 	return h[i].id < h[j].id
 }
@@ -60,7 +66,19 @@ func (m *Machine) runSim(body func(c *CPU) bool) {
 	heap.Init(&h)
 	for h.Len() > 0 {
 		c := h[0]
+		if m.schedHashOn {
+			m.schedHash = fnvMix(fnvMix(m.schedHash, uint64(c.id)), uint64(c.clock))
+		}
 		if body(c) {
+			if j := m.jit; j != nil {
+				// A seeded preemption point: after the op, the CPU may
+				// lose the processor for a bounded random interval,
+				// letting other CPUs' operations slide in front.
+				if j.next()%uint64(j.cfg.PreemptEvery) == 0 {
+					c.clock += j.delay(j.cfg.MaxPreemptCycles)
+				}
+				c.tiePri = j.next()
+			}
 			heap.Fix(&h, 0)
 		} else {
 			heap.Pop(&h)

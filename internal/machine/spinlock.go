@@ -69,6 +69,7 @@ func (l *SpinLock) Acquire(c *CPU) {
 		l.mu.Lock()
 		return
 	}
+	c.m.lockJitter(c)
 	l.acquisitions++
 	l.lastWait = 0
 	// Initial test-and-set attempt. The successful test-and-set belongs
@@ -194,6 +195,7 @@ type IntrLock struct {
 // Acquire enters the protected region on CPU c.
 func (l *IntrLock) Acquire(c *CPU) {
 	if c.m.cfg.Mode == Sim {
+		c.m.lockJitter(c)
 		c.DisableIntr()
 		return
 	}

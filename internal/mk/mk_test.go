@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"kmem/internal/allocif"
 	"kmem/internal/alloctest"
 	"kmem/internal/arena"
 	"kmem/internal/machine"
@@ -27,7 +28,9 @@ func TestConformance(t *testing.T) {
 	alloctest.Run(t, func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
 		a, m := newTest(t, ncpu, physPages)
 		return alloctest.Instance{
-			A:         a,
+			// RetryWait adds the KM_SLEEP polyfill so the blocking-path
+			// conformance case covers this baseline too.
+			A:         allocif.RetryWait{Allocator: a},
 			M:         m,
 			MaxSize:   a.MaxSize(),
 			Coalesces: false, // the point of the paper's goal-6 critique

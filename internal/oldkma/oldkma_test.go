@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"kmem/internal/allocif"
 	"kmem/internal/alloctest"
 	"kmem/internal/arena"
 	"kmem/internal/machine"
@@ -28,7 +29,9 @@ func TestConformance(t *testing.T) {
 	alloctest.Run(t, func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
 		a, m := newTest(t, ncpu, physPages)
 		return alloctest.Instance{
-			A:         a,
+			// RetryWait adds the KM_SLEEP polyfill so the blocking-path
+			// conformance case covers this baseline too.
+			A:         allocif.RetryWait{Allocator: a},
 			M:         m,
 			MaxSize:   4096,
 			Coalesces: true,

@@ -1,0 +1,88 @@
+package torture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kmem/internal/workload"
+)
+
+// Shrunk torture repros double as fuzz-corpus seeds: the same op
+// sequences that once provoked (planted or real) bugs are translated
+// into the byte encodings of internal/core's FuzzAllocatorOps and
+// internal/workload's FuzzReadTrace and committed under their
+// testdata/fuzz directories, so every `go test` replays them and
+// `go test -fuzz` explores outward from known-interesting inputs.
+
+// FuzzAllocatorOpsBytes encodes the repro's ops in FuzzAllocatorOps'
+// byte-pair format: alloc = (cpu&0x7f, (size-1)/40), free =
+// (0x80|cpu, index). The fuzz harness resolves free indices against its
+// own live list, exactly like the torture harness, so no handle
+// translation is needed. Capped at the harness's 2048-byte limit.
+func (r Repro) FuzzAllocatorOpsBytes() []byte {
+	out := make([]byte, 0, 2*len(r.Ops))
+	for _, op := range r.Ops {
+		switch op.Kind {
+		case OpAlloc, OpAllocWait:
+			size := op.Size
+			if size == 0 {
+				size = 1
+			}
+			sb := (size - 1) / 40
+			if sb > 255 {
+				sb = 255
+			}
+			out = append(out, byte(op.CPU)%2, byte(sb))
+		case OpFree:
+			out = append(out, 0x80|byte(op.CPU)%2, byte(op.Arg))
+		}
+		if len(out) >= 2048 {
+			break
+		}
+	}
+	return out
+}
+
+// TraceBytes encodes the repro's alloc/free ops as a workload.Trace in
+// its binary format — a valid, interesting input for FuzzReadTrace and
+// for any trace-replay driver.
+func (r Repro) TraceBytes() ([]byte, error) {
+	rec := workload.NewRecorder()
+	type liveH struct{ h uint32 }
+	var live []liveH
+	for _, op := range r.Ops {
+		switch op.Kind {
+		case OpAlloc, OpAllocWait:
+			size := op.Size
+			if size == 0 {
+				size = 1
+			}
+			live = append(live, liveH{rec.Alloc(int(op.CPU), uint64(size))})
+		case OpFree:
+			if len(live) == 0 {
+				continue
+			}
+			j := int(op.Arg) % len(live)
+			rec.Free(int(op.CPU), live[j].h)
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := rec.Trace().WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteGoFuzzCorpusFile writes one Go fuzz seed-corpus entry (the
+// "go test fuzz v1" format) holding a single []byte argument.
+func WriteGoFuzzCorpusFile(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,122 @@
+package torture
+
+// Seeded workload generation. An op sequence is materialized up front
+// from the workload seed, then executed under whatever schedule the
+// jitter seed selects — so the same ops can be replayed under many
+// interleavings, and a failing (ops, seeds) pair is a complete repro.
+
+// OpKind tags one torture operation.
+type OpKind uint8
+
+// Operation kinds. Free and Drain ops resolve their object at execution
+// time (a free picks a live handle by index modulo the live count), so
+// any subsequence of a generated op list is itself executable — the
+// property delta-debugging depends on.
+const (
+	// OpAlloc allocates Size bytes on CPU (skipped at the working-set cap).
+	OpAlloc OpKind = iota + 1
+	// OpAllocWait is OpAlloc through the blocking KM_SLEEP-style path.
+	OpAllocWait
+	// OpFree frees live handle Arg%len(live) on CPU (skipped when none).
+	OpFree
+	// OpDrain flushes CPU Arg%CPUs' caches from CPU (self- and
+	// cross-CPU drains both occur).
+	OpDrain
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAlloc:
+		return "alloc"
+	case OpAllocWait:
+		return "allocwait"
+	case OpFree:
+		return "free"
+	case OpDrain:
+		return "drain"
+	}
+	return "op?"
+}
+
+// Op is one materialized torture operation.
+type Op struct {
+	Kind OpKind `json:"k"`
+	CPU  uint8  `json:"c"`
+	Size uint32 `json:"s,omitempty"`
+	Arg  uint32 `json:"a,omitempty"`
+}
+
+// rng is xorshift64*: tiny, seeded, and stable across Go versions —
+// corpus artifacts must replay identically forever.
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// smallSizes are the interesting small-request sizes: class boundaries,
+// one past them, odd sizes, and the largest small class.
+var smallSizes = []uint32{
+	1, 8, 16, 17, 24, 32, 33, 40, 64, 65, 96, 128, 129,
+	200, 256, 257, 512, 513, 1000, 1024, 1025, 2048, 2049, 4000, 4096,
+}
+
+// generate materializes cfg.Ops operations from cfg.Seed.
+func generate(cfg Config) []Op {
+	r := newRng(cfg.Seed)
+	ops := make([]Op, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		op := Op{CPU: uint8(r.intn(cfg.CPUs))}
+		switch roll := r.intn(100); {
+		case roll < 50:
+			op.Kind = OpAlloc
+			op.Size = genSize(r, cfg.MaxSize)
+		case roll < 60:
+			op.Kind = OpAllocWait
+			op.Size = genSize(r, cfg.MaxSize)
+		case roll < 93:
+			op.Kind = OpFree
+			op.Arg = uint32(r.next())
+		default:
+			op.Kind = OpDrain
+			op.Arg = uint32(r.intn(cfg.CPUs))
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// genSize draws a request size: mostly small-class sizes, some one-page
+// neighborhood, a tail of multi-page large requests up to max.
+func genSize(r *rng, max uint32) uint32 {
+	var size uint32
+	switch roll := r.intn(100); {
+	case roll < 65:
+		size = smallSizes[r.intn(len(smallSizes))]
+	case roll < 90:
+		size = 4097 + uint32(r.intn(8192))
+	default:
+		size = 1 + uint32(r.next()%uint64(max))
+	}
+	if size > max {
+		size = max
+	}
+	if size == 0 {
+		size = 1
+	}
+	return size
+}

@@ -1,0 +1,50 @@
+package torture
+
+// The config matrix: CPUs × nodes × pressure × faultpoints × shards ×
+// adaptive. The small matrix is the PR-smoke set — every dimension
+// exercised at least once on a multi-node topology, cheap enough for
+// every push. The full matrix is the nightly cross product.
+
+// MatrixSmall returns the PR-smoke configs. Seeds and op counts are the
+// caller's to fill (tests pin them; kmemtorture sweeps them).
+func MatrixSmall() []Config {
+	return []Config{
+		{CPUs: 1, Nodes: 1},
+		{CPUs: 2, Nodes: 1},
+		{CPUs: 4, Nodes: 2},
+		{CPUs: 8, Nodes: 4},
+		{CPUs: 4, Nodes: 2, Pressure: true},
+		{CPUs: 4, Nodes: 2, Faults: true},
+		{CPUs: 4, Nodes: 2, DisableShards: true},
+		{CPUs: 4, Nodes: 2, Adaptive: true},
+		{CPUs: 8, Nodes: 4, Pressure: true, Faults: true, Adaptive: true},
+	}
+}
+
+// MatrixFull returns the nightly cross product: every topology against
+// every combination of pressure, faults, shards and adaptive (shard
+// disabling only exists on multi-node machines).
+func MatrixFull() []Config {
+	type topo struct{ cpus, nodes int }
+	topos := []topo{{1, 1}, {2, 1}, {4, 2}, {8, 4}}
+	var out []Config
+	for _, tp := range topos {
+		for _, pressure := range []bool{false, true} {
+			for _, faults := range []bool{false, true} {
+				for _, noShards := range []bool{false, true} {
+					if noShards && tp.nodes == 1 {
+						continue
+					}
+					for _, adaptive := range []bool{false, true} {
+						out = append(out, Config{
+							CPUs: tp.cpus, Nodes: tp.nodes,
+							Pressure: pressure, Faults: faults,
+							DisableShards: noShards, Adaptive: adaptive,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

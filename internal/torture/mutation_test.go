@@ -1,0 +1,116 @@
+//go:build torturecheck
+
+package torture
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kmem/internal/core"
+)
+
+// The mutation self-check: prove the oracle has teeth by arming two
+// planted bugs (see core/torturebug.go) and asserting the harness
+// catches both from a fixed seed within one run's op budget. A torture
+// harness that cannot catch known bugs is decoration.
+//
+// These tests mutate global allocator behavior, so the package's tests
+// must not run in parallel with them (none are marked Parallel).
+
+// mutationCfg is the fixed detection config: multi-node (so the shard
+// path is live), large-heavy traffic (so span coalescing churns), one
+// fixed workload seed and one fixed jitter seed. N = Ops = 2000 is the
+// detection bound the satellite task asks for.
+var mutationCfg = Config{CPUs: 4, Nodes: 2, Ops: 2000, Seed: 7, JitterSeed: 3}
+
+func TestMutationShardFlushBugCaught(t *testing.T) {
+	core.SetTortureBug(core.TortureBugSkipShardFlush, true)
+	defer core.SetTortureBug(core.TortureBugSkipShardFlush, false)
+	rep, err := New(mutationCfg).Run()
+	if err == nil {
+		t.Fatalf("planted shard-flush bug went undetected in %d ops", rep.OpsExecuted)
+	}
+	t.Logf("caught in %d ops: %v", rep.OpsExecuted, err)
+	if !strings.Contains(err.Error(), "leak") && !strings.Contains(err.Error(), "shard") {
+		t.Errorf("failure does not look like the planted leak: %v", err)
+	}
+}
+
+func TestMutationDropRightMergeBugCaught(t *testing.T) {
+	core.SetTortureBug(core.TortureBugDropRightMerge, true)
+	defer core.SetTortureBug(core.TortureBugDropRightMerge, false)
+	rep, err := New(mutationCfg).Run()
+	if err == nil {
+		t.Fatalf("planted right-merge bug went undetected in %d ops", rep.OpsExecuted)
+	}
+	t.Logf("caught in %d ops: %v", rep.OpsExecuted, err)
+	if !strings.Contains(err.Error(), "coalesce") && !strings.Contains(err.Error(), "span") {
+		t.Errorf("failure does not look like the planted missed merge: %v", err)
+	}
+}
+
+// TestMutationShrinksToSmallRepro runs the full failure pipeline on a
+// planted bug: catch it, delta-debug the op sequence, and confirm the
+// shrunk repro still reproduces and is materially smaller.
+func TestMutationShrinksToSmallRepro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking replays the harness many times")
+	}
+	core.SetTortureBug(core.TortureBugDropRightMerge, true)
+	defer core.SetTortureBug(core.TortureBugDropRightMerge, false)
+	r := ReproOf(New(mutationCfg))
+	if !r.Fails() {
+		t.Fatal("armed bug did not fail the full repro")
+	}
+	shrunk := ShrinkFailure(r)
+	if !shrunk.Fails() {
+		t.Fatal("shrunk repro no longer reproduces")
+	}
+	if len(shrunk.Ops) > len(r.Ops)/4 {
+		t.Errorf("shrink only reached %d of %d ops", len(shrunk.Ops), len(r.Ops))
+	}
+	t.Logf("shrunk %d ops -> %d", len(r.Ops), len(shrunk.Ops))
+}
+
+// TestMutationCleanWhenDisarmed pins that merely building with the
+// torturecheck tag changes nothing: with both bugs disarmed the fixed
+// seed runs clean.
+func TestMutationCleanWhenDisarmed(t *testing.T) {
+	if _, err := New(mutationCfg).Run(); err != nil {
+		t.Fatalf("disarmed torturecheck build fails the fixed seed: %v", err)
+	}
+}
+
+// TestCommittedReprosCatchPlantedBugs replays each committed artifact
+// with its matching bug armed: the minimal repro must still reproduce
+// the failure it was shrunk from. This keeps the testdata artifacts
+// honest against allocator drift.
+func TestCommittedReprosCatchPlantedBugs(t *testing.T) {
+	cases := map[string]int{
+		"shardflush": core.TortureBugSkipShardFlush,
+		"rightmerge": core.TortureBugDropRightMerge,
+	}
+	for prefix, bug := range cases {
+		paths, err := filepath.Glob(filepath.Join("testdata", prefix+"-*.torture.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) == 0 {
+			t.Fatalf("no committed %s repro", prefix)
+		}
+		for _, p := range paths {
+			t.Run(filepath.Base(p), func(t *testing.T) {
+				r, err := LoadRepro(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				core.SetTortureBug(bug, true)
+				defer core.SetTortureBug(bug, false)
+				if !r.Fails() {
+					t.Fatal("committed repro no longer reproduces with its bug armed")
+				}
+			})
+		}
+	}
+}

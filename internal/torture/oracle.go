@@ -1,0 +1,121 @@
+package torture
+
+import (
+	"fmt"
+
+	"kmem/internal/arena"
+	"kmem/internal/core"
+	"kmem/internal/machine"
+)
+
+// The differential shadow oracle: a map-based model of what the
+// allocator has promised. Every live block is remembered with its
+// class-rounded extent, its NUMA home, and a fill pattern; after every
+// alloc the new block is checked against the whole model, and before
+// every free the block's integrity and home stability are re-verified.
+// The model is deliberately dumb — sorted facts and linear scans — so a
+// disagreement always means the allocator is wrong, never the model.
+
+// handle is one live block in the shadow model.
+type handle struct {
+	addr    arena.Addr
+	size    uint64 // requested size (what Free must be passed)
+	rounded uint64 // true reserved extent (class- or page-rounded)
+	home    int    // NUMA home at allocation time
+	pattern byte
+	op      int // op index that allocated it (for failure messages)
+}
+
+type oracle struct {
+	m    *machine.Machine
+	a    *core.Allocator
+	cfg  Config
+	live []handle
+
+	pageBytes uint64
+	maxSmall  uint64
+}
+
+func newOracle(m *machine.Machine, a *core.Allocator, cfg Config) *oracle {
+	return &oracle{
+		m:         m,
+		a:         a,
+		cfg:       cfg,
+		pageBytes: m.Config().PageBytes,
+		maxSmall:  uint64(a.MaxSmall()),
+	}
+}
+
+// onAlloc checks a fresh allocation against the model and admits it.
+// Returns a failure message, or "" when every postcondition holds.
+func (o *oracle) onAlloc(addr arena.Addr, size uint64, op int) string {
+	if addr == arena.NilAddr {
+		return fmt.Sprintf("alloc(%d) returned the nil address without an error", size)
+	}
+	rounded := o.a.RoundedSize(size)
+	if rounded < size {
+		return fmt.Sprintf("alloc(%d): rounded size %d smaller than request", size, rounded)
+	}
+	if uint64(addr)+rounded > o.m.Config().MemBytes {
+		return fmt.Sprintf("alloc(%d) = %#x: extent %d overruns the arena", size, addr, rounded)
+	}
+	// Placement: small blocks sit class-aligned inside one page; large
+	// blocks are page-aligned spans.
+	off := uint64(addr) % o.pageBytes
+	if size <= o.maxSmall {
+		if off%rounded != 0 {
+			return fmt.Sprintf("alloc(%d) = %#x: not aligned to its class size %d", size, addr, rounded)
+		}
+		if off+rounded > o.pageBytes {
+			return fmt.Sprintf("alloc(%d) = %#x: class block straddles a page boundary", size, addr)
+		}
+	} else if off != 0 {
+		return fmt.Sprintf("alloc(%d) = %#x: large block not page-aligned", size, addr)
+	}
+	// NUMA home per the dope vector: must name a real node.
+	home := o.a.HomeOf(addr)
+	if home < 0 || home >= o.cfg.Nodes {
+		return fmt.Sprintf("alloc(%d) = %#x: dope vector homes it on node %d of %d", size, addr, home, o.cfg.Nodes)
+	}
+	// No live-block overlap against the entire model.
+	for _, h := range o.live {
+		if uint64(addr) < uint64(h.addr)+h.rounded && uint64(h.addr) < uint64(addr)+rounded {
+			return fmt.Sprintf("alloc(%d) = %#x (extent %d) overlaps live block %#x (size %d, extent %d, from op %d)",
+				size, addr, rounded, h.addr, h.size, h.rounded, h.op)
+		}
+	}
+	h := handle{
+		addr:    addr,
+		size:    size,
+		rounded: rounded,
+		home:    home,
+		pattern: byte(0xA0 ^ op),
+		op:      op,
+	}
+	// Write integrity: fill the requested bytes now, verify them intact
+	// at free time. A block handed to two callers, or scribbled by
+	// allocator metadata, breaks the pattern.
+	o.m.Mem().Fill(addr, size, h.pattern)
+	o.live = append(o.live, h)
+	return ""
+}
+
+// beforeFree re-verifies a block the instant before it is freed.
+func (o *oracle) beforeFree(h handle) string {
+	if off, ok := o.m.Mem().CheckFill(h.addr, h.size, h.pattern); !ok {
+		return fmt.Sprintf("block %#x (size %d, from op %d): byte %d corrupted while live",
+			h.addr, h.size, h.op, off)
+	}
+	if home := o.a.HomeOf(h.addr); home != h.home {
+		return fmt.Sprintf("block %#x (from op %d): home moved from node %d to node %d while live",
+			h.addr, h.op, h.home, home)
+	}
+	return ""
+}
+
+// remove drops live entry j (swap-remove; order is irrelevant to the
+// model, and op.Arg indexes it modulo length, deterministically).
+func (o *oracle) remove(j int) {
+	o.live[j] = o.live[len(o.live)-1]
+	o.live = o.live[:len(o.live)-1]
+}

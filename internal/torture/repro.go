@@ -1,0 +1,56 @@
+package torture
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Repro is a complete, self-contained failing (or previously-failing)
+// torture case: the exact config (seeds included) and the materialized
+// op sequence. Serialized as JSON under testdata/ and replayed by
+// `kmemtorture -replay`; shrunk repros double as fuzz-corpus seeds
+// (corpus.go).
+type Repro struct {
+	Config Config `json:"config"`
+	Ops    []Op   `json:"ops"`
+}
+
+// ReproOf captures a runner's case as a Repro.
+func ReproOf(r *Runner) Repro {
+	ops := make([]Op, len(r.ops))
+	copy(ops, r.ops)
+	return Repro{Config: r.cfg, Ops: ops}
+}
+
+// Runner returns a runner that replays the repro exactly.
+func (r Repro) Runner() *Runner { return Replay(r.Config, r.Ops) }
+
+// Fails reports whether the repro still provokes a failure.
+func (r Repro) Fails() bool {
+	_, err := r.Runner().Run()
+	return err != nil
+}
+
+// Save writes the repro as indented JSON.
+func (r Repro) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRepro reads a repro written by Save.
+func LoadRepro(path string) (Repro, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Repro{}, err
+	}
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Repro{}, fmt.Errorf("torture: %s: %w", path, err)
+	}
+	r.Config = r.Config.withDefaults()
+	return r, nil
+}

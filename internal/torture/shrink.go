@@ -1,0 +1,68 @@
+package torture
+
+// Delta-debugging (ddmin) over a failing repro. Free and drain ops
+// resolve their objects at execution time, so every subsequence of an op
+// list is executable — removing a chunk can change which blocks later
+// frees hit, but never produces an invalid sequence. That property makes
+// plain ddmin sound here.
+
+// Shrink minimizes r's op sequence (and then tries dropping the jitter
+// seed) while fails keeps returning true. fails must be deterministic —
+// with this harness it is, because a Repro names its run completely.
+// Returns r unchanged if it does not fail to begin with.
+func Shrink(r Repro, fails func(Repro) bool) Repro {
+	if !fails(r) {
+		return r
+	}
+	ops := r.Ops
+	n := 2
+	for len(ops) > 1 && n <= len(ops) {
+		chunk := (len(ops) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(ops); start += chunk {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			cand := make([]Op, 0, len(ops)-(end-start))
+			cand = append(cand, ops[:start]...)
+			cand = append(cand, ops[end:]...)
+			trial := r
+			trial.Ops = cand
+			if fails(trial) {
+				ops = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(ops) {
+				break
+			}
+			n *= 2
+			if n > len(ops) {
+				n = len(ops)
+			}
+		}
+	}
+	r.Ops = ops
+	// A repro that still fails on the conservative schedule is simpler
+	// than one needing jitter; prefer it.
+	if r.Config.JitterSeed != 0 {
+		trial := r
+		trial.Config.JitterSeed = 0
+		if fails(trial) {
+			r = trial
+		}
+	}
+	return r
+}
+
+// ShrinkFailure shrinks r against the harness itself: a candidate
+// "fails" when replaying it produces any oracle failure.
+func ShrinkFailure(r Repro) Repro {
+	return Shrink(r, Repro.Fails)
+}

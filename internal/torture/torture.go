@@ -1,0 +1,334 @@
+// Package torture is the deterministic concurrency-torture harness, in
+// the spirit of rcutorture: seeded workloads driven over the simulated
+// multiprocessor under seeded schedule perturbation, with a differential
+// shadow oracle checked after every operation and delta-debugged minimal
+// repros on failure.
+//
+// Everything is a pure function of the Config: the workload seed
+// materializes the op sequence, the jitter seed selects the interleaving
+// (machine.JitterConfig), and the fault seed drives injection — so a
+// failing run is named completely by its Config + ops, serialized as a
+// Repro (repro.go) that `kmemtorture -replay` re-executes bit for bit.
+package torture
+
+import (
+	"fmt"
+
+	"kmem/internal/arena"
+	"kmem/internal/core"
+	"kmem/internal/faultpoint"
+	"kmem/internal/machine"
+)
+
+// Config names one torture run exactly. The zero value of every field
+// but the seeds selects a default (see withDefaults); the whole struct
+// round-trips through JSON as part of a Repro.
+type Config struct {
+	CPUs  int `json:"cpus"`
+	Nodes int `json:"nodes"`
+
+	MemBytes  uint64 `json:"mem_bytes"`
+	PhysPages int64  `json:"phys_pages"`
+
+	// Ops is the number of operations to materialize from Seed.
+	Ops  int    `json:"ops"`
+	Seed uint64 `json:"seed"`
+	// JitterSeed selects the schedule perturbation; 0 runs the
+	// conservative (unjittered) schedule.
+	JitterSeed uint64 `json:"jitter_seed,omitempty"`
+
+	// Pressure enables the watermark/reclaim model (with a tight
+	// physical-page budget so the watermarks are actually crossed).
+	Pressure bool `json:"pressure,omitempty"`
+	// Faults arms probabilistic fault injection at all three exhaustion
+	// seams, driven by FaultSeed/FaultProb.
+	Faults    bool    `json:"faults,omitempty"`
+	FaultSeed int64   `json:"fault_seed,omitempty"`
+	FaultProb float64 `json:"fault_prob,omitempty"`
+
+	DisableShards bool `json:"disable_shards,omitempty"`
+	Adaptive      bool `json:"adaptive,omitempty"`
+
+	// WorkingSet caps the live handles; allocs at the cap are skipped.
+	WorkingSet int `json:"working_set,omitempty"`
+	// MaxSize bounds request sizes (covers the large path when > 4096).
+	MaxSize uint32 `json:"max_size,omitempty"`
+	// CheckEvery runs the full consistency audit every N executed ops.
+	CheckEvery int `json:"check_every,omitempty"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.CPUs <= 0 {
+		c.CPUs = 4
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.MemBytes == 0 {
+		c.MemBytes = 32 << 20
+	}
+	if c.PhysPages == 0 {
+		c.PhysPages = 2048
+		if c.Pressure || c.Faults {
+			// Tight budget: the watermarks and exhaustion paths must
+			// actually be crossed, not just configured.
+			c.PhysPages = 512
+		}
+	}
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if c.FaultProb == 0 {
+		c.FaultProb = 0.02
+	}
+	if c.WorkingSet <= 0 {
+		c.WorkingSet = 96
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 3*4096 + 100
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 128
+	}
+	return c
+}
+
+// Name returns a short human-readable tag for the config, used in test
+// names and artifact filenames.
+func (c Config) Name() string {
+	n := fmt.Sprintf("c%dn%d", c.CPUs, c.Nodes)
+	if c.Pressure {
+		n += "-pressure"
+	}
+	if c.Faults {
+		n += "-faults"
+	}
+	if c.DisableShards {
+		n += "-noshards"
+	}
+	if c.Adaptive {
+		n += "-adaptive"
+	}
+	return n
+}
+
+// Failure is the oracle's verdict on a failing run.
+type Failure struct {
+	// OpIndex is the index into the materialized op list of the op whose
+	// postcondition failed, or -1 for the end-of-run audit (full free,
+	// drain, consistency, leak check).
+	OpIndex int
+	Msg     string
+}
+
+func (f *Failure) Error() string {
+	if f.OpIndex < 0 {
+		return fmt.Sprintf("torture: end-of-run audit: %s", f.Msg)
+	}
+	return fmt.Sprintf("torture: op %d: %s", f.OpIndex, f.Msg)
+}
+
+// Report summarizes a completed run (failing or not).
+type Report struct {
+	OpsExecuted int
+	Allocs      uint64
+	AllocFails  uint64
+	Frees       uint64
+	Drains      uint64
+	Skipped     uint64
+	// SchedHash is the machine's schedule hash: the identity of the
+	// interleaving this run executed.
+	SchedHash uint64
+}
+
+// Runner executes one materialized op sequence under one Config.
+type Runner struct {
+	cfg Config
+	ops []Op
+}
+
+// New materializes cfg's op sequence from its workload seed.
+func New(cfg Config) *Runner {
+	cfg = cfg.withDefaults()
+	return &Runner{cfg: cfg, ops: generate(cfg)}
+}
+
+// Replay wraps an explicit op sequence (a shrunk repro) under cfg.
+func Replay(cfg Config, ops []Op) *Runner {
+	return &Runner{cfg: cfg.withDefaults(), ops: ops}
+}
+
+// Config returns the runner's (defaulted) config.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Ops returns the materialized op sequence.
+func (r *Runner) Ops() []Op { return r.ops }
+
+// Run executes the op sequence on a fresh simulated machine and checks
+// the shadow oracle after every operation. The returned error, if any,
+// is a *Failure. Sim mode only: the harness relies on the deterministic
+// scheduler (Native concurrency is covered by the -race tests).
+func (r *Runner) Run() (Report, error) {
+	cfg := r.cfg
+	mcfg := machine.DefaultConfig()
+	mcfg.NumCPUs = cfg.CPUs
+	mcfg.Nodes = cfg.Nodes
+	mcfg.MemBytes = cfg.MemBytes
+	mcfg.PhysPages = cfg.PhysPages
+	m := machine.New(mcfg)
+	if cfg.JitterSeed != 0 {
+		m.SetScheduleJitter(&machine.JitterConfig{Seed: cfg.JitterSeed})
+	}
+	m.EnableSchedHash()
+
+	p := core.Params{
+		RadixSort:           true,
+		Poison:              true,
+		DisableRemoteShards: cfg.DisableShards,
+		// Keep blocked allocations cheap in virtual time: a few short
+		// waits, then the typed error (a legal outcome for the oracle).
+		Wait: &core.WaitConfig{MaxWaits: 3, BaseBackoffCycles: 512, MaxBackoffCycles: 8192},
+	}
+	if cfg.Pressure {
+		p.Pressure = &core.PressureConfig{}
+	}
+	if cfg.Adaptive {
+		p.Adaptive = &core.AdaptiveConfig{}
+	}
+	if cfg.Faults {
+		fs := faultpoint.New(cfg.FaultSeed)
+		spec := faultpoint.Spec{Prob: cfg.FaultProb}
+		fs.Arm(core.FaultPhysMap, spec)
+		fs.Arm(core.FaultVmblkCarve, spec)
+		fs.Arm(core.FaultPagePoolRefill, spec)
+		p.Faults = fs
+	}
+	a, err := core.New(m, p)
+	if err != nil {
+		return Report{}, fmt.Errorf("torture: allocator: %w", err)
+	}
+
+	ora := newOracle(m, a, cfg)
+	var rep Report
+
+	// Split the op list by CPU; each simulated CPU walks its own
+	// subsequence, and the scheduler (plus jitter) chooses the global
+	// interleaving. The simulator is single-goroutine, so the shared
+	// oracle state needs no locking.
+	perCPU := make([][]int, cfg.CPUs)
+	for i, op := range r.ops {
+		cpu := int(op.CPU) % cfg.CPUs
+		perCPU[cpu] = append(perCPU[cpu], i)
+	}
+	cursors := make([]int, cfg.CPUs)
+	var failure *Failure
+	m.Run(func(c *machine.CPU) bool {
+		if failure != nil {
+			return false
+		}
+		id := c.ID()
+		if cursors[id] >= len(perCPU[id]) {
+			return false
+		}
+		i := perCPU[id][cursors[id]]
+		cursors[id]++
+		failure = r.exec(c, a, ora, &rep, i)
+		rep.OpsExecuted++
+		if failure == nil && rep.OpsExecuted%cfg.CheckEvery == 0 {
+			// Quiescent in the simulator: operations run to completion,
+			// so between ops every structure is in a consistent state.
+			if err := a.CheckConsistency(); err != nil {
+				failure = &Failure{OpIndex: i, Msg: err.Error()}
+			}
+		}
+		return failure == nil
+	})
+
+	if failure == nil {
+		failure = r.endAudit(m, a, ora, &rep)
+	}
+	rep.SchedHash = m.SchedHash()
+	if failure != nil {
+		return rep, failure
+	}
+	return rep, nil
+}
+
+// exec runs one op and its oracle postconditions; nil means healthy.
+func (r *Runner) exec(c *machine.CPU, a *core.Allocator, ora *oracle, rep *Report, i int) *Failure {
+	op := r.ops[i]
+	switch op.Kind {
+	case OpAlloc, OpAllocWait:
+		if len(ora.live) >= r.cfg.WorkingSet {
+			rep.Skipped++
+			return nil
+		}
+		size := uint64(op.Size)
+		if size == 0 {
+			size = 1
+		}
+		var (
+			addr arena.Addr
+			err  error
+		)
+		if op.Kind == OpAllocWait {
+			addr, err = a.AllocWait(c, size)
+		} else {
+			addr, err = a.Alloc(c, size)
+		}
+		if err != nil {
+			// Exhaustion (real or injected) is a legal outcome; the
+			// oracle only demands the allocator stay consistent.
+			rep.AllocFails++
+			return nil
+		}
+		rep.Allocs++
+		if msg := ora.onAlloc(addr, size, i); msg != "" {
+			return &Failure{OpIndex: i, Msg: msg}
+		}
+	case OpFree:
+		if len(ora.live) == 0 {
+			rep.Skipped++
+			return nil
+		}
+		j := int(op.Arg) % len(ora.live)
+		h := ora.live[j]
+		if msg := ora.beforeFree(h); msg != "" {
+			return &Failure{OpIndex: i, Msg: msg}
+		}
+		a.Free(c, h.addr, h.size)
+		ora.remove(j)
+		rep.Frees++
+	case OpDrain:
+		a.DrainCPU(c, int(op.Arg)%r.cfg.CPUs)
+		rep.Drains++
+	default:
+		return &Failure{OpIndex: i, Msg: fmt.Sprintf("unknown op kind %d", op.Kind)}
+	}
+	return nil
+}
+
+// endAudit frees everything still live (with the same per-block checks),
+// drains every layer, and verifies the allocator returns to its
+// header-pages-only physical footprint — the leak check that catches
+// blocks stranded anywhere in the caching hierarchy.
+func (r *Runner) endAudit(m *machine.Machine, a *core.Allocator, ora *oracle, rep *Report) *Failure {
+	c := m.CPU(0)
+	for _, h := range ora.live {
+		if msg := ora.beforeFree(h); msg != "" {
+			return &Failure{OpIndex: -1, Msg: msg}
+		}
+		a.Free(c, h.addr, h.size)
+		rep.Frees++
+	}
+	ora.live = ora.live[:0]
+	a.DrainAll(c)
+	if err := a.CheckConsistency(); err != nil {
+		return &Failure{OpIndex: -1, Msg: err.Error()}
+	}
+	if mapped, floor := a.Stats(c).Phys.Mapped, a.HeaderPages(); mapped != floor {
+		return &Failure{OpIndex: -1, Msg: fmt.Sprintf(
+			"leak: %d pages mapped after full free and drain, header floor is %d", mapped, floor)}
+	}
+	return nil
+}

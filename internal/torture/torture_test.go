@@ -1,0 +1,212 @@
+package torture
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"kmem/internal/workload"
+)
+
+// TestSmallMatrix drives the PR-smoke matrix with fixed seeds: every
+// config must run its full op budget with a clean oracle, under both the
+// conservative schedule and a jittered one.
+func TestSmallMatrix(t *testing.T) {
+	for i, cfg := range MatrixSmall() {
+		cfg.Ops = 1200
+		cfg.Seed = uint64(1000 + i)
+		for _, jitter := range []uint64{0, uint64(7700 + i)} {
+			cfg.JitterSeed = jitter
+			r := New(cfg)
+			t.Run(r.Config().Name()+jitterTag(jitter), func(t *testing.T) {
+				rep, err := r.Run()
+				if err != nil {
+					t.Fatalf("seed %d jitter %d: %v", cfg.Seed, jitter, err)
+				}
+				if rep.Allocs == 0 || rep.Frees == 0 {
+					t.Fatalf("degenerate run: %+v", rep)
+				}
+			})
+		}
+	}
+}
+
+func jitterTag(seed uint64) string {
+	if seed == 0 {
+		return ""
+	}
+	return "-jitter"
+}
+
+// TestGoldenDeterminism is the golden determinism test: the same seeds
+// produce the identical interleaving (schedule hash) and identical op
+// accounting across two runs, at every CPU count, jittered or not.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, cpus := range []int{1, 2, 4, 8} {
+		for _, jitter := range []uint64{0, 99} {
+			cfg := Config{CPUs: cpus, Nodes: max(1, cpus/2), Ops: 800, Seed: 5, JitterSeed: jitter}
+			repA, errA := New(cfg).Run()
+			repB, errB := New(cfg).Run()
+			if errA != nil || errB != nil {
+				t.Fatalf("cpus=%d jitter=%d: %v / %v", cpus, jitter, errA, errB)
+			}
+			if repA != repB {
+				t.Errorf("cpus=%d jitter=%d: reports diverged:\n  %+v\n  %+v", cpus, jitter, repA, repB)
+			}
+		}
+	}
+}
+
+// TestJitterSeedsExplore proves distinct jitter seeds explore distinct
+// interleavings of the same op sequence.
+func TestJitterSeedsExplore(t *testing.T) {
+	cfg := Config{CPUs: 4, Nodes: 2, Ops: 800, Seed: 5}
+	hashes := map[uint64]bool{}
+	for _, jitter := range []uint64{0, 1, 2, 3} {
+		cfg.JitterSeed = jitter
+		rep, err := New(cfg).Run()
+		if err != nil {
+			t.Fatalf("jitter %d: %v", jitter, err)
+		}
+		hashes[rep.SchedHash] = true
+	}
+	if len(hashes) < 3 {
+		t.Errorf("4 jitter seeds explored only %d distinct schedules", len(hashes))
+	}
+}
+
+// TestShrinkMechanics checks ddmin against a synthetic predicate: a
+// repro "fails" while it keeps at least two large allocs, so the minimum
+// is exactly two ops.
+func TestShrinkMechanics(t *testing.T) {
+	r := ReproOf(New(Config{CPUs: 4, Nodes: 2, Ops: 600, Seed: 11}))
+	fails := func(r Repro) bool {
+		n := 0
+		for _, op := range r.Ops {
+			if (op.Kind == OpAlloc || op.Kind == OpAllocWait) && op.Size >= 5000 {
+				n++
+			}
+		}
+		return n >= 2
+	}
+	if !fails(r) {
+		t.Fatalf("seed workload lacks two large allocs; pick another seed")
+	}
+	shrunk := Shrink(r, fails)
+	if !fails(shrunk) {
+		t.Fatal("shrunk repro no longer fails the predicate")
+	}
+	if len(shrunk.Ops) != 2 {
+		t.Errorf("ddmin left %d ops; minimum for the predicate is 2", len(shrunk.Ops))
+	}
+}
+
+// TestShrinkHealthyIsIdentity pins that Shrink never touches a passing
+// repro.
+func TestShrinkHealthyIsIdentity(t *testing.T) {
+	r := ReproOf(New(Config{CPUs: 2, Nodes: 1, Ops: 200, Seed: 3}))
+	shrunk := ShrinkFailure(r)
+	if len(shrunk.Ops) != len(r.Ops) {
+		t.Errorf("Shrink modified a healthy repro: %d -> %d ops", len(r.Ops), len(shrunk.Ops))
+	}
+}
+
+// TestReproRoundTrip pins the JSON artifact format: save, load, replay —
+// identical ops, identical schedule hash.
+func TestReproRoundTrip(t *testing.T) {
+	r := ReproOf(New(Config{CPUs: 4, Nodes: 2, Ops: 400, Seed: 21, JitterSeed: 9}))
+	path := t.TempDir() + "/case.torture.json"
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ops) != len(r.Ops) || back.Config != r.Config {
+		t.Fatalf("round trip changed the repro: %+v vs %+v", back.Config, r.Config)
+	}
+	repA, errA := r.Runner().Run()
+	repB, errB := back.Runner().Run()
+	if errA != nil || errB != nil || repA.SchedHash != repB.SchedHash {
+		t.Fatalf("replay diverged: %+v (%v) vs %+v (%v)", repA, errA, repB, errB)
+	}
+}
+
+// TestCorpusEncodings checks both fuzz-corpus translations: the
+// FuzzAllocatorOps bytes respect that harness's framing, and the trace
+// bytes parse back into a valid workload.Trace.
+func TestCorpusEncodings(t *testing.T) {
+	r := ReproOf(New(Config{CPUs: 4, Nodes: 2, Ops: 500, Seed: 13}))
+	fb := r.FuzzAllocatorOpsBytes()
+	if len(fb) == 0 || len(fb)%2 != 0 || len(fb) > 2048 {
+		t.Fatalf("fuzz bytes: bad framing, len %d", len(fb))
+	}
+	for i := 0; i < len(fb); i += 2 {
+		if fb[i]&0x7f > 1 {
+			t.Fatalf("fuzz byte %d encodes CPU %d; harness uses 2 CPUs", i, fb[i]&0x7f)
+		}
+	}
+	tb, err := r.TraceBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.ReadTrace(bytes.NewReader(tb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(4); err != nil {
+		t.Fatalf("trace from repro is not well-formed: %v", err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("trace from repro is empty")
+	}
+}
+
+// TestMatrixShapes pins the matrix dimensions: the small matrix touches
+// every dimension, the full one is the cross product.
+func TestMatrixShapes(t *testing.T) {
+	small := MatrixSmall()
+	var pressure, faults, noShards, adaptive, multiNode bool
+	for _, c := range small {
+		pressure = pressure || c.Pressure
+		faults = faults || c.Faults
+		noShards = noShards || c.DisableShards
+		adaptive = adaptive || c.Adaptive
+		multiNode = multiNode || c.Nodes > 1
+	}
+	if !pressure || !faults || !noShards || !adaptive || !multiNode {
+		t.Errorf("small matrix misses a dimension: pressure=%v faults=%v noShards=%v adaptive=%v multiNode=%v",
+			pressure, faults, noShards, adaptive, multiNode)
+	}
+	// 2 single-node topologies x 8 flag combos + 2 multi-node x 16.
+	if got, want := len(MatrixFull()), 48; got != want {
+		t.Errorf("full matrix has %d configs, want %d", got, want)
+	}
+}
+
+// TestCommittedReprosReplayClean replays every committed repro artifact
+// under testdata. On a healthy (untagged) build each must pass: the
+// artifacts capture planted-bug failures, and the planted bugs are
+// compiled out here. This pins the artifact format itself — a repro
+// that no longer loads or executes is a dead artifact.
+func TestCommittedReprosReplayClean(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.torture.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed repro artifacts under testdata")
+	}
+	for _, p := range paths {
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			r, err := LoadRepro(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.Runner().Run(); err != nil {
+				t.Fatalf("committed repro fails on a healthy build: %v", err)
+			}
+		})
+	}
+}
