@@ -15,6 +15,7 @@
 //	kmembench topology  [-cpus 8] [-nodes 1,2,4] [-pairing near|cross] [-seconds 0.02]
 //	kmembench scaling   [-cpus 2,4,8] [-nodes 1,2,4] [-seconds 0.005] [-size 128] [-json]
 //	kmembench pressure  [-cpus 4] [-nodes 1,2,4] [-pages 96,64,48,32] [-rounds 400]
+//	kmembench frag      [-cycles 3] [-pages 4096]
 //	kmembench all
 //
 // Every subcommand accepts -json to emit its result rows as one JSON
@@ -62,6 +63,8 @@ func main() {
 		err = cmdCyclic(args)
 	case "pressure":
 		err = cmdPressure(args)
+	case "frag":
+		err = cmdFrag(args)
 	case "projection":
 		err = cmdProjection(args)
 	case "all":
@@ -92,6 +95,7 @@ func usage() {
   scaling    CPUs x nodes sweep, remote-free shards on/off, lock cycle accounting
   cyclic     the day/night commercial workload (design goal 6)
   pressure   memory-pressure sweep: fail-fast Alloc vs blocking AllocWait under shrinking pools
+  frag       fragmentation triple (reserved/resident/live) over churn cycles, eager vs lazy backing
   projection scaling under a widening CPU/memory gap (the paper's closing claim)
   all        everything above with default settings`)
 }
@@ -460,6 +464,28 @@ func cmdPressure(args []string) error {
 	return nil
 }
 
+func cmdFrag(args []string) error {
+	fs := flag.NewFlagSet("frag", flag.ExitOnError)
+	cycles := fs.Int("cycles", 3, "grow/churn/shrink/trim cycles per mode")
+	pages := fs.Int64("pages", 4096, "physical pages")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunFrag(*cycles, *pages)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return emitJSON(res)
+	}
+	res.Table().Fprint(os.Stdout)
+	fmt.Println("\nEager backing unmaps as spans coalesce, so resident tracks live; lazy backing")
+	fmt.Println("keeps freed spans' frames for reuse until a trim strips them, trading a larger")
+	fmt.Println("transient footprint for commit-free reallocation (see DESIGN.md, virtual spans).")
+	return nil
+}
+
 func cmdProjection(args []string) error {
 	fs := flag.NewFlagSet("projection", flag.ExitOnError)
 	seconds := fs.Float64("seconds", 0.05, "virtual seconds per point")
@@ -573,6 +599,10 @@ func cmdAll() error {
 	}
 	fmt.Println("\n=== Memory-pressure sweep ============================================")
 	if err := cmdPressure(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Fragmentation triple: eager vs lazy backing ======================")
+	if err := cmdFrag(nil); err != nil {
 		return err
 	}
 	fmt.Println("\n=== Projection: widening CPU/memory gap ==============================")

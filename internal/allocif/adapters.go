@@ -78,12 +78,19 @@ func (k *CookieKMA) AllocWait(c *machine.CPU, size uint64) (arena.Addr, error) {
 	return k.A.AllocWait(c, size)
 }
 
+// Trim implements Trimmer (cookies change nothing about page backing).
+func (k *CookieKMA) Trim(c *machine.CPU, maxPages int64) int64 {
+	return k.A.Trim(c, maxPages)
+}
+
 var (
 	_ Allocator = NewKMA{}
 	_ Coalescer = NewKMA{}
 	_ Waiter    = NewKMA{}
+	_ Trimmer   = NewKMA{}
 	_ Allocator = (*CookieKMA)(nil)
 	_ Coalescer = (*CookieKMA)(nil)
 	_ Waiter    = (*CookieKMA)(nil)
+	_ Trimmer   = (*CookieKMA)(nil)
 	_ Waiter    = RetryWait{}
 )

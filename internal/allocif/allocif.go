@@ -36,6 +36,15 @@ type Waiter interface {
 	AllocWait(c *machine.CPU, size uint64) (arena.Addr, error)
 }
 
+// Trimmer is implemented by allocators that can release the physical
+// backing of coalesced free memory while keeping its virtual addresses
+// reserved (the lazy virtual-span model). Trim strips the backing of up
+// to maxPages free pages — negative strips all — and returns how many it
+// released; an allocator whose free memory holds no backing returns 0.
+type Trimmer interface {
+	Trim(c *machine.CPU, maxPages int64) int64
+}
+
 // RetryWait is the KM_SLEEP polyfill for baseline allocators that have
 // no native blocking path: AllocWait retries the plain Alloc with a
 // charged idle backoff between rounds. In the simulator the idle periods

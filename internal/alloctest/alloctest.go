@@ -44,6 +44,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("QuickProperties", func(t *testing.T) { testQuickProperties(t, f) })
 	t.Run("AllocWaitExhaustRecover", func(t *testing.T) { testAllocWait(t, f) })
 	t.Run("FaultInjectionRecovery", func(t *testing.T) { testFaultInjection(t, f) })
+	t.Run("AllocDuringDecommit", func(t *testing.T) { testAllocDuringDecommit(t, f) })
 }
 
 // testAllocWait is the KM_SLEEP contract, for every allocator exposing a
@@ -154,6 +155,121 @@ func testFaultInjection(t *testing.T, f Factory) {
 		in.A.Free(c, r.b, r.size)
 	}
 	for _, size := range sizes {
+		b, err := in.A.Alloc(c, size)
+		if err != nil {
+			t.Fatalf("alloc(%d) after disarm and full free: %v", size, err)
+		}
+		in.A.Free(c, b, size)
+	}
+	check(t, in)
+}
+
+// testAllocDuringDecommit is the decommit-in-progress contract: with the
+// physical pool's commit seam vetoing every other page commit — what a
+// kernel sees when memory is being returned to the hypervisor while
+// allocations continue — every request must either complete with truly
+// backed pages or fail with a clean error, leaving the allocator
+// consistent. Allocators exposing Trim (the lazy virtual-span model)
+// additionally run real decommits between allocations, so
+// recommit-after-decommit races the injected commit failures.
+func testAllocDuringDecommit(t *testing.T, f Factory) {
+	in := f(t, 1, 512)
+	c := in.M.CPU(0)
+	type rec struct {
+		b    arena.Addr
+		size uint64
+		pat  byte
+	}
+	sizes := []uint64{32, 128, 1024, 4000, 3 * in.M.Config().PageBytes}
+
+	// Warm up, then free every other block: the survivors interleave with
+	// free spans, so trims below have backing to strip right next to live
+	// data.
+	var warm []rec
+	for i := 0; i < 60; i++ {
+		size := sizes[i%len(sizes)]
+		if size > in.MaxSize {
+			size = in.MaxSize
+		}
+		b, err := in.A.Alloc(c, size)
+		if err != nil {
+			t.Fatalf("warmup alloc(%d): %v", size, err)
+		}
+		pat := byte(i*11 + 3)
+		in.M.Mem().Fill(b, size, pat)
+		warm = append(warm, rec{b, size, pat})
+	}
+	var kept []rec
+	for i, r := range warm {
+		if i%2 == 0 {
+			in.A.Free(c, r.b, r.size)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+
+	// Every other commit fails while armed. An allocator with a
+	// decommit-then-retry fallback exercises it constantly; one without
+	// must surface each vetoed commit as a clean caller error.
+	armed := true
+	vetoes := 0
+	in.M.Phys().SetMapHook(func(n int64) error {
+		if armed {
+			vetoes++
+			if vetoes%2 == 1 {
+				return physmem.ErrNoPages
+			}
+		}
+		return nil
+	})
+	defer in.M.Phys().SetMapHook(nil)
+
+	tr, canTrim := in.A.(allocif.Trimmer)
+	failures := 0
+	for i := 0; i < 300; i++ {
+		if canTrim && i%8 == 0 {
+			tr.Trim(c, 16)
+		}
+		size := sizes[i%len(sizes)]
+		if size > in.MaxSize {
+			size = in.MaxSize
+		}
+		b, err := in.A.Alloc(c, size)
+		if err != nil {
+			failures++ // legal: a vetoed commit surfaced cleanly
+			continue
+		}
+		pat := byte(i*7 + 5)
+		in.M.Mem().Fill(b, size, pat)
+		kept = append(kept, rec{b, size, pat})
+		if len(kept) > 48 {
+			h := kept[0]
+			kept = kept[1:]
+			if off, ok := in.M.Mem().CheckFill(h.b, h.size, h.pat); !ok {
+				t.Fatalf("block %#x size %d corrupted at +%d during decommit churn",
+					h.b, h.size, off)
+			}
+			in.A.Free(c, h.b, h.size)
+		}
+	}
+	check(t, in) // every vetoed commit must have unwound cleanly
+
+	// Disarm and release everything: contents must have survived the
+	// decommit storm, and full service must resume.
+	armed = false
+	for _, r := range kept {
+		if off, ok := in.M.Mem().CheckFill(r.b, r.size, r.pat); !ok {
+			t.Fatalf("block %#x size %d corrupted at +%d", r.b, r.size, off)
+		}
+		in.A.Free(c, r.b, r.size)
+	}
+	if canTrim {
+		tr.Trim(c, -1)
+	}
+	for _, size := range sizes {
+		if size > in.MaxSize {
+			size = in.MaxSize
+		}
 		b, err := in.A.Alloc(c, size)
 		if err != nil {
 			t.Fatalf("alloc(%d) after disarm and full free: %v", size, err)

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFragSweep pins the fragmentation sweep's invariants: the residency
+// chain live <= resident <= reserved holds at every sample, residency
+// traffic exists only in lazy mode, lazy steady state sits at or under
+// half the reservation, and the whole sweep is deterministic (the
+// property the committed BENCH_6.json baseline rests on).
+func TestFragSweep(t *testing.T) {
+	res, err := RunFrag(2, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lazyFinal, eagerFinal *FragPoint
+	for i := range res.Points {
+		p := &res.Points[i]
+		if p.LiveBytes > p.ResidentBytes || p.ResidentBytes > p.ReservedBytes {
+			t.Errorf("%s/%d/%s: residency chain broken: live %d resident %d reserved %d",
+				p.Mode, p.Cycle, p.Phase, p.LiveBytes, p.ResidentBytes, p.ReservedBytes)
+		}
+		if p.Mode == "eager" && (p.PagesCommit != 0 || p.PagesDecommit != 0) {
+			t.Errorf("eager %d/%s: residency traffic %d/%d in the non-lazy mode",
+				p.Cycle, p.Phase, p.PagesCommit, p.PagesDecommit)
+		}
+		if p.Phase == "final" {
+			switch p.Mode {
+			case "lazy":
+				lazyFinal = p
+			case "eager":
+				eagerFinal = p
+			}
+		}
+	}
+	if lazyFinal == nil || eagerFinal == nil {
+		t.Fatal("sweep lacks a final sample for a mode")
+	}
+	if lazyFinal.PagesDecommit == 0 {
+		t.Error("lazy mode never decommitted; the trim phases did nothing")
+	}
+	if 2*lazyFinal.ResidentBytes > lazyFinal.ReservedBytes {
+		t.Errorf("lazy steady state: resident %d exceeds half of reserved %d",
+			lazyFinal.ResidentBytes, lazyFinal.ReservedBytes)
+	}
+
+	again, err := RunFrag(2, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Error("frag sweep is not deterministic across runs")
+	}
+}

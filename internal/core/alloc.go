@@ -91,6 +91,18 @@ func (cs *classState) globalFor(c *machine.CPU) *globalPool { return cs.globals[
 func New(m *machine.Machine, params Params) (*Allocator, error) {
 	p := params.withDefaults()
 	cfg := m.Config()
+	if p.VmblkShift == 0 {
+		// Lazy spans over-reserve large virtual spans: default 64 MB per
+		// vmblk, clamped so every NUMA node can still carve a span of its
+		// own (reservation costs no frames, so bigger spans just mean
+		// fewer dope-vector slots).
+		shift := uint(26)
+		maxSpan := cfg.MemBytes / uint64(m.NumNodes())
+		for uint64(1)<<shift > maxSpan && shift > 12 {
+			shift--
+		}
+		p.VmblkShift = shift
+	}
 	if err := p.validate(cfg.PageBytes, cfg.MemBytes); err != nil {
 		return nil, err
 	}

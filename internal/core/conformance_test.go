@@ -9,14 +9,14 @@ import (
 	"kmem/internal/machine"
 )
 
-func factory(cookie bool) alloctest.Factory {
+func factory(cookie, lazy bool) alloctest.Factory {
 	return func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
 		cfg := machine.DefaultConfig()
 		cfg.NumCPUs = ncpu
 		cfg.MemBytes = 16 << 20
 		cfg.PhysPages = physPages
 		m := machine.New(cfg)
-		a, err := core.New(m, core.Params{RadixSort: true})
+		a, err := core.New(m, core.Params{RadixSort: true, LazySpans: lazy})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -37,9 +37,20 @@ func factory(cookie bool) alloctest.Factory {
 }
 
 func TestConformanceStandard(t *testing.T) {
-	alloctest.Run(t, factory(false))
+	alloctest.Run(t, factory(false, false))
 }
 
 func TestConformanceCookie(t *testing.T) {
-	alloctest.Run(t, factory(true))
+	alloctest.Run(t, factory(true, false))
+}
+
+// The lazy virtual-span mode must satisfy the identical external
+// contract: over-reservation, commit-on-carve, and decommit under
+// pressure are invisible to callers.
+func TestConformanceStandardLazy(t *testing.T) {
+	alloctest.Run(t, factory(false, true))
+}
+
+func TestConformanceCookieLazy(t *testing.T) {
+	alloctest.Run(t, factory(true, true))
 }

@@ -16,7 +16,12 @@ import (
 //   - no block appears on two freelists (page, global or per-CPU) —
 //     a double free or list corruption would trip this;
 //   - cached blocks belong to split pages of the correct class;
-//   - physical-page accounting agrees with the sum of mapped spans.
+//   - every page's residency flags match its state: header, allocated
+//     and split pages are resident; free-span pages are unbacked in
+//     eager mode, and in lazy mode are resident, scrubbed (with the
+//     scrub fill verified byte-for-byte), or never committed;
+//   - physical-page accounting agrees with the flags: resident pages
+//     sum to physmem's Mapped, vmblk spans to its Reserved.
 //
 // CheckConsistency must only be called on a quiescent allocator (no
 // concurrent operations); it takes no locks and charges no simulated
@@ -32,14 +37,20 @@ func (a *Allocator) CheckConsistency() error {
 		return nil
 	}
 
-	var mappedPages int64
+	var residentPages, reservedPages int64
 	splitByClass := make(map[int32]int, 64) // page -> class for cache validation
 
 	for _, vb := range a.vm.dope {
 		if vb == nil {
 			continue
 		}
-		mappedPages += int64(vb.headerPages)
+		reservedPages += int64(vb.pages)
+		for j := int32(0); j < vb.headerPages; j++ {
+			if f := vb.pds[j].flags; f != pdfResident {
+				return fmt.Errorf("kmem: header page %d has flags %#x, want resident", vb.firstPage+j, f)
+			}
+		}
+		residentPages += int64(vb.headerPages)
 		i := vb.dataStart()
 		prevFree := false
 		for i < vb.end() {
@@ -67,20 +78,44 @@ func (a *Allocator) CheckConsistency() error {
 							i, n, pdStateName(tail.state), tail.spanPages)
 					}
 				}
+				for j := int32(0); j < n; j++ {
+					switch f := vb.pds[i+j-vb.firstPage].flags; f {
+					case 0:
+						// Unbacked: eager free pages, or a lazy page never
+						// committed since its vmblk was carved.
+					case pdfResident:
+						if !a.params.LazySpans {
+							return fmt.Errorf("kmem: eager free page %d still flagged resident", i+j)
+						}
+						residentPages++
+					case pdfScrubbed:
+						if !a.params.LazySpans {
+							return fmt.Errorf("kmem: eager free page %d flagged scrubbed", i+j)
+						}
+						if off, ok := a.mem.CheckFill(a.vm.pageAddr(i+j), pageBytes, decommitScrub); !ok {
+							return fmt.Errorf("kmem: decommitted page %d dirty at offset %d", i+j, off)
+						}
+					default:
+						return fmt.Errorf("kmem: free page %d has bad flags %#x", i+j, f)
+					}
+				}
 				i += n
 			case pdAllocHead:
 				n := int32(pd.spanPages)
 				if n < 1 || i+n > vb.end() {
 					return fmt.Errorf("kmem: alloc span at page %d has bad length %d", i, n)
 				}
-				for j := int32(1); j < n; j++ {
-					mid := &vb.pds[i+j-vb.firstPage]
-					if mid.state != pdAllocMid {
+				for j := int32(0); j < n; j++ {
+					pp := &vb.pds[i+j-vb.firstPage]
+					if j > 0 && pp.state != pdAllocMid {
 						return fmt.Errorf("kmem: alloc span at page %d: interior page %d is %s",
-							i, i+j, pdStateName(mid.state))
+							i, i+j, pdStateName(pp.state))
+					}
+					if pp.flags != pdfResident {
+						return fmt.Errorf("kmem: alloc page %d has flags %#x, want resident", i+j, pp.flags)
 					}
 				}
-				mappedPages += int64(n)
+				residentPages += int64(n)
 				i += n
 			case pdSplit:
 				cls := int(pd.class)
@@ -110,8 +145,11 @@ func (a *Allocator) CheckConsistency() error {
 					return fmt.Errorf("kmem: split page %d freelist has %d blocks, descriptor says %d",
 						i, count, pd.nFree)
 				}
+				if pd.flags != pdfResident {
+					return fmt.Errorf("kmem: split page %d has flags %#x, want resident", i, pd.flags)
+				}
 				splitByClass[i] = cls
-				mappedPages++
+				residentPages++
 				i++
 			default:
 				return fmt.Errorf("kmem: page %d in unexpected state %s", i, pdStateName(pd.state))
@@ -237,9 +275,13 @@ func (a *Allocator) CheckConsistency() error {
 		}
 	}
 
-	if got := a.m.Phys().Mapped(); got != mappedPages {
-		return fmt.Errorf("kmem: physmem reports %d mapped pages, structures account for %d",
-			got, mappedPages)
+	if got := a.m.Phys().Mapped(); got != residentPages {
+		return fmt.Errorf("kmem: physmem reports %d resident pages, structures account for %d",
+			got, residentPages)
+	}
+	if got := a.m.Phys().Reserved(); got != reservedPages {
+		return fmt.Errorf("kmem: physmem reports %d reserved pages, vmblk spans total %d",
+			got, reservedPages)
 	}
 	return nil
 }

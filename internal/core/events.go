@@ -93,6 +93,17 @@ const (
 	EvRemotePut
 	EvLockWait
 
+	// Virtual-span residency events (class -1). EvPagesReserve counts VA
+	// pages reserved when a vmblk's span is carved out of the arena (both
+	// backing modes — reservation costs no physical frames).
+	// EvPagesCommit and EvPagesDecommit count pages moved between
+	// reserved and resident by the lazy-backing paths: commit-on-first-
+	// carve and the scrubbing decommit pass. Both are zero in eager mode,
+	// which reports EvPagesMap/EvPagesUnmap instead.
+	EvPagesReserve
+	EvPagesCommit
+	EvPagesDecommit
+
 	numLayerEvents
 )
 
@@ -134,6 +145,9 @@ var layerEventNames = [numLayerEvents]string{
 	EvHomeMemoHit:     "home-memo-hit",
 	EvRemotePut:       "remote-put",
 	EvLockWait:        "lock-wait",
+	EvPagesReserve:    "pages-reserve",
+	EvPagesCommit:     "pages-commit",
+	EvPagesDecommit:   "pages-decommit",
 }
 
 // NumLayerEvents is the number of distinct layer events.

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+// TestLazySpansOffCycleIdentity is the virtual-span redesign's
+// conformance gate: with Params.LazySpans false (the default) the
+// allocator must execute the pre-virtual-span code instruction for
+// instruction, so the shard-era cycle goldens still hold exactly. The
+// reserve/commit split changes physmem's internal accounting, but the
+// eager path's charge order — findSpan, map, span surgery — is pinned.
+func TestLazySpansOffCycleIdentity(t *testing.T) {
+	got := shardGoldenCycles(t, 1, Params{RadixSort: true, LazySpans: false})
+	assertGolden(t, "nodes=1 lazy-off", got, goldenCyclesNodes1)
+	got = shardGoldenCycles(t, 4, Params{RadixSort: true, LazySpans: false, DisableRemoteShards: true})
+	assertGolden(t, "nodes=4 lazy-off", got, goldenCyclesNodes4Routing)
+}
+
+// lazyMachine builds a small machine with lazy spans on: a 4 MB arena
+// over only 64 physical pages, so the virtual span (the whole arena,
+// 1024 pages) over-reserves physical memory 16x.
+func lazyMachine(t *testing.T, physPages int64) (*machine.Machine, *Allocator) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.NumCPUs = 1
+	cfg.MemBytes = 4 << 20
+	cfg.PhysPages = physPages
+	m := machine.New(cfg)
+	a, err := New(m, Params{RadixSort: true, LazySpans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, a
+}
+
+// TestLazyDefaultVmblkShift checks the lazy default span size: 64 MB,
+// clamped down to the arena.
+func TestLazyDefaultVmblkShift(t *testing.T) {
+	cfg := machine.DefaultConfig() // 64 MB arena
+	m := machine.New(cfg)
+	a, err := New(m, Params{LazySpans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.vmblkShift != 26 {
+		t.Fatalf("vmblkShift = %d, want 26 on a 64 MB arena", a.vmblkShift)
+	}
+	cfg.MemBytes = 16 << 20
+	cfg.PhysPages = 1024
+	m = machine.New(cfg)
+	if a, err = New(m, Params{LazySpans: true}); err != nil {
+		t.Fatal(err)
+	}
+	if a.vmblkShift != 24 {
+		t.Fatalf("vmblkShift = %d, want 24 on a 16 MB arena", a.vmblkShift)
+	}
+	// Eager default is untouched.
+	if a, err = New(m, Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.vmblkShift != 22 {
+		t.Fatalf("eager vmblkShift = %d, want 22", a.vmblkShift)
+	}
+}
+
+// TestLazyOverReservation proves the heart of the model: a vmblk's span
+// reserves far more virtual address space than the machine has physical
+// pages, and only touched pages are committed.
+func TestLazyOverReservation(t *testing.T) {
+	m, a := lazyMachine(t, 64)
+	c := m.CPU(0)
+	b, err := a.Alloc(c, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := m.Phys()
+	if got := phys.Reserved(); got != 1024 {
+		t.Fatalf("Reserved = %d, want the whole 1024-page span", got)
+	}
+	// Header (8 pages) + the split pages the first refill carved — the
+	// same count TestHeaderPagesAccounted pins for eager mode.
+	cls := a.classFor(64)
+	refillBytes := uint64(a.classes[cls].gbltarget*a.classes[cls].target) * 64
+	wantData := int64((refillBytes + m.Config().PageBytes - 1) / m.Config().PageBytes)
+	if got := phys.Mapped(); got != 8+wantData {
+		t.Fatalf("Mapped = %d, want %d (header + refill)", got, 8+wantData)
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	a.Free(c, b, 64)
+	a.DrainAll(c)
+	if got := phys.Mapped(); got != a.HeaderPages() {
+		t.Fatalf("Mapped after DrainAll = %d, want header floor %d", got, a.HeaderPages())
+	}
+	if got := phys.Reserved(); got != 1024 {
+		t.Fatalf("DrainAll shrank the reservation: Reserved = %d", got)
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyFreeKeepsBacking checks the deferred-unmap behavior and the
+// Trim entry point: freeing a large span keeps its frames resident for
+// cheap reuse; Trim scrubs and releases them while the span's virtual
+// address, boundary tags, and home survive.
+func TestLazyFreeKeepsBacking(t *testing.T) {
+	m, a := lazyMachine(t, 256)
+	c := m.CPU(0)
+	pageBytes := m.Config().PageBytes
+
+	b, err := a.Alloc(c, 40*pageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := m.Phys()
+	base := phys.Mapped() // header + 40
+	a.Free(c, b, 40*pageBytes)
+	if got := phys.Mapped(); got != base {
+		t.Fatalf("free changed residency: Mapped = %d, want %d", got, base)
+	}
+	st := a.Stats(c)
+	if st.VM.PagesDecommit != 0 || st.VM.PagesUnmap != 0 {
+		t.Fatalf("free decommitted: %+v", st.VM)
+	}
+
+	// Trim a slice, then the rest.
+	if got := a.Trim(c, 16); got != 16 {
+		t.Fatalf("Trim(16) = %d", got)
+	}
+	if got := phys.Mapped(); got != base-16 {
+		t.Fatalf("Mapped after Trim(16) = %d, want %d", got, base-16)
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Trim(c, -1); got != 24 {
+		t.Fatalf("Trim(-1) = %d, want the remaining 24", got)
+	}
+	if got := phys.Mapped(); got != a.HeaderPages() {
+		t.Fatalf("Mapped after full Trim = %d, want header floor", got)
+	}
+	st = a.Stats(c)
+	if st.VM.PagesDecommit != 40 {
+		t.Fatalf("PagesDecommit = %d, want 40", st.VM.PagesDecommit)
+	}
+
+	// Reallocating the trimmed region recommits it, and AllocZeroed
+	// reads back zeros (the scrub pattern must not leak to callers).
+	b2, err := a.AllocZeroed(c, 40*pageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off, ok := a.mem.CheckFill(b2, 40*pageBytes, 0); !ok {
+		t.Fatalf("recommitted span not zero at offset %d", off)
+	}
+	a.Free(c, b2, 40*pageBytes)
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyCommitDecommitFallback drives the commit path into physical
+// exhaustion while free spans still hold backing: the commit must strip
+// those spans' frames in place and retry rather than fail or run the
+// full reclaim path.
+func TestLazyCommitDecommitFallback(t *testing.T) {
+	m, a := lazyMachine(t, 64) // 8 header pages + 56 data frames
+	c := m.CPU(0)
+	pageBytes := m.Config().PageBytes
+
+	ba, err := a.Alloc(c, 24*pageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := a.Alloc(c, 24*pageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(c, ba, 24*pageBytes) // 24 resident frames parked on a free span
+	phys := m.Phys()
+	if got := phys.Mapped(); got != 56 {
+		t.Fatalf("Mapped = %d, want 56", got)
+	}
+
+	// 32 fresh pages: only 8 frames are free, so the commit must claim
+	// the parked 24 from the freed span and succeed on the retry.
+	bc, err := a.Alloc(c, 32*pageBytes)
+	if err != nil {
+		t.Fatalf("commit fallback failed: %v", err)
+	}
+	if got := phys.Mapped(); got != 64 {
+		t.Fatalf("Mapped = %d, want the full 64", got)
+	}
+	st := a.Stats(c)
+	if st.VM.PagesDecommit != 24 {
+		t.Fatalf("PagesDecommit = %d, want 24", st.VM.PagesDecommit)
+	}
+	if st.VM.MapFailures != 1 {
+		t.Fatalf("MapFailures = %d, want exactly the one retried commit", st.VM.MapFailures)
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	a.Free(c, bb, 24*pageBytes)
+	a.Free(c, bc, 32*pageBytes)
+	a.DrainAll(c)
+	if got := phys.Mapped(); got != a.HeaderPages() {
+		t.Fatalf("Mapped after DrainAll = %d, want header floor", got)
+	}
+}
+
+// TestLazyScrubDetectsDirtyReadback checks the decommit scrub audit end
+// to end: a write into a decommitted page is caught by CheckConsistency,
+// and recommitting the page panics instead of handing the caller a page
+// whose backing was silently resurrected with stale bytes.
+func TestLazyScrubDetectsDirtyReadback(t *testing.T) {
+	m, a := lazyMachine(t, 256)
+	c := m.CPU(0)
+	pageBytes := m.Config().PageBytes
+
+	b, err := a.Alloc(c, 16*pageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(c, b, 16*pageBytes)
+	if got := a.Trim(c, -1); got != 16 {
+		t.Fatalf("Trim = %d", got)
+	}
+	// Simulate a wild write through a dangling reference into the
+	// decommitted page.
+	a.mem.Store64(b+256, 0xdeadbeef)
+	err = a.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "dirty") {
+		t.Fatalf("CheckConsistency = %v, want dirty-page report", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("recommit of dirtied page did not panic")
+		}
+		if !strings.Contains(r.(string), "dirtied") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	_, _ = a.Alloc(c, 16*pageBytes)
+}
+
+// TestLazyFragTriple checks the fragmentation triple's ordering and that
+// the lazy model holds residency well under the reserved span during
+// alloc/free churn.
+func TestLazyFragTriple(t *testing.T) {
+	m, a := lazyMachine(t, 512)
+	c := m.CPU(0)
+	pageBytes := m.Config().PageBytes
+
+	type held struct {
+		b arena.Addr
+		s uint64
+	}
+	var live []held
+	sizes := []uint64{64, 256, 2048, 3 * pageBytes}
+	for i := 0; i < 400; i++ {
+		sz := sizes[i%len(sizes)]
+		b, err := a.Alloc(c, sz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, held{b, sz})
+		if i%3 == 0 {
+			j := (i * 7) % len(live)
+			a.Free(c, live[j].b, live[j].s)
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats(c)
+	if st.Frag.LiveBytes > st.Frag.ResidentBytes {
+		t.Fatalf("live %d > resident %d", st.Frag.LiveBytes, st.Frag.ResidentBytes)
+	}
+	if st.Frag.ResidentBytes > st.Frag.ReservedBytes {
+		t.Fatalf("resident %d > reserved %d", st.Frag.ResidentBytes, st.Frag.ReservedBytes)
+	}
+	if r := st.Frag.ResidentRatio(); r >= 1 {
+		t.Fatalf("ResidentRatio = %v, want < 1 (over-reserved span)", r)
+	}
+	if u := st.Frag.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("Utilization = %v", u)
+	}
+}
+
+// TestLazyVAQuotaError checks that exhausting the pool's VA quota
+// surfaces as the typed ErrNoVA, distinct from physical exhaustion.
+func TestLazyVAQuotaError(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumCPUs = 1
+	cfg.MemBytes = 4 << 20
+	cfg.PhysPages = 256
+	m := machine.New(cfg)
+	if err := m.Phys().SetVAQuota(512); err != nil { // half the 1024-page span
+		t.Fatal(err)
+	}
+	a, err := New(m, Params{LazySpans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.Alloc(m.CPU(0), 64)
+	if !errors.Is(err, ErrNoVA) {
+		t.Fatalf("err = %v, want ErrNoVA", err)
+	}
+}

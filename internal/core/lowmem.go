@@ -39,6 +39,10 @@ func (a *Allocator) reclaim(c *machine.CPU) {
 			g.drainAll(c)
 		}
 	}
+
+	// With lazy spans, coalesced free spans still hold their physical
+	// frames; the starving caller needs those frames, so strip them all.
+	a.vm.decommitFree(c, -1)
 	a.wakeAll()
 }
 
@@ -109,4 +113,15 @@ func (a *Allocator) DrainAll(c *machine.CPU) {
 			g.drainAll(c)
 		}
 	}
+	a.vm.decommitFree(c, -1)
+}
+
+// Trim releases the physical backing of up to maxPages free-span pages
+// (negative releases all) — the kernel's "give memory back to the
+// hypervisor / page cache" entry point for the lazy-span model. The
+// spans' virtual addresses, boundary tags, and homes are untouched, so
+// subsequent allocations recommit in place. Returns the pages released;
+// always 0 with Params.LazySpans off, where free spans hold no backing.
+func (a *Allocator) Trim(c *machine.CPU, maxPages int64) int64 {
+	return a.vm.decommitFree(c, maxPages)
 }

@@ -24,8 +24,24 @@ type Params struct {
 
 	// VmblkShift is log2 of the vmblk size. The paper's implementation
 	// manages "large vmblks of virtual memory (4 megabytes in size for
-	// the current implementation)"; 0 selects 22 (4 MB).
+	// the current implementation)"; 0 selects 22 (4 MB) — or, with
+	// LazySpans on, the largest shift up to 26 (64 MB) whose span still
+	// fits the arena, since over-reserved virtual spans want to be big.
 	VmblkShift uint
+
+	// LazySpans selects the virtual-span backing model for the vmblk
+	// layer: each vmblk reserves its whole span of address space at
+	// creation (VA only — no physical frames), pages are committed on
+	// demand the first time a span containing them is carved
+	// (EvPagesCommit), and freed spans keep their backing until an
+	// explicit decommit pass (reclaim, incremental reclaim steps, Trim,
+	// or commit-failure recovery) scrubs and releases it while leaving
+	// the VA span and its boundary tags intact. False — the default —
+	// keeps the eager backing of the paper's implementation: physical
+	// memory is mapped at span allocation and unmapped at span free,
+	// cycle-for-cycle identical to the pre-span code
+	// (TestLazySpansOffCycleIdentity).
+	LazySpans bool
 
 	// TargetFor overrides the per-CPU cache target for a block size.
 	// Nil selects DefaultTarget, the paper's heuristic ("ranges from 10
@@ -117,6 +133,10 @@ const (
 	// FaultPagePoolRefill fails the coalesce-to-page layer's page carve —
 	// exhaustion seen from the middle of the stack.
 	FaultPagePoolRefill = "pagepool.refill"
+	// FaultPhysCommit fails physmem.Pool.Commit with ErrNoPages — a frame
+	// shortage surfacing at the reserve/commit seam, e.g. an allocation
+	// racing a decommit pass that has not yet returned enough frames.
+	FaultPhysCommit = "physmem.commit"
 )
 
 // PressureConfig sets the free-page watermarks driving the pressure
@@ -236,7 +256,7 @@ func (p *Params) withDefaults() Params {
 	if out.Classes == nil {
 		out.Classes = DefaultClasses
 	}
-	if out.VmblkShift == 0 {
+	if out.VmblkShift == 0 && !out.LazySpans {
 		out.VmblkShift = 22
 	}
 	if out.TargetFor == nil {

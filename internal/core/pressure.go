@@ -84,6 +84,10 @@ func (a *Allocator) initPressure() error {
 				a.noteFault()
 				return physmem.ErrNoPages
 			}
+			if f.Should(FaultPhysCommit) {
+				a.noteFault()
+				return physmem.ErrNoPages
+			}
 			return nil
 		})
 	}
@@ -110,9 +114,14 @@ func exhaustErr(err error) error {
 
 // reclaimSteps is the number of incremental steps that together cover
 // what one stop-the-world reclaim covers: every CPU cache plus every
-// per-node global pool of every class.
+// per-node global pool of every class — plus, with lazy spans, one
+// decommit step that strips physical backing from free spans.
 func (a *Allocator) reclaimSteps() int {
-	return len(a.percpu) + len(a.classes)*a.nodes
+	n := len(a.percpu) + len(a.classes)*a.nodes
+	if a.params.LazySpans {
+		n++
+	}
+	return n
 }
 
 // reclaimStep performs one increment of the reclaim sweep — flush one
@@ -129,9 +138,10 @@ func (a *Allocator) reclaimStep(c *machine.CPU) {
 	a.emit(-1, EvReclaimStep, 1)
 	if i < len(a.percpu) {
 		a.DrainCPU(c, i)
-	} else {
-		i -= len(a.percpu)
+	} else if i -= len(a.percpu); i < len(a.classes)*a.nodes {
 		a.classes[i/a.nodes].globals[i%a.nodes].drainAll(c)
+	} else {
+		a.vm.decommitFree(c, trimStepPages)
 	}
 	a.wakeAll()
 }

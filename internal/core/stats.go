@@ -55,6 +55,12 @@ type ClassStats struct {
 	HeldPerCPU int
 	HeldGlobal int
 
+	// LiveBytes is the class's outstanding memory — blocks allocated and
+	// not yet freed, at the class's rounded block size. Exact on a
+	// quiescent allocator; transiently approximate while CPUs run (the
+	// snapshot is relaxed, see Stats).
+	LiveBytes uint64
+
 	// Adaptive-controller decisions (zero with adaptation off).
 	TargetGrows      uint64
 	TargetShrinks    uint64
@@ -127,6 +133,16 @@ type VMStats struct {
 	PagesUnmap   uint64
 	MapFailures  uint64
 
+	// Virtual-span residency traffic. PagesReserved counts VA pages
+	// reserved at vmblk creation (both backing modes); PagesCommit and
+	// PagesDecommit count the lazy mode's on-demand commits and
+	// free-span decommits (zero in eager mode, which moves frames
+	// through PagesMapped/PagesUnmap instead).
+	PagesReserved  uint64
+	PagesCommit    uint64
+	PagesDecommit  uint64
+	LargeLivePages int64 // pages currently held by large allocations
+
 	// Lock is the layer lock's contention snapshot; LockWaitCycles is the
 	// same spin time as attributed through the event spine (EvLockWait).
 	Lock           machine.LockStats
@@ -145,11 +161,45 @@ type PressureStats struct {
 	ReclaimSteps   uint64        // incremental reclaim steps run
 }
 
+// FragStats is the fragmentation triple: the three nested footprints of
+// the virtual-span model, Reserved ≥ Resident ≥ Live. The gap between
+// Resident and Live is internal + caching fragmentation (memory the
+// allocator holds but no caller owns); the gap between Reserved and
+// Resident is address space held at zero physical cost. In eager mode
+// Resident tracks the allocator's mapped footprint, so the triple stays
+// meaningful across both backing models.
+type FragStats struct {
+	ReservedBytes uint64 // virtual address space claimed by vmblk spans
+	ResidentBytes uint64 // physically committed pages
+	LiveBytes     uint64 // bytes outstanding to callers (rounded sizes)
+}
+
+// ResidentRatio returns ResidentBytes/ReservedBytes — the fraction of
+// the claimed address space that costs physical memory (0 when nothing
+// is reserved).
+func (f FragStats) ResidentRatio() float64 {
+	if f.ReservedBytes == 0 {
+		return 0
+	}
+	return float64(f.ResidentBytes) / float64(f.ReservedBytes)
+}
+
+// Utilization returns LiveBytes/ResidentBytes — the fraction of
+// committed memory actually owned by callers (0 when nothing is
+// resident).
+func (f FragStats) Utilization() float64 {
+	if f.ResidentBytes == 0 {
+		return 0
+	}
+	return float64(f.LiveBytes) / float64(f.ResidentBytes)
+}
+
 // Stats is a full snapshot of the allocator.
 type Stats struct {
 	Classes  []ClassStats
 	VM       VMStats
 	Phys     physmem.Stats
+	Frag     FragStats
 	Reclaims uint64
 	Pressure PressureStats
 }
@@ -258,11 +308,34 @@ func (a *Allocator) Stats(c *machine.CPU) Stats {
 		PagesMapped:    a.vm.ev[EvPagesMap],
 		PagesUnmap:     a.vm.ev[EvPagesUnmap],
 		MapFailures:    a.vm.ev[EvMapFail],
+		PagesReserved:  a.vm.ev[EvPagesReserve],
+		PagesCommit:    a.vm.ev[EvPagesCommit],
+		PagesDecommit:  a.vm.ev[EvPagesDecommit],
+		LargeLivePages: a.vm.largeLivePages,
 		LockWaitCycles: a.vm.ev[EvLockWait],
 	}
 	a.vm.lk.Release(c)
 	out.VM.Lock = a.vm.lk.Stats()
 	out.Phys = a.m.Phys().Stats()
+
+	// The fragmentation triple, from the same snapshot: reserved VA and
+	// resident frames from physmem, live bytes from per-class outstanding
+	// blocks plus the large path's held pages.
+	pageBytes := a.m.Config().PageBytes
+	var live uint64
+	for i := range out.Classes {
+		st := &out.Classes[i]
+		if st.Allocs > st.Frees {
+			st.LiveBytes = (st.Allocs - st.Frees) * uint64(st.Size)
+		}
+		live += st.LiveBytes
+	}
+	live += uint64(out.VM.LargeLivePages) * pageBytes
+	out.Frag = FragStats{
+		ReservedBytes: uint64(out.Phys.Reserved) * pageBytes,
+		ResidentBytes: uint64(out.Phys.Mapped) * pageBytes,
+		LiveBytes:     live,
+	}
 	out.Pressure = PressureStats{
 		Level:          a.pressureLevel(),
 		Transitions:    a.pressureTransitions.Load(),

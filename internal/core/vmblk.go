@@ -51,12 +51,33 @@ func pdStateName(s uint8) string {
 	return fmt.Sprintf("state(%d)", s)
 }
 
+// Residency flags carried by every page descriptor. In eager mode
+// pdfResident tracks exactly "page belongs to a mapped span"; with lazy
+// spans it is the real residency bit — free-span pages may keep their
+// backing — and pdfScrubbed marks a page whose frames were returned by
+// the decommit pass, its bytes overwritten with decommitScrub so a dirty
+// read-back is detectable when the page is recommitted.
+const (
+	pdfResident uint8 = 1 << 0 // page is physically committed
+	pdfScrubbed uint8 = 1 << 1 // decommitted and scrub-filled (lazy mode)
+)
+
+// decommitScrub is the fill byte the decommit pass writes over a page's
+// payload. Recommit verifies it intact before zero-filling: a mismatch
+// means something read or wrote a page whose physical backing was gone.
+const decommitScrub = 0xdc
+
+// trimStepPages bounds one incremental reclaim step's decommit batch, so
+// a PressureCritical caller pays for a slice of the sweep, not all of it.
+const trimStepPages = 64
+
 // pageDesc is the paper's per-page auxiliary data structure. For split
 // pages it holds "the block size, a freelist pointer, and the number of
 // free blocks"; for spans it holds "the boundary-tag information and
 // free-list pointers needed to allocate and coalesce large blocks".
 type pageDesc struct {
 	state     uint8
+	flags     uint8  // pdfResident / pdfScrubbed residency bits
 	class     int8   // size class, for pdSplit pages
 	nFree     uint16 // free blocks in this page, for pdSplit pages
 	spanPages uint32 // span length in pages, for span head/tail descriptors
@@ -122,10 +143,21 @@ type vmblkLayer struct {
 	// single-node machine).
 	spans []nodeSpans
 
+	// lazy caches Params.LazySpans: true selects the virtual-span
+	// backing model (commit on first carve, decommit under pressure),
+	// false the paper's eager map/unmap per span.
+	lazy bool
+
+	// largeLivePages counts pages currently handed out through the large
+	// path, maintained under lk — the large-block contribution to the
+	// fragmentation triple's live bytes.
+	largeLivePages int64
+
 	// ev tallies this layer's slice of the event spine (EvSpanAlloc,
 	// EvSpanFree, EvVmblkCreate, EvLargeAlloc, EvLargeFree, EvPagesMap,
-	// EvPagesUnmap, EvMapFail), written under lk. Hook emissions for
-	// these events carry class -1: the layer serves every class.
+	// EvPagesUnmap, EvMapFail, EvPagesReserve, EvPagesCommit,
+	// EvPagesDecommit), written under lk. Hook emissions for these events
+	// carry class -1: the layer serves every class.
 	ev eventCounts
 }
 
@@ -138,6 +170,7 @@ func newVmblkLayer(a *Allocator) *vmblkLayer {
 		lk:       machine.NewSpinLock(a.m),
 		dope:     make([]*vmblk, a.m.Config().MemBytes>>a.vmblkShift),
 		dopeLine: a.m.NewMetaLine(),
+		lazy:     a.params.LazySpans,
 	}
 	v.spans = make([]nodeSpans, a.m.NumNodes())
 	for n := range v.spans {
@@ -318,11 +351,13 @@ func (v *vmblkLayer) findSpan(c *machine.CPU, n int32, node int) (int32, int32) 
 }
 
 // newVmblk carves the next vmblk out of the arena with the given home
-// node, maps physical pages for its page-descriptor header, registers
-// its pages' home with the machine, and donates its data pages as one
-// big free span on the node's span freelist. Returns ErrNoVA when the
-// arena is exhausted and a physmem error when the header cannot be
-// backed.
+// node: the whole span's virtual address space is reserved up front
+// (VA-only — no frames), physical pages are committed for its
+// page-descriptor header, its pages' home is registered with the
+// machine, and its data pages are donated as one big free span on the
+// node's span freelist. Returns ErrNoVA when the arena (or the pool's VA
+// quota) is exhausted and a physmem error when the header cannot be
+// backed — in which case the reservation is unwound.
 func (v *vmblkLayer) newVmblk(c *machine.CPU, node int) error {
 	m := v.al.m
 	if v.al.params.Faults.Should(FaultVmblkCarve) {
@@ -339,7 +374,19 @@ func (v *vmblkLayer) newVmblk(c *machine.CPU, node int) error {
 	hdrBytes := uint64(pagesPer) * pdSize
 	hdrPages := int32((hdrBytes + pageBytes - 1) / pageBytes)
 
-	if err := v.mapPhys(c, int64(hdrPages)); err != nil {
+	if err := m.Phys().Reserve(int64(pagesPer)); err != nil {
+		return ErrNoVA
+	}
+	v.ev[EvPagesReserve] += uint64(pagesPer)
+	v.al.emit(-1, EvPagesReserve, int(pagesPer))
+	hdrEv := EvPagesMap
+	if v.lazy {
+		hdrEv = EvPagesCommit
+	}
+	if err := v.commitPhys(c, int64(hdrPages), hdrEv); err != nil {
+		if uerr := m.Phys().Unreserve(int64(pagesPer)); uerr != nil {
+			panic(fmt.Sprintf("kmem: newVmblk unwind: %v", uerr))
+		}
 		return err
 	}
 
@@ -359,6 +406,7 @@ func (v *vmblkLayer) newVmblk(c *machine.CPU, node int) error {
 		pd.line = m.LineOf(base + uint64(i)*pdSize)
 		if int32(i) < hdrPages {
 			pd.state = pdHeader
+			pd.flags = pdfResident
 		}
 	}
 	v.dope[v.next] = vb
@@ -372,34 +420,139 @@ func (v *vmblkLayer) newVmblk(c *machine.CPU, node int) error {
 	return nil
 }
 
-// mapPhys claims n physical pages and charges the VM-system cost of
-// mapping and zeroing them.
-func (v *vmblkLayer) mapPhys(c *machine.CPU, n int64) error {
-	if err := v.al.m.Phys().Map(n); err != nil {
+// commitPhys claims n physical frames within the layer's reservation and
+// charges the VM-system cost of committing and zeroing them. ev selects
+// the spine event: EvPagesMap on the eager-backing paths, EvPagesCommit
+// for lazy on-demand backing.
+func (v *vmblkLayer) commitPhys(c *machine.CPU, n int64, ev LayerEvent) error {
+	if err := v.al.m.Phys().Commit(n); err != nil {
 		v.ev[EvMapFail]++
 		v.al.emit(-1, EvMapFail, 1)
 		return err
 	}
-	v.ev[EvPagesMap] += uint64(n)
-	v.al.emit(-1, EvPagesMap, int(n))
+	v.ev[ev] += uint64(n)
+	v.al.emit(-1, ev, int(n))
 	cfg := v.al.m.Config()
 	c.Idle(n * (cfg.PageMapCycles + cfg.PageZeroCycles))
 	return nil
 }
 
-// unmapPhys returns n physical pages and charges the unmap cost. Pages
-// coming free is the machine-level progress signal, so every unmap also
-// releases any parked AllocWait callers.
-func (v *vmblkLayer) unmapPhys(c *machine.CPU, n int64) {
-	if err := v.al.m.Phys().Unmap(n); err != nil {
+// releasePhys returns n physical frames to the system — keeping their
+// reservation, so the VA span survives — and charges the unmap cost. ev
+// is EvPagesUnmap on the eager free path, EvPagesDecommit from the lazy
+// decommit pass. Pages coming free is the machine-level progress signal,
+// so every release also wakes any parked AllocWait callers.
+func (v *vmblkLayer) releasePhys(c *machine.CPU, n int64, ev LayerEvent) {
+	if err := v.al.m.Phys().Decommit(n); err != nil {
 		// The span bookkeeping guarantees n > 0; an error here means the
 		// layer's own accounting is broken.
-		panic(fmt.Sprintf("kmem: unmapPhys(%d): %v", n, err))
+		panic(fmt.Sprintf("kmem: releasePhys(%d): %v", n, err))
 	}
-	v.ev[EvPagesUnmap] += uint64(n)
-	v.al.emit(-1, EvPagesUnmap, int(n))
+	v.ev[ev] += uint64(n)
+	v.al.emit(-1, ev, int(n))
 	c.Idle(n * v.al.m.Config().PageMapCycles)
 	v.al.wakeAll()
+}
+
+// commitSpan backs the not-yet-resident pages of [pg, pg+n) — the lazy
+// mode's first-carve commit. Each newly committed page is verified still
+// scrub-filled (nothing touched it while its frames were gone), then
+// zero-filled as the VM system would hand back fresh frames. On physical
+// exhaustion the pass decommits other free spans' resident pages and
+// retries once before failing; the caller unwinds on error (no page
+// state has changed).
+func (v *vmblkLayer) commitSpan(c *machine.CPU, pg, n int32) error {
+	var need int64
+	for i := pg; i < pg+n; i++ {
+		if v.pdOf(i).flags&pdfResident == 0 {
+			need++
+		}
+	}
+	if need == 0 {
+		return nil
+	}
+	if err := v.commitPhys(c, need, EvPagesCommit); err != nil {
+		if v.decommitFreeLocked(c, need) == 0 {
+			return err
+		}
+		if err := v.commitPhys(c, need, EvPagesCommit); err != nil {
+			return err
+		}
+	}
+	pageBytes := v.al.m.Config().PageBytes
+	for i := pg; i < pg+n; i++ {
+		pd := v.pdOf(i)
+		if pd.flags&pdfResident != 0 {
+			continue
+		}
+		addr := v.pageAddr(i)
+		if pd.flags&pdfScrubbed != 0 {
+			if off, ok := v.al.mem.CheckFill(addr, pageBytes, decommitScrub); !ok {
+				panic(fmt.Sprintf("kmem: decommitted page %d dirtied at offset %d before recommit", i, off))
+			}
+		}
+		v.al.mem.Fill(addr, pageBytes, 0)
+		pd.flags = pdfResident
+	}
+	return nil
+}
+
+// decommitFreeLocked scrubs and releases the physical backing of free
+// spans' resident pages, up to want pages (want < 0 releases all) — the
+// madvise-style reclaim of the lazy model. The spans stay exactly where
+// they are: freelists, boundary tags, and homes untouched; only the
+// pdfResident bit moves. Returns the pages released. Caller holds lk.
+func (v *vmblkLayer) decommitFreeLocked(c *machine.CPU, want int64) int64 {
+	if !v.lazy {
+		return 0
+	}
+	pageBytes := v.al.m.Config().PageBytes
+	var done int64
+	for node := range v.spans {
+		for b := 1; b <= maxSpanBucket; b++ {
+			for pg := v.spans[node][b].head; pg != -1; pg = v.pdOf(pg).next {
+				length := int32(v.pdOf(pg).spanPages)
+				for i := pg; i < pg+length; i++ {
+					if want >= 0 && done >= want {
+						break
+					}
+					pd := v.pdOf(i)
+					if pd.flags&pdfResident == 0 {
+						continue
+					}
+					v.al.mem.Fill(v.pageAddr(i), pageBytes, decommitScrub)
+					pd.flags = pdfScrubbed
+					done++
+				}
+				if want >= 0 && done >= want {
+					break
+				}
+			}
+			if want >= 0 && done >= want {
+				break
+			}
+		}
+		if want >= 0 && done >= want {
+			break
+		}
+	}
+	if done > 0 {
+		v.releasePhys(c, done, EvPagesDecommit)
+	}
+	return done
+}
+
+// decommitFree is the locked entry to the decommit pass; no-op (0) with
+// lazy spans off, since eager backing never leaves a free page resident.
+func (v *vmblkLayer) decommitFree(c *machine.CPU, want int64) int64 {
+	if !v.lazy {
+		return 0
+	}
+	v.lk.Acquire(c)
+	v.noteLockWait()
+	n := v.decommitFreeLocked(c, want)
+	v.lk.Release(c)
+	return n
 }
 
 // allocPages allocates a span of n virtual pages homed on the given
@@ -429,15 +582,30 @@ func (v *vmblkLayer) allocPagesLocked(c *machine.CPU, n int32, node int) (int32,
 			return -1, ErrNoVA
 		}
 	}
-	if err := v.mapPhys(c, int64(n)); err != nil {
-		return -1, err
+	if v.lazy {
+		// The chosen span comes off its freelist before the commit so the
+		// decommit fallback inside commitSpan cannot cannibalize it; a
+		// commit failure re-inserts it untouched.
+		v.removeSpan(c, pg, length)
+		if err := v.commitSpan(c, pg, n); err != nil {
+			v.insertSpan(c, pg, length)
+			return -1, err
+		}
+	} else {
+		// Eager backing keeps the original charge order (findSpan →
+		// map → span surgery), pinning LazySpans=false cycle-identical
+		// to the pre-virtual-span allocator.
+		if err := v.commitPhys(c, int64(n), EvPagesMap); err != nil {
+			return -1, err
+		}
+		v.removeSpan(c, pg, length)
 	}
-	v.removeSpan(c, pg, length)
 	if length > n {
 		v.insertSpan(c, pg+n, length-n)
 	}
 	head := v.pdOf(pg)
 	head.state = pdAllocHead
+	head.flags = pdfResident
 	head.spanPages = uint32(n)
 	head.freeHead = arena.NilAddr
 	head.nFree = 0
@@ -445,6 +613,7 @@ func (v *vmblkLayer) allocPagesLocked(c *machine.CPU, n int32, node int) (int32,
 	for i := int32(1); i < n; i++ {
 		mid := v.pdOf(pg + i)
 		mid.state = pdAllocMid
+		mid.flags = pdfResident
 		mid.spanPages = uint32(n)
 		c.Write(mid.line)
 	}
@@ -453,10 +622,12 @@ func (v *vmblkLayer) allocPagesLocked(c *machine.CPU, n int32, node int) (int32,
 	return pg, nil
 }
 
-// freePages returns the span [pg, pg+n) to the layer: physical memory is
-// unmapped immediately ("the physical memory is returned to the system;
-// the virtual memory is retained") and the span is coalesced with free
-// neighbors via the boundary tags.
+// freePages returns the span [pg, pg+n) to the layer and coalesces it
+// with free neighbors via the boundary tags. In eager mode physical
+// memory is unmapped immediately ("the physical memory is returned to
+// the system; the virtual memory is retained"); with lazy spans the
+// frames stay resident on the free span until the decommit pass claims
+// them under pressure.
 func (v *vmblkLayer) freePages(c *machine.CPU, pg, n int32) {
 	v.lk.Acquire(c)
 	v.noteLockWait()
@@ -470,7 +641,12 @@ func (v *vmblkLayer) freePagesLocked(c *machine.CPU, pg, n int32) {
 	if vb == nil {
 		panic(fmt.Sprintf("kmem: freePages of unmanaged page %d", pg))
 	}
-	v.unmapPhys(c, int64(n))
+	if !v.lazy {
+		v.releasePhys(c, int64(n), EvPagesUnmap)
+		for i := pg; i < pg+n; i++ {
+			v.pdOf(i).flags = 0
+		}
+	}
 
 	start, length := pg, n
 	// Coalesce left: the page just below must be the tail of a free span
@@ -522,6 +698,7 @@ func (v *vmblkLayer) allocLarge(c *machine.CPU, size uint64) (arena.Addr, error)
 	if err != nil {
 		return arena.NilAddr, err
 	}
+	v.largeLivePages += int64(n)
 	v.ev[EvLargeAlloc]++
 	v.al.emit(-1, EvLargeAlloc, int(n))
 	return v.pageAddr(pg), nil
@@ -539,6 +716,7 @@ func (v *vmblkLayer) freeLarge(c *machine.CPU, addr arena.Addr) {
 	}
 	n := int32(pd.spanPages)
 	v.freePagesLocked(c, pg, n)
+	v.largeLivePages -= int64(n)
 	v.ev[EvLargeFree]++
 	v.al.emit(-1, EvLargeFree, int(n))
 	v.lk.Release(c)

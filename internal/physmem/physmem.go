@@ -5,17 +5,32 @@
 // "must manage the virtual address space and physical memory explicitly
 // and separately": when the coalesce-to-page layer frees the last block in
 // a page, the physical page is returned to the system while the virtual
-// page is retained and coalesced. This package is that "system": a finite
-// pool of physical pages with map/unmap accounting. Exhaustion of the pool
-// is what drives the allocator's low-memory path and the worst-case
-// benchmark (Figure 9), and the map/unmap operation counts are what make
-// large-block allocation measurably dearer in that figure.
+// page is retained and coalesced. This package is that "system", split —
+// as the kernel splits it — into two resources with independent budgets:
+//
+//   - Reserve / Unreserve move pages of *virtual* quota: address space a
+//     client has claimed but that costs no physical frames. Reservations
+//     are bounded only by the optional VA quota (SetVAQuota).
+//   - Commit / Decommit move pages between reserved and *resident*:
+//     committed pages consume physical frames out of the pool's capacity
+//     and must lie within an existing reservation (resident <= reserved
+//     always). Decommit releases the frames but keeps the reservation —
+//     the madvise(DONTNEED) of this simulation.
+//
+// Map and Unmap remain as the fused legacy operations (reserve+commit,
+// decommit+unreserve) for allocators that never separate the two.
+// Exhaustion of physical capacity is what drives the allocator's
+// low-memory path and the worst-case benchmark (Figure 9), and the
+// commit/decommit operation counts are what make large-block allocation
+// measurably dearer in that figure.
 //
 // The pool also carries the machine's memory-pressure model: optional
 // low/min free-page watermarks divide its state into ok / low / critical
-// pressure levels, and a registered pressure function observes every
-// level transition. With watermarks unset (the default) the pool reports
-// PressureOK forever and behaves exactly as before.
+// pressure levels over free *physical* pages (capacity - resident; VA
+// reservations do not move the needle), and a registered pressure
+// function observes every level transition. With watermarks unset (the
+// default) the pool reports PressureOK forever and behaves exactly as
+// before.
 package physmem
 
 import (
@@ -24,14 +39,20 @@ import (
 	"sync"
 )
 
-// ErrNoPages is returned by Map when physical memory is exhausted.
+// ErrNoPages is returned by Commit (and Map) when physical memory is
+// exhausted.
 var ErrNoPages = errors.New("physmem: out of physical pages")
 
-// ErrBadCount is returned by Map and Unmap for a non-positive page
+// ErrNoVA is returned by Reserve (and Map) when the optional virtual
+// quota is exhausted. No amount of decommit helps: address space and
+// physical frames are separate budgets.
+var ErrNoVA = errors.New("physmem: virtual address quota exhausted")
+
+// ErrBadCount is returned by every pool operation for a non-positive page
 // count — a caller bug, but an unwindable one: no accounting has been
 // touched, so the caller may recover. Panics are reserved for states
-// where the accounting itself is provably corrupt (unmapping more pages
-// than are mapped).
+// where the accounting itself is provably corrupt (decommitting more
+// pages than are resident, unreserving pages that are still resident).
 var ErrBadCount = errors.New("physmem: non-positive page count")
 
 // PressureLevel classifies how close the pool is to exhaustion.
@@ -59,18 +80,24 @@ func (l PressureLevel) String() string {
 	return fmt.Sprintf("PressureLevel(%d)", int32(l))
 }
 
-// Pool is a finite pool of physical pages. It is safe for concurrent use.
+// Pool is a finite pool of physical pages plus a ledger of virtual
+// reservations over them. It is safe for concurrent use.
 type Pool struct {
 	mu        sync.Mutex
 	capacity  int64
-	mapped    int64
-	highWater int64
-	mapOps    uint64
-	unmapOps  uint64
-	failures  uint64
+	reserved  int64 // VA pages claimed (resident <= reserved)
+	resident  int64 // pages physically committed
+	vaQuota   int64 // cap on reserved; 0 = unlimited
+	highWater int64 // max resident ever
 
-	// Watermarks over *free* pages (capacity - mapped); 0 disables the
-	// pressure model.
+	reserveOps   uint64
+	unreserveOps uint64
+	mapOps       uint64 // cumulative pages committed
+	unmapOps     uint64 // cumulative pages decommitted
+	failures     uint64
+
+	// Watermarks over *free* physical pages (capacity - resident); 0
+	// disables the pressure model.
 	lowWater    int64
 	minWater    int64
 	transitions uint64
@@ -79,18 +106,33 @@ type Pool struct {
 	// order the transitions occurred.
 	onPressure func(old, new PressureLevel)
 
-	// mapHook, when set, may veto a Map before any page is claimed —
-	// the fault-injection seam for tests and kmembench pressure.
+	// mapHook, when set, may veto a Commit (and therefore a Map) — the
+	// fault-injection seam for tests and kmembench pressure.
 	mapHook func(n int64) error
 }
 
-// NewPool returns a pool holding capacity physical pages and no
-// watermarks (pressure model disabled).
+// NewPool returns a pool holding capacity physical pages, no VA quota,
+// and no watermarks (pressure model disabled).
 func NewPool(capacity int64) *Pool {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("physmem: invalid capacity %d", capacity))
 	}
 	return &Pool{capacity: capacity}
+}
+
+// SetVAQuota caps the total reserved pages; 0 removes the cap. The quota
+// cannot be set below what is already reserved.
+func (p *Pool) SetVAQuota(pages int64) error {
+	if pages < 0 {
+		return fmt.Errorf("physmem: negative VA quota %d", pages)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pages != 0 && pages < p.reserved {
+		return fmt.Errorf("physmem: VA quota %d below %d already reserved", pages, p.reserved)
+	}
+	p.vaQuota = pages
+	return nil
 }
 
 // SetWatermarks enables the pressure model: the pool is at PressureLow
@@ -118,10 +160,13 @@ func (p *Pool) SetPressureFunc(f func(old, new PressureLevel)) {
 	p.mu.Unlock()
 }
 
-// SetMapHook registers f to run at the top of every Map call with the
-// requested page count. A non-nil return fails the Map (counted as a
-// failure) before any page is claimed — the deterministic seam fault
-// injection uses to force the exhaustion paths.
+// SetMapHook registers f to run during every Commit (and therefore every
+// legacy Map) with the requested page count. A non-nil return fails the
+// operation (counted as a failure) with every side effect unwound: the
+// pages are released and the pressure level — including any transition
+// the provisional claim fired — is restored before the error returns.
+// This is the deterministic seam fault injection uses to force the
+// exhaustion paths.
 func (p *Pool) SetMapHook(f func(n int64) error) {
 	p.mu.Lock()
 	p.mapHook = f
@@ -130,7 +175,7 @@ func (p *Pool) SetMapHook(f func(n int64) error) {
 
 // levelLocked computes the pressure level; caller holds mu.
 func (p *Pool) levelLocked() PressureLevel {
-	free := p.capacity - p.mapped
+	free := p.capacity - p.resident
 	switch {
 	case p.minWater > 0 && free <= p.minWater:
 		return PressureCritical
@@ -140,35 +185,71 @@ func (p *Pool) levelLocked() PressureLevel {
 	return PressureOK
 }
 
-// Map claims n physical pages, backing freshly allocated virtual pages.
-// It claims all n or none, returning ErrNoPages when fewer than n pages
-// remain and ErrBadCount for a non-positive n.
-func (p *Pool) Map(n int64) error {
+// Reserve claims n pages of virtual quota. Reservations consume no
+// physical frames and never move the pressure level; they fail only
+// against the optional VA quota (ErrNoVA), all or nothing.
+func (p *Pool) Reserve(n int64) error {
 	if n <= 0 {
-		return fmt.Errorf("%w: Map(%d)", ErrBadCount, n)
+		return fmt.Errorf("%w: Reserve(%d)", ErrBadCount, n)
 	}
 	p.mu.Lock()
-	hook := p.mapHook
-	p.mu.Unlock()
-	if hook != nil {
-		if err := hook(n); err != nil {
-			p.mu.Lock()
-			p.failures++
-			p.mu.Unlock()
-			return err
-		}
+	defer p.mu.Unlock()
+	if p.vaQuota != 0 && p.reserved+n > p.vaQuota {
+		p.failures++
+		return ErrNoVA
+	}
+	p.reserved += n
+	p.reserveOps += uint64(n)
+	return nil
+}
+
+// Unreserve returns n pages of virtual quota. Unreserving below the
+// resident count panics: committed pages must be decommitted first, and
+// a violation means the caller's accounting is corrupt.
+func (p *Pool) Unreserve(n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: Unreserve(%d)", ErrBadCount, n)
 	}
 	p.mu.Lock()
-	if p.mapped+n > p.capacity {
+	defer p.mu.Unlock()
+	if p.reserved-n < p.resident {
+		panic(fmt.Sprintf("physmem: Unreserve(%d) with %d reserved and %d resident",
+			n, p.reserved, p.resident))
+	}
+	p.reserved -= n
+	p.unreserveOps += uint64(n)
+	return nil
+}
+
+// Commit backs n reserved pages with physical frames, all or nothing:
+// ErrNoPages when fewer than n frames remain. Committing beyond the
+// reservation panics — the caller's reserve/commit accounting is corrupt.
+//
+// The map hook, if set, runs after the frames are provisionally claimed;
+// a hook veto unwinds the claim completely, restoring the prior resident
+// count and pressure level (firing the compensating transition so
+// observers see symmetric raise/restore callbacks).
+func (p *Pool) Commit(n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: Commit(%d)", ErrBadCount, n)
+	}
+	p.mu.Lock()
+	if p.resident+n > p.reserved {
+		reserved, resident := p.reserved, p.resident
+		p.mu.Unlock()
+		panic(fmt.Sprintf("physmem: Commit(%d) with %d reserved and %d resident",
+			n, reserved, resident))
+	}
+	if p.resident+n > p.capacity {
 		p.failures++
 		p.mu.Unlock()
 		return ErrNoPages
 	}
 	before := p.levelLocked()
-	p.mapped += n
+	p.resident += n
 	p.mapOps += uint64(n)
-	if p.mapped > p.highWater {
-		p.highWater = p.mapped
+	if p.resident > p.highWater {
+		p.highWater = p.resident
 	}
 	after := p.levelLocked()
 	var f func(old, new PressureLevel)
@@ -176,28 +257,56 @@ func (p *Pool) Map(n int64) error {
 		p.transitions++
 		f = p.onPressure
 	}
+	hook := p.mapHook
 	p.mu.Unlock()
 	if f != nil {
 		f(before, after)
 	}
-	return nil
+	if hook == nil {
+		return nil
+	}
+	err := hook(n)
+	if err == nil {
+		return nil
+	}
+	// Hook veto: unwind the provisional claim so the failed operation
+	// leaves no trace — resident back down, the pages' cost uncounted,
+	// and the pressure level restored via the compensating transition.
+	p.mu.Lock()
+	prev := p.levelLocked()
+	p.resident -= n
+	p.mapOps -= uint64(n)
+	p.failures++
+	now := p.levelLocked()
+	var g func(old, new PressureLevel)
+	if now != prev {
+		p.transitions++
+		g = p.onPressure
+	}
+	p.mu.Unlock()
+	if g != nil {
+		g(prev, now)
+	}
+	return err
 }
 
-// Unmap returns n physical pages to the system. A non-positive n returns
-// ErrBadCount with no accounting change; unmapping more pages than are
-// mapped panics — at that point the caller's accounting is corrupt and
-// there is nothing sound to unwind to.
-func (p *Pool) Unmap(n int64) error {
+// Decommit releases n resident pages' physical frames while keeping
+// their reservation. A non-positive n returns ErrBadCount with no
+// accounting change; decommitting more pages than are resident panics —
+// at that point the caller's accounting is corrupt and there is nothing
+// sound to unwind to.
+func (p *Pool) Decommit(n int64) error {
 	if n <= 0 {
-		return fmt.Errorf("%w: Unmap(%d)", ErrBadCount, n)
+		return fmt.Errorf("%w: Decommit(%d)", ErrBadCount, n)
 	}
 	p.mu.Lock()
-	if p.mapped < n {
+	if p.resident < n {
+		resident := p.resident
 		p.mu.Unlock()
-		panic(fmt.Sprintf("physmem: Unmap(%d) with only %d mapped", n, p.mapped))
+		panic(fmt.Sprintf("physmem: Decommit(%d) with only %d resident", n, resident))
 	}
 	before := p.levelLocked()
-	p.mapped -= n
+	p.resident -= n
 	p.unmapOps += uint64(n)
 	after := p.levelLocked()
 	var f func(old, new PressureLevel)
@@ -212,15 +321,54 @@ func (p *Pool) Unmap(n int64) error {
 	return nil
 }
 
+// Map is the fused legacy operation: reserve n pages and commit them in
+// one call, claiming all n or none. Allocators that never separate
+// address space from residency (the baselines) use this and Unmap; for
+// them reserved always equals resident.
+func (p *Pool) Map(n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: Map(%d)", ErrBadCount, n)
+	}
+	if err := p.Reserve(n); err != nil {
+		return err
+	}
+	if err := p.Commit(n); err != nil {
+		if uerr := p.Unreserve(n); uerr != nil {
+			panic(fmt.Sprintf("physmem: Map unwind: %v", uerr))
+		}
+		return err
+	}
+	return nil
+}
+
+// Unmap is the fused legacy operation: decommit n pages and release
+// their reservation.
+func (p *Pool) Unmap(n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: Unmap(%d)", ErrBadCount, n)
+	}
+	if err := p.Decommit(n); err != nil {
+		return err
+	}
+	if err := p.Unreserve(n); err != nil {
+		panic(fmt.Sprintf("physmem: Unmap unwind: %v", err))
+	}
+	return nil
+}
+
 // Stats is a snapshot of pool accounting.
 type Stats struct {
-	Capacity  int64  // total physical pages
-	Mapped    int64  // pages currently mapped
-	Free      int64  // pages still available (Capacity - Mapped)
-	HighWater int64  // maximum pages ever simultaneously mapped
-	MapOps    uint64 // cumulative pages mapped
-	UnmapOps  uint64 // cumulative pages unmapped
-	Failures  uint64 // Map calls refused (exhaustion or injected fault)
+	Capacity     int64  // total physical pages
+	Reserved     int64  // VA pages currently reserved
+	Mapped       int64  // pages currently resident (committed)
+	Free         int64  // physical pages still available (Capacity - Mapped)
+	VAQuota      int64  // reserved-page cap (0 = unlimited)
+	HighWater    int64  // maximum pages ever simultaneously resident
+	MapOps       uint64 // cumulative pages committed
+	UnmapOps     uint64 // cumulative pages decommitted
+	ReserveOps   uint64 // cumulative pages reserved
+	UnreserveOps uint64 // cumulative pages unreserved
+	Failures     uint64 // commits/reserves refused (exhaustion or injected fault)
 
 	// Pressure model (zero watermarks = model disabled, Pressure ok).
 	LowWater    int64         // free-page low watermark
@@ -234,17 +382,21 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return Stats{
-		Capacity:    p.capacity,
-		Mapped:      p.mapped,
-		Free:        p.capacity - p.mapped,
-		HighWater:   p.highWater,
-		MapOps:      p.mapOps,
-		UnmapOps:    p.unmapOps,
-		Failures:    p.failures,
-		LowWater:    p.lowWater,
-		MinWater:    p.minWater,
-		Pressure:    p.levelLocked(),
-		Transitions: p.transitions,
+		Capacity:     p.capacity,
+		Reserved:     p.reserved,
+		Mapped:       p.resident,
+		Free:         p.capacity - p.resident,
+		VAQuota:      p.vaQuota,
+		HighWater:    p.highWater,
+		MapOps:       p.mapOps,
+		UnmapOps:     p.unmapOps,
+		ReserveOps:   p.reserveOps,
+		UnreserveOps: p.unreserveOps,
+		Failures:     p.failures,
+		LowWater:     p.lowWater,
+		MinWater:     p.minWater,
+		Pressure:     p.levelLocked(),
+		Transitions:  p.transitions,
 	}
 }
 
@@ -255,16 +407,23 @@ func (p *Pool) Pressure() PressureLevel {
 	return p.levelLocked()
 }
 
-// Mapped returns the number of pages currently mapped.
+// Mapped returns the number of pages currently resident.
 func (p *Pool) Mapped() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.mapped
+	return p.resident
 }
 
-// Available returns the number of pages that could still be mapped.
+// Reserved returns the number of VA pages currently reserved.
+func (p *Pool) Reserved() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reserved
+}
+
+// Available returns the number of pages that could still be committed.
 func (p *Pool) Available() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.capacity - p.mapped
+	return p.capacity - p.resident
 }

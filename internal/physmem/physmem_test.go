@@ -182,6 +182,155 @@ func TestMapHook(t *testing.T) {
 	}
 }
 
+func TestReserveCommitSplit(t *testing.T) {
+	p := NewPool(8)
+	// Reservations are VA-only: they exceed physical capacity freely.
+	if err := p.Reserve(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Reserved(); got != 100 {
+		t.Fatalf("Reserved = %d", got)
+	}
+	if got := p.Mapped(); got != 0 {
+		t.Fatalf("reservation consumed frames: Mapped = %d", got)
+	}
+	// Commit consumes physical capacity, bounded by it.
+	if err := p.Commit(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(3); !errors.Is(err, ErrNoPages) {
+		t.Fatalf("Commit past capacity: err = %v, want ErrNoPages", err)
+	}
+	// Decommit frees frames but keeps the reservation.
+	if err := p.Decommit(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Mapped(); got != 2 {
+		t.Fatalf("Mapped after decommit = %d", got)
+	}
+	if got := p.Reserved(); got != 100 {
+		t.Fatalf("decommit shrank the reservation: Reserved = %d", got)
+	}
+	if err := p.Commit(6); err != nil {
+		t.Fatal(err)
+	}
+	p.Decommit(8)
+	if err := p.Unreserve(100); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Reserved != 0 || s.Mapped != 0 || s.ReserveOps != 100 || s.UnreserveOps != 100 ||
+		s.MapOps != 12 || s.UnmapOps != 12 || s.HighWater != 8 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestVAQuota(t *testing.T) {
+	p := NewPool(8)
+	if err := p.SetVAQuota(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reserve(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reserve(3); !errors.Is(err, ErrNoVA) {
+		t.Fatalf("Reserve past quota: err = %v, want ErrNoVA", err)
+	}
+	if s := p.Stats(); s.Failures != 1 || s.Reserved != 8 || s.VAQuota != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Quota cannot undercut live reservations.
+	if err := p.SetVAQuota(4); err == nil {
+		t.Fatal("SetVAQuota below reserved accepted")
+	}
+	if err := p.SetVAQuota(0); err != nil { // unlimited again
+		t.Fatal(err)
+	}
+	if err := p.Reserve(1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitUnreservePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"commit beyond reservation": func() {
+			p := NewPool(8)
+			_ = p.Reserve(2)
+			_ = p.Commit(3)
+		},
+		"unreserve below resident": func() {
+			p := NewPool(8)
+			_ = p.Map(4)
+			_ = p.Unreserve(1) // all 4 reserved pages still resident
+		},
+		"decommit excess": func() {
+			p := NewPool(8)
+			_ = p.Map(2)
+			_ = p.Decommit(3)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestMapHookUnwindRestoresPressure is the regression test for the
+// hook-failure unwind: a vetoed commit that provisionally crossed a
+// watermark must restore the prior pressure level and fire the
+// compensating transition, leaving observers with a symmetric
+// raise/restore pair rather than a phantom elevated level.
+func TestMapHookUnwindRestoresPressure(t *testing.T) {
+	p := NewPool(100)
+	if err := p.SetWatermarks(20, 5); err != nil {
+		t.Fatal(err)
+	}
+	var transitions []string
+	p.SetPressureFunc(func(old, new PressureLevel) {
+		transitions = append(transitions, old.String()+">"+new.String())
+	})
+	if err := p.Map(70); err != nil { // free 30: ok
+		t.Fatal(err)
+	}
+	fail := errors.New("injected")
+	p.SetMapHook(func(n int64) error { return fail })
+	// This map would drop free pages to 10 (low) — the hook vetoes it, so
+	// the level must come back to ok and the accounting to 70 resident.
+	if err := p.Map(20); !errors.Is(err, fail) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if got := p.Pressure(); got != PressureOK {
+		t.Fatalf("pressure after vetoed map = %v, want ok", got)
+	}
+	if got := p.Mapped(); got != 70 {
+		t.Fatalf("Mapped after vetoed map = %d, want 70", got)
+	}
+	if got := p.Reserved(); got != 70 {
+		t.Fatalf("Reserved after vetoed map = %d, want 70", got)
+	}
+	want := []string{"ok>low", "low>ok"}
+	if len(transitions) != len(want) || transitions[0] != want[0] || transitions[1] != want[1] {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	s := p.Stats()
+	if s.Failures != 1 || s.Transitions != 2 || s.MapOps != 70 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Disarmed, the same map succeeds and lands at low.
+	p.SetMapHook(nil)
+	if err := p.Map(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Pressure(); got != PressureLow {
+		t.Fatalf("pressure = %v, want low", got)
+	}
+}
+
 func TestConcurrentMapUnmap(t *testing.T) {
 	p := NewPool(1000)
 	var wg sync.WaitGroup

@@ -1,9 +1,9 @@
 package torture
 
 // The config matrix: CPUs × nodes × pressure × faultpoints × shards ×
-// adaptive. The small matrix is the PR-smoke set — every dimension
-// exercised at least once on a multi-node topology, cheap enough for
-// every push. The full matrix is the nightly cross product.
+// adaptive × lazy spans. The small matrix is the PR-smoke set — every
+// dimension exercised at least once on a multi-node topology, cheap
+// enough for every push. The full matrix is the nightly cross product.
 
 // MatrixSmall returns the PR-smoke configs. Seeds and op counts are the
 // caller's to fill (tests pin them; kmemtorture sweeps them).
@@ -17,7 +17,10 @@ func MatrixSmall() []Config {
 		{CPUs: 4, Nodes: 2, Faults: true},
 		{CPUs: 4, Nodes: 2, DisableShards: true},
 		{CPUs: 4, Nodes: 2, Adaptive: true},
+		{CPUs: 4, Nodes: 2, Lazy: true},
+		{CPUs: 4, Nodes: 2, Lazy: true, Pressure: true, Faults: true},
 		{CPUs: 8, Nodes: 4, Pressure: true, Faults: true, Adaptive: true},
+		{CPUs: 8, Nodes: 4, Lazy: true, Pressure: true, Faults: true, Adaptive: true},
 	}
 }
 
@@ -36,11 +39,14 @@ func MatrixFull() []Config {
 						continue
 					}
 					for _, adaptive := range []bool{false, true} {
-						out = append(out, Config{
-							CPUs: tp.cpus, Nodes: tp.nodes,
-							Pressure: pressure, Faults: faults,
-							DisableShards: noShards, Adaptive: adaptive,
-						})
+						for _, lazy := range []bool{false, true} {
+							out = append(out, Config{
+								CPUs: tp.cpus, Nodes: tp.nodes,
+								Pressure: pressure, Faults: faults,
+								DisableShards: noShards, Adaptive: adaptive,
+								Lazy: lazy,
+							})
+						}
 					}
 				}
 			}

@@ -32,6 +32,10 @@ type oracle struct {
 	cfg  Config
 	live []handle
 
+	// liveBytes is the model's rounded-extent total across live handles,
+	// the "live" leg of the residency invariant chain.
+	liveBytes uint64
+
 	pageBytes uint64
 	maxSmall  uint64
 }
@@ -97,6 +101,28 @@ func (o *oracle) onAlloc(addr arena.Addr, size uint64, op int) string {
 	// allocator metadata, breaks the pattern.
 	o.m.Mem().Fill(addr, size, h.pattern)
 	o.live = append(o.live, h)
+	o.liveBytes += rounded
+	return ""
+}
+
+// residency checks the invariant chain of the virtual-span model after
+// any operation: bytes promised to callers fit inside the resident
+// frames, which fit inside the reserved address space. Blocks never
+// overlap (onAlloc proves it), so the model's rounded total is a true
+// lower bound on what must be physically backed. Holds in both backing
+// modes; with lazy spans it is the property the whole redesign rests on.
+func (o *oracle) residency() string {
+	s := o.m.Phys().Stats()
+	resident := uint64(s.Mapped) * o.pageBytes
+	reserved := uint64(s.Reserved) * o.pageBytes
+	if o.liveBytes > resident {
+		return fmt.Sprintf("residency: %d live bytes exceed %d resident bytes (%d pages)",
+			o.liveBytes, resident, s.Mapped)
+	}
+	if resident > reserved {
+		return fmt.Sprintf("residency: %d resident bytes exceed %d reserved bytes (%d pages)",
+			resident, reserved, s.Reserved)
+	}
 	return ""
 }
 
@@ -116,6 +142,7 @@ func (o *oracle) beforeFree(h handle) string {
 // remove drops live entry j (swap-remove; order is irrelevant to the
 // model, and op.Arg indexes it modulo length, deterministically).
 func (o *oracle) remove(j int) {
+	o.liveBytes -= o.live[j].rounded
 	o.live[j] = o.live[len(o.live)-1]
 	o.live = o.live[:len(o.live)-1]
 }

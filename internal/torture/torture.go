@@ -48,6 +48,13 @@ type Config struct {
 
 	DisableShards bool `json:"disable_shards,omitempty"`
 	Adaptive      bool `json:"adaptive,omitempty"`
+	// Lazy selects the virtual-span backing model (core.Params.LazySpans):
+	// spans keep VA reserved with physical frames committed on demand. The
+	// oracle then also enforces the residency invariant chain
+	// live ≤ resident ≤ reserved after every operation, and the end-of-run
+	// audit recommits a decommitted span to prove scrubbed pages never
+	// read back dirty.
+	Lazy bool `json:"lazy,omitempty"`
 
 	// WorkingSet caps the live handles; allocs at the cap are skipped.
 	WorkingSet int `json:"working_set,omitempty"`
@@ -108,6 +115,9 @@ func (c Config) Name() string {
 	}
 	if c.Adaptive {
 		n += "-adaptive"
+	}
+	if c.Lazy {
+		n += "-lazy"
 	}
 	return n
 }
@@ -184,6 +194,7 @@ func (r *Runner) Run() (Report, error) {
 	p := core.Params{
 		RadixSort:           true,
 		Poison:              true,
+		LazySpans:           cfg.Lazy,
 		DisableRemoteShards: cfg.DisableShards,
 		// Keep blocked allocations cheap in virtual time: a few short
 		// waits, then the typed error (a legal outcome for the oracle).
@@ -201,6 +212,12 @@ func (r *Runner) Run() (Report, error) {
 		fs.Arm(core.FaultPhysMap, spec)
 		fs.Arm(core.FaultVmblkCarve, spec)
 		fs.Arm(core.FaultPagePoolRefill, spec)
+		if cfg.Lazy {
+			// The lazy model's fourth exhaustion seam: commit-on-carve.
+			// Armed only for lazy configs so existing eager fault runs
+			// draw the same fault-RNG stream as before.
+			fs.Arm(core.FaultPhysCommit, spec)
+		}
 		p.Faults = fs
 	}
 	a, err := core.New(m, p)
@@ -305,6 +322,9 @@ func (r *Runner) exec(c *machine.CPU, a *core.Allocator, ora *oracle, rep *Repor
 	default:
 		return &Failure{OpIndex: i, Msg: fmt.Sprintf("unknown op kind %d", op.Kind)}
 	}
+	if msg := ora.residency(); msg != "" {
+		return &Failure{OpIndex: i, Msg: msg}
+	}
 	return nil
 }
 
@@ -322,6 +342,7 @@ func (r *Runner) endAudit(m *machine.Machine, a *core.Allocator, ora *oracle, re
 		rep.Frees++
 	}
 	ora.live = ora.live[:0]
+	ora.liveBytes = 0
 	a.DrainAll(c)
 	if err := a.CheckConsistency(); err != nil {
 		return &Failure{OpIndex: -1, Msg: err.Error()}
@@ -329,6 +350,39 @@ func (r *Runner) endAudit(m *machine.Machine, a *core.Allocator, ora *oracle, re
 	if mapped, floor := a.Stats(c).Phys.Mapped, a.HeaderPages(); mapped != floor {
 		return &Failure{OpIndex: -1, Msg: fmt.Sprintf(
 			"leak: %d pages mapped after full free and drain, header floor is %d", mapped, floor)}
+	}
+	if r.cfg.Lazy {
+		// Decommit/recommit read-back audit. The drain just decommitted
+		// every free span (the leak check above proved residency is back
+		// to the header floor), scrub-filling each page. Recommitting a
+		// span must verify the scrub intact — the allocator panics on a
+		// dirty page — and hand back zero-filled memory: any workload
+		// pattern byte surviving the round trip shows up here.
+		pageBytes := m.Config().PageBytes
+		span := 8 * pageBytes
+		// Large allocations are node-local; a node whose vmblk slots went
+		// to other nodes fails with ErrNoVA, so try each CPU until one
+		// node's span serves the request.
+		var (
+			b   arena.Addr
+			err error
+		)
+		for cpu := 0; cpu < r.cfg.CPUs; cpu++ {
+			if b, err = a.Alloc(m.CPU(cpu), span); err == nil {
+				c = m.CPU(cpu)
+				break
+			}
+		}
+		if err != nil {
+			return &Failure{OpIndex: -1, Msg: fmt.Sprintf("recommit audit: alloc(%d): %v", span, err)}
+		}
+		if off, ok := m.Mem().CheckFill(b, span, 0); !ok {
+			return &Failure{OpIndex: -1, Msg: fmt.Sprintf(
+				"recommit audit: span %#x byte %d not zero after decommit/recommit", b, off)}
+		}
+		a.Free(c, b, span)
+		rep.Allocs++
+		rep.Frees++
 	}
 	return nil
 }

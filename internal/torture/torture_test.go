@@ -167,20 +167,21 @@ func TestCorpusEncodings(t *testing.T) {
 // every dimension, the full one is the cross product.
 func TestMatrixShapes(t *testing.T) {
 	small := MatrixSmall()
-	var pressure, faults, noShards, adaptive, multiNode bool
+	var pressure, faults, noShards, adaptive, lazy, multiNode bool
 	for _, c := range small {
 		pressure = pressure || c.Pressure
 		faults = faults || c.Faults
 		noShards = noShards || c.DisableShards
 		adaptive = adaptive || c.Adaptive
+		lazy = lazy || c.Lazy
 		multiNode = multiNode || c.Nodes > 1
 	}
-	if !pressure || !faults || !noShards || !adaptive || !multiNode {
-		t.Errorf("small matrix misses a dimension: pressure=%v faults=%v noShards=%v adaptive=%v multiNode=%v",
-			pressure, faults, noShards, adaptive, multiNode)
+	if !pressure || !faults || !noShards || !adaptive || !lazy || !multiNode {
+		t.Errorf("small matrix misses a dimension: pressure=%v faults=%v noShards=%v adaptive=%v lazy=%v multiNode=%v",
+			pressure, faults, noShards, adaptive, lazy, multiNode)
 	}
-	// 2 single-node topologies x 8 flag combos + 2 multi-node x 16.
-	if got, want := len(MatrixFull()), 48; got != want {
+	// 2 single-node topologies x 16 flag combos + 2 multi-node x 32.
+	if got, want := len(MatrixFull()), 96; got != want {
 		t.Errorf("full matrix has %d configs, want %d", got, want)
 	}
 }
