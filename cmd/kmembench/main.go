@@ -16,6 +16,7 @@
 //	kmembench scaling   [-cpus 2,4,8] [-nodes 1,2,4] [-seconds 0.005] [-size 128] [-json]
 //	kmembench pressure  [-cpus 4] [-nodes 1,2,4] [-pages 96,64,48,32] [-rounds 400]
 //	kmembench frag      [-cycles 3] [-pages 4096]
+//	kmembench objcache  [-sizes 64,256,1024] [-pairs 2000]
 //	kmembench all
 //
 // Every subcommand accepts -json to emit its result rows as one JSON
@@ -65,6 +66,8 @@ func main() {
 		err = cmdPressure(args)
 	case "frag":
 		err = cmdFrag(args)
+	case "objcache":
+		err = cmdObjCache(args)
 	case "projection":
 		err = cmdProjection(args)
 	case "all":
@@ -96,6 +99,7 @@ func usage() {
   cyclic     the day/night commercial workload (design goal 6)
   pressure   memory-pressure sweep: fail-fast Alloc vs blocking AllocWait under shrinking pools
   frag       fragmentation triple (reserved/resident/live) over churn cycles, eager vs lazy backing
+  objcache   STREAMS triple pair over named object caches vs the plain cookie path (ctor-skip win)
   projection scaling under a widening CPU/memory gap (the paper's closing claim)
   all        everything above with default settings`)
 }
@@ -486,6 +490,33 @@ func cmdFrag(args []string) error {
 	return nil
 }
 
+func cmdObjCache(args []string) error {
+	fs := flag.NewFlagSet("objcache", flag.ExitOnError)
+	sizes := fs.String("sizes", "64,256,1024", "comma-separated buffer sizes")
+	pairs := fs.Int("pairs", 2000, "steady-state Allocb/Freeb pairs per point")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	szs, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunObjCache(szs, *pairs)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return emitJSON(res)
+	}
+	res.Table().Fprint(os.Stdout)
+	fmt.Println("\nThe cookie baseline re-initializes the triple on every allocb (the paper's")
+	fmt.Println("\"nearly fixed code sequence\"); the named caches hand back the triple in the")
+	fmt.Println("shape the last freeb left it, so the constructor — and the re-linking — are")
+	fmt.Println("skipped on every warm Get (see DESIGN.md, typed object caches).")
+	return nil
+}
+
 func cmdProjection(args []string) error {
 	fs := flag.NewFlagSet("projection", flag.ExitOnError)
 	seconds := fs.Float64("seconds", 0.05, "virtual seconds per point")
@@ -603,6 +634,10 @@ func cmdAll() error {
 	}
 	fmt.Println("\n=== Fragmentation triple: eager vs lazy backing ======================")
 	if err := cmdFrag(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Typed object caches: ctor-skip win ===============================")
+	if err := cmdObjCache(nil); err != nil {
 		return err
 	}
 	fmt.Println("\n=== Projection: widening CPU/memory gap ==============================")

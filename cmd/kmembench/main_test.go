@@ -70,6 +70,9 @@ func TestSubcommandsRunSmall(t *testing.T) {
 	if err := cmdScaling([]string{"-cpus", "5"}); err == nil {
 		t.Fatal("odd CPU count accepted by scaling")
 	}
+	if err := cmdObjCache([]string{"-sizes", "64", "-pairs", "100"}); err != nil {
+		t.Fatal(err)
+	}
 	if err := cmdTopology([]string{"-pairing", "diag"}); err == nil {
 		t.Fatal("unknown pairing accepted")
 	}

@@ -83,6 +83,35 @@ func (k *CookieKMA) Trim(c *machine.CPU, maxPages int64) int64 {
 	return k.A.Trim(c, maxPages)
 }
 
+// The remaining forwarders expose the core allocator's cookie,
+// cache-shed, sizing, and event-spine hooks, so typed object caches
+// (internal/objcache) layer over a CookieKMA exactly as over the core
+// allocator itself.
+
+// GetCookie forwards cookie resolution to the core allocator.
+func (k *CookieKMA) GetCookie(size uint64) (core.Cookie, error) { return k.A.GetCookie(size) }
+
+// AllocCookie forwards a cookie allocation to the core allocator.
+func (k *CookieKMA) AllocCookie(c *machine.CPU, ck core.Cookie) (arena.Addr, error) {
+	return k.A.AllocCookie(c, ck)
+}
+
+// FreeCookie forwards a cookie free to the core allocator.
+func (k *CookieKMA) FreeCookie(c *machine.CPU, addr arena.Addr, ck core.Cookie) {
+	k.A.FreeCookie(c, addr, ck)
+}
+
+// RoundedSize forwards class rounding to the core allocator.
+func (k *CookieKMA) RoundedSize(size uint64) uint64 { return k.A.RoundedSize(size) }
+
+// RegisterCacheShed forwards object-cache reclaim registration.
+func (k *CookieKMA) RegisterCacheShed(fn core.CacheShedFunc) func() {
+	return k.A.RegisterCacheShed(fn)
+}
+
+// EmitCacheEvent forwards object-cache events to the event spine.
+func (k *CookieKMA) EmitCacheEvent(ev core.LayerEvent, n int) { k.A.EmitCacheEvent(ev, n) }
+
 var (
 	_ Allocator = NewKMA{}
 	_ Coalescer = NewKMA{}

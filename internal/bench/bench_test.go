@@ -118,12 +118,19 @@ func TestDLMMissRates(t *testing.T) {
 		t.Error("no cross-node messages")
 	}
 	// Every class's measured rates must respect the worst-case bounds.
-	// The global-layer bound is a steady-state property: a class with
-	// almost no global traffic is dominated by its one compulsory cold
-	// refill, so only assert it for classes the workload actually
-	// exercised.
+	// Both bounds are steady-state properties: a class with almost no
+	// traffic is dominated by its compulsory cold refills. The DLM's
+	// blocks are recycled by its object caches now, so some kmem classes
+	// see only the caches' rare backing carves — grant low-traffic
+	// classes one compulsory per-CPU-cache refill on the per-CPU bound,
+	// and only assert the global bound for classes the workload
+	// actually exercised.
 	for _, row := range res.Rows {
-		if row.AllocMiss > 1.0/float64(row.Target)+1e-9 {
+		bound := 1.0/float64(row.Target) + 1e-9
+		if row.Allocs < 1000 {
+			bound += float64(cfg.CPUs) / float64(row.Allocs)
+		}
+		if row.AllocMiss > bound {
 			t.Errorf("size %d alloc miss %.4f above 1/target", row.Size, row.AllocMiss)
 		}
 		globalOps := float64(row.Allocs) * row.AllocMiss

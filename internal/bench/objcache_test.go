@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestObjCacheSweep pins the tentpole claim: the STREAMS triple pair on
+// named object caches beats the frozen cookie baseline by at least 30%
+// simulated instructions per pair, with the constructor skipped on
+// effectively every warm Get, and the whole sweep is deterministic.
+func TestObjCacheSweep(t *testing.T) {
+	res, err := RunObjCache([]uint64{64, 256}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.WinPct < 30 {
+			t.Errorf("buf %d: objcache win %.1f%% (cookie %.1f, objcache %.1f insns/pair), want >= 30%%",
+				p.BufSize, p.WinPct, p.CookieInsns, p.ObjCacheInsns)
+		}
+		if p.SkipRatio < 0.9 {
+			t.Errorf("buf %d: ctor skip ratio %.3f (%d runs, %d skips), want >= 0.9",
+				p.BufSize, p.SkipRatio, p.CtorRuns, p.CtorSkips)
+		}
+		if p.CtorRuns == 0 {
+			t.Errorf("buf %d: no ctor runs recorded; the event spine is disconnected", p.BufSize)
+		}
+	}
+	again, err := RunObjCache([]uint64{64, 256}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Points {
+		if res.Points[i] != again.Points[i] {
+			t.Errorf("sweep not deterministic at point %d:\n  %+v\n  %+v", i, res.Points[i], again.Points[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"kmem/internal/arena"
@@ -55,6 +56,13 @@ type Allocator struct {
 	spillScratch [][]blocklist.List
 
 	reclaims atomic.Uint64
+
+	// Registered object-cache shed callbacks (cache.go). Nil until the
+	// first RegisterCacheShed, so the reclaim paths of cache-free
+	// allocators stay cycle-identical to the pre-objcache code.
+	shedMu  sync.Mutex
+	shedFns []cacheShedEntry
+	shedSeq int
 
 	// Memory-pressure machinery (pressure.go). pressure mirrors the
 	// physmem pool's level (always 0 with Params.Pressure nil); waitqs

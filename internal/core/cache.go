@@ -1,0 +1,105 @@
+package core
+
+import "kmem/internal/machine"
+
+// This file is the allocator side of the typed object-cache layer
+// (internal/objcache): caches of constructed objects sit above the
+// cookie path and hold buffers the allocator considers allocated. Two
+// hooks connect the layers without core importing objcache:
+//
+//   - RegisterCacheShed lets a cache participate in the reclaim and
+//     pressure machinery: when the allocator needs memory back, it asks
+//     every registered cache to shed constructed buffers (destructing
+//     them and freeing their backing blocks) before — and in addition
+//     to — its own drains.
+//   - EmitCacheEvent routes the caches' slow-path events (EvCtorRun,
+//     EvCacheShed) through the allocator's Hook so the event spine stays
+//     the single observation point.
+//
+// With no caches registered every branch below is a nil/len-0 check on
+// slow paths only, so the allocator remains cycle-identical to the
+// pre-objcache goldens.
+
+// CacheShedFunc is one cache's reclaim callback. A non-aggressive call
+// asks for the cheap give-back — the cache's depot of full magazines is
+// shrunk, destructing those cold constructed buffers and freeing their
+// backing — while an aggressive call (the stop-the-world reclaim and
+// DrainAll paths) also flushes the per-CPU magazines. It returns the
+// number of buffers released to the allocator. The callback runs with no
+// allocator locks held and may call Free/FreeCookie.
+type CacheShedFunc func(c *machine.CPU, aggressive bool) int
+
+type cacheShedEntry struct {
+	id int
+	fn CacheShedFunc
+}
+
+// RegisterCacheShed registers a cache shed callback with the reclaim and
+// pressure layers and returns a function that unregisters it. Sheds run
+// in registration order: on the stop-the-world reclaim path and DrainAll
+// (aggressive), before Trim's decommit pass (non-aggressive, so depot
+// buffers coalesce into trimmable spans), and as extra steps in the
+// incremental reclaimStep rotation under PressureCritical.
+func (a *Allocator) RegisterCacheShed(fn CacheShedFunc) func() {
+	a.shedMu.Lock()
+	a.shedSeq++
+	id := a.shedSeq
+	a.shedFns = append(a.shedFns, cacheShedEntry{id: id, fn: fn})
+	a.shedMu.Unlock()
+	return func() {
+		a.shedMu.Lock()
+		for i := range a.shedFns {
+			if a.shedFns[i].id == id {
+				a.shedFns = append(a.shedFns[:i], a.shedFns[i+1:]...)
+				break
+			}
+		}
+		a.shedMu.Unlock()
+	}
+}
+
+// shedSnapshot returns the current shed callbacks (nil when no caches
+// are registered — the common case, one uncharged mutex on slow paths).
+func (a *Allocator) shedSnapshot() []cacheShedEntry {
+	a.shedMu.Lock()
+	fns := a.shedFns
+	a.shedMu.Unlock()
+	return fns
+}
+
+// shedCaches asks every registered cache to shed; returns buffers freed.
+func (a *Allocator) shedCaches(c *machine.CPU, aggressive bool) int {
+	var n int
+	for _, e := range a.shedSnapshot() {
+		n += e.fn(c, aggressive)
+	}
+	return n
+}
+
+// numShedders reports the registered cache count, for the reclaimStep
+// rotation.
+func (a *Allocator) numShedders() int {
+	a.shedMu.Lock()
+	n := len(a.shedFns)
+	a.shedMu.Unlock()
+	return n
+}
+
+// shedOne runs the i'th registered cache's non-aggressive shed — one
+// increment of the reclaimStep rotation. Registration order can shift
+// between steps; the cursor just needs every cache visited over a sweep.
+func (a *Allocator) shedOne(c *machine.CPU, i int) {
+	fns := a.shedSnapshot()
+	if len(fns) == 0 {
+		return
+	}
+	fns[i%len(fns)].fn(c, false)
+}
+
+// EmitCacheEvent pushes an object-cache event (EvCtorRun, EvCacheShed)
+// through the allocator's Hook on behalf of the objcache layer. Cache
+// events are classless (-1): a cache's backing class is its own affair.
+// Like every Hook emission this must only be called on slow paths.
+func (a *Allocator) EmitCacheEvent(ev LayerEvent, n int) {
+	a.emit(-1, ev, n)
+}

@@ -54,3 +54,17 @@ func TestConformanceStandardLazy(t *testing.T) {
 func TestConformanceCookieLazy(t *testing.T) {
 	alloctest.Run(t, factory(true, true))
 }
+
+// The typed object-cache lifecycle must hold over both adapters: NewKMA
+// (cookie + shed probes resolve) and CookieKMA (through its forwarders).
+func TestObjCacheLifecycle(t *testing.T) {
+	alloctest.RunObjCache(t, factory(false, false))
+}
+
+func TestObjCacheLifecycleCookie(t *testing.T) {
+	alloctest.RunObjCache(t, factory(true, false))
+}
+
+func TestObjCacheLifecycleLazy(t *testing.T) {
+	alloctest.RunObjCache(t, factory(false, true))
+}

@@ -104,6 +104,19 @@ const (
 	EvPagesCommit
 	EvPagesDecommit
 
+	// Typed object-cache events (the objcache layer over the cookie
+	// path). EvCtorRun counts constructors executed when a buffer is
+	// first carved from its backing class; EvCacheShed counts constructed
+	// buffers a cache destructed and released back to the allocator under
+	// reclaim/Trim pressure (n = buffers). EvCtorSkip counts Gets served
+	// a still-constructed buffer — like EvAlloc/EvFree it is tallied in
+	// per-cache counters but never pushed through a Hook, keeping the
+	// magazine fast path hook-free. All three are zero when no caches
+	// exist; the allocator itself never emits them.
+	EvCtorRun
+	EvCtorSkip
+	EvCacheShed
+
 	numLayerEvents
 )
 
@@ -148,6 +161,9 @@ var layerEventNames = [numLayerEvents]string{
 	EvPagesReserve:    "pages-reserve",
 	EvPagesCommit:     "pages-commit",
 	EvPagesDecommit:   "pages-decommit",
+	EvCtorRun:         "ctor-run",
+	EvCtorSkip:        "ctor-skip",
+	EvCacheShed:       "cache-shed",
 }
 
 // NumLayerEvents is the number of distinct layer events.

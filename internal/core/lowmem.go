@@ -26,6 +26,12 @@ func (a *Allocator) reclaim(c *machine.CPU) {
 	a.reclaims.Add(1)
 	a.emit(-1, EvReclaim, 1)
 
+	// Typed object caches shed first: their constructed buffers are
+	// allocated blocks from this allocator's point of view, so
+	// destructing and freeing them is what lets the drains below
+	// coalesce those pages. No-op when no caches are registered.
+	a.shedCaches(c, true)
+
 	// Flush every CPU's caches for every class into the global pools.
 	for cpu := range a.percpu {
 		a.DrainCPU(c, cpu)
@@ -41,8 +47,10 @@ func (a *Allocator) reclaim(c *machine.CPU) {
 	}
 
 	// With lazy spans, coalesced free spans still hold their physical
-	// frames; the starving caller needs those frames, so strip them all.
-	a.vm.decommitFree(c, -1)
+	// frames; the starving caller needs those frames, so strip them all —
+	// regardless of Params.SpanAgeTicks: aging protects bursty reuse, not
+	// a caller about to fail its allocation.
+	a.vm.decommitFreeForce(c, -1)
 	a.wakeAll()
 }
 
@@ -105,6 +113,7 @@ func (a *Allocator) DrainCPU(c *machine.CPU, cpu int) {
 // allocator with no outstanding blocks, every page is returned to the
 // system and physical usage drops to the vmblk headers alone.
 func (a *Allocator) DrainAll(c *machine.CPU) {
+	a.shedCaches(c, true)
 	for cpu := range a.percpu {
 		a.DrainCPU(c, cpu)
 	}
@@ -113,15 +122,20 @@ func (a *Allocator) DrainAll(c *machine.CPU) {
 			g.drainAll(c)
 		}
 	}
-	a.vm.decommitFree(c, -1)
+	a.vm.decommitFreeForce(c, -1)
 }
 
 // Trim releases the physical backing of up to maxPages free-span pages
 // (negative releases all) — the kernel's "give memory back to the
 // hypervisor / page cache" entry point for the lazy-span model. The
 // spans' virtual addresses, boundary tags, and homes are untouched, so
-// subsequent allocations recommit in place. Returns the pages released;
-// always 0 with Params.LazySpans off, where free spans hold no backing.
+// subsequent allocations recommit in place. Registered object caches
+// shrink their depots first (the non-aggressive shed), so cold
+// constructed buffers coalesce into spans the decommit pass can strip.
+// Returns the pages released; always 0 with Params.LazySpans off, where
+// free spans hold no backing. Free spans younger than Params.SpanAgeTicks
+// reclaim ticks keep their backing (span aging).
 func (a *Allocator) Trim(c *machine.CPU, maxPages int64) int64 {
+	a.shedCaches(c, false)
 	return a.vm.decommitFree(c, maxPages)
 }

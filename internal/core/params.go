@@ -43,6 +43,18 @@ type Params struct {
 	// (TestLazySpansOffCycleIdentity).
 	LazySpans bool
 
+	// SpanAgeTicks ages free lazy spans before their backing is
+	// stripped: a span must have been free for at least this many
+	// reclaim ticks (one tick per voluntary decommit pass — Trim,
+	// incremental reclaim steps) before the pass releases its resident
+	// pages, so bursty workloads stop paying the recommit zero-fill for
+	// memory they are about to reuse. Paths that need frames to satisfy
+	// an allocation — stop-the-world reclaim, DrainAll, and the
+	// in-commit decommit-fallback retry — ignore the age. 0, the
+	// default, preserves the age-blind decommit behavior exactly.
+	// Meaningless without LazySpans.
+	SpanAgeTicks uint64
+
 	// TargetFor overrides the per-CPU cache target for a block size.
 	// Nil selects DefaultTarget, the paper's heuristic ("ranges from 10
 	// for 16-byte blocks to just 2 for 4096-byte blocks").

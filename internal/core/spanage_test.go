@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"testing"
+
+	"kmem/internal/core"
+	"kmem/internal/machine"
+)
+
+func newLazyAged(t *testing.T, age uint64) (*machine.Machine, *core.Allocator) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.NumCPUs = 1
+	cfg.MemBytes = 16 << 20
+	m := machine.New(cfg)
+	a, err := core.New(m, core.Params{LazySpans: true, SpanAgeTicks: age})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, a
+}
+
+// TestSpanAgingDelaysTrim: with SpanAgeTicks = N, a freed span keeps its
+// physical backing through the first N-1 voluntary decommit passes and
+// loses it on the Nth — the burst-reuse window the aging knob buys.
+func TestSpanAgingDelaysTrim(t *testing.T) {
+	m, a := newLazyAged(t, 3)
+	c := m.CPU(0)
+	const big = 256 << 10
+	addr, err := a.Alloc(c, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(c, addr, big)
+
+	if n := a.Trim(c, -1); n != 0 {
+		t.Fatalf("tick 1 released %d pages; span aged 1 < 3 ticks must be kept", n)
+	}
+	if n := a.Trim(c, -1); n != 0 {
+		t.Fatalf("tick 2 released %d pages; span aged 2 < 3 ticks must be kept", n)
+	}
+	if n := a.Trim(c, -1); n == 0 {
+		t.Fatal("tick 3 released nothing; span reached SpanAgeTicks and must be stripped")
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanAgingDefaultImmediate: SpanAgeTicks 0 (the default) preserves
+// the pre-aging behavior — the first Trim strips a freed span.
+func TestSpanAgingDefaultImmediate(t *testing.T) {
+	m, a := newLazyAged(t, 0)
+	c := m.CPU(0)
+	const big = 256 << 10
+	addr, err := a.Alloc(c, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(c, addr, big)
+	if n := a.Trim(c, -1); n == 0 {
+		t.Fatal("default (no aging) Trim released nothing")
+	}
+}
+
+// TestSpanAgingReuseKeepsBacking: an allocation landing inside the aging
+// window recommits nothing — the span's frames were never given back.
+func TestSpanAgingReuseKeepsBacking(t *testing.T) {
+	m, a := newLazyAged(t, 8)
+	c := m.CPU(0)
+	const big = 256 << 10
+	addr, err := a.Alloc(c, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(c, addr, big)
+	a.Trim(c, -1) // voluntary pass inside the window: keeps backing
+	maps := m.Phys().Stats().MapOps
+	if _, err := a.Alloc(c, big); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Phys().Stats().MapOps; got != maps {
+		t.Fatalf("reuse inside the aging window committed %d pages; want 0", got-maps)
+	}
+}
+
+// TestSpanAgingReclaimIsAgeBlind: the stop-the-world reclaim and
+// DrainAll paths strip backing regardless of span age — a caller about
+// to fail its allocation outranks burst-reuse protection.
+func TestSpanAgingReclaimIsAgeBlind(t *testing.T) {
+	m, a := newLazyAged(t, 1<<40) // effectively "never trim voluntarily"
+	c := m.CPU(0)
+	const big = 256 << 10
+	addr, err := a.Alloc(c, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(c, addr, big)
+	if n := a.Trim(c, -1); n != 0 {
+		t.Fatalf("voluntary Trim released %d pages under an unreachable age", n)
+	}
+	unmaps := m.Phys().Stats().UnmapOps
+	a.DrainAll(c)
+	if got := m.Phys().Stats().UnmapOps; got == unmaps {
+		t.Fatal("DrainAll decommitted nothing; the forced path must ignore span age")
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

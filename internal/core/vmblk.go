@@ -85,6 +85,12 @@ type pageDesc struct {
 	prev      int32 // page-number links for whichever pdList holds this PD
 	next      int32
 	line      machine.Line // cache line of this PD's slot in the vmblk header
+
+	// freedTick is the layer's ageTick when this span head was filed on
+	// its freelist (span aging, Params.SpanAgeTicks): voluntary decommit
+	// passes skip spans younger than the configured age. Only meaningful
+	// on pdFreeHead descriptors; bookkeeping only, never charged.
+	freedTick uint64
 }
 
 // vmblk is one 4 MB (by default) block of kernel virtual address space:
@@ -153,6 +159,14 @@ type vmblkLayer struct {
 	// fragmentation triple's live bytes.
 	largeLivePages int64
 
+	// Span aging (Params.SpanAgeTicks). ageTick advances once per
+	// voluntary decommit pass; a free span's head records the tick it was
+	// filed at, and voluntary passes skip spans younger than spanAge
+	// ticks. Both maintained under lk; with spanAge 0 every span always
+	// qualifies and the decommit pass is unchanged.
+	ageTick uint64
+	spanAge uint64
+
 	// ev tallies this layer's slice of the event spine (EvSpanAlloc,
 	// EvSpanFree, EvVmblkCreate, EvLargeAlloc, EvLargeFree, EvPagesMap,
 	// EvPagesUnmap, EvMapFail, EvPagesReserve, EvPagesCommit,
@@ -171,6 +185,7 @@ func newVmblkLayer(a *Allocator) *vmblkLayer {
 		dope:     make([]*vmblk, a.m.Config().MemBytes>>a.vmblkShift),
 		dopeLine: a.m.NewMetaLine(),
 		lazy:     a.params.LazySpans,
+		spanAge:  a.params.SpanAgeTicks,
 	}
 	v.spans = make([]nodeSpans, a.m.NumNodes())
 	for n := range v.spans {
@@ -308,6 +323,7 @@ func (v *vmblkLayer) insertSpan(c *machine.CPU, pg, n int32) {
 	head.class = -1
 	head.nFree = 0
 	head.freeHead = arena.NilAddr
+	head.freedTick = v.ageTick
 	c.Write(head.line)
 	if n > 1 {
 		tail := v.pdOf(pg + n - 1)
@@ -472,7 +488,9 @@ func (v *vmblkLayer) commitSpan(c *machine.CPU, pg, n int32) error {
 		return nil
 	}
 	if err := v.commitPhys(c, need, EvPagesCommit); err != nil {
-		if v.decommitFreeLocked(c, need) == 0 {
+		// Emergency pass: an allocation is about to fail for frames, so
+		// span aging does not apply (minAge 0).
+		if v.decommitFreeLocked(c, need, 0) == 0 {
 			return err
 		}
 		if err := v.commitPhys(c, need, EvPagesCommit); err != nil {
@@ -501,8 +519,10 @@ func (v *vmblkLayer) commitSpan(c *machine.CPU, pg, n int32) error {
 // spans' resident pages, up to want pages (want < 0 releases all) — the
 // madvise-style reclaim of the lazy model. The spans stay exactly where
 // they are: freelists, boundary tags, and homes untouched; only the
-// pdfResident bit moves. Returns the pages released. Caller holds lk.
-func (v *vmblkLayer) decommitFreeLocked(c *machine.CPU, want int64) int64 {
+// pdfResident bit moves. Spans free for fewer than minAge ticks are
+// skipped (span aging; 0 considers every span). Returns the pages
+// released. Caller holds lk.
+func (v *vmblkLayer) decommitFreeLocked(c *machine.CPU, want int64, minAge uint64) int64 {
 	if !v.lazy {
 		return 0
 	}
@@ -512,6 +532,9 @@ func (v *vmblkLayer) decommitFreeLocked(c *machine.CPU, want int64) int64 {
 		for b := 1; b <= maxSpanBucket; b++ {
 			for pg := v.spans[node][b].head; pg != -1; pg = v.pdOf(pg).next {
 				length := int32(v.pdOf(pg).spanPages)
+				if minAge > 0 && v.ageTick-v.pdOf(pg).freedTick < minAge {
+					continue // too recently freed; keep its backing warm
+				}
 				for i := pg; i < pg+length; i++ {
 					if want >= 0 && done >= want {
 						break
@@ -542,15 +565,33 @@ func (v *vmblkLayer) decommitFreeLocked(c *machine.CPU, want int64) int64 {
 	return done
 }
 
-// decommitFree is the locked entry to the decommit pass; no-op (0) with
-// lazy spans off, since eager backing never leaves a free page resident.
+// decommitFree is the locked entry to the voluntary decommit pass (Trim
+// and incremental reclaim steps): it advances the span-age tick and
+// respects Params.SpanAgeTicks. No-op (0) with lazy spans off, since
+// eager backing never leaves a free page resident.
 func (v *vmblkLayer) decommitFree(c *machine.CPU, want int64) int64 {
 	if !v.lazy {
 		return 0
 	}
 	v.lk.Acquire(c)
 	v.noteLockWait()
-	n := v.decommitFreeLocked(c, want)
+	v.ageTick++
+	n := v.decommitFreeLocked(c, want, v.spanAge)
+	v.lk.Release(c)
+	return n
+}
+
+// decommitFreeForce is the age-blind entry used when frames are needed
+// now: stop-the-world reclaim and DrainAll. It still advances the tick
+// (it is a reclaim pass) but strips young spans too.
+func (v *vmblkLayer) decommitFreeForce(c *machine.CPU, want int64) int64 {
+	if !v.lazy {
+		return 0
+	}
+	v.lk.Acquire(c)
+	v.noteLockWait()
+	v.ageTick++
+	n := v.decommitFreeLocked(c, want, 0)
 	v.lk.Release(c)
 	return n
 }

@@ -191,7 +191,7 @@ func (d *Manager) AbortWaiter(c *machine.CPU, l arena.Addr, out []Grant) ([]Gran
 	b.lk.Release(c)
 
 	if freeRes {
-		d.al.FreeCookie(c, res, d.resCookie)
+		d.resCache.Put(c, res)
 		d.resFreed.Add(1)
 	}
 	d.aborts.Add(1)
@@ -205,7 +205,7 @@ func (d *Manager) ReleaseDenied(c *machine.CPU, l arena.Addr) {
 	if d.get(c, l+lState) != lsDenied {
 		panic("dlm: ReleaseDenied of a lock that was not denied")
 	}
-	d.al.FreeCookie(c, l, d.lockCookie)
+	d.lockCache.Put(c, l)
 }
 
 // insnDeadlockSearch is the fixed overhead of starting a deadlock search.

@@ -4,17 +4,27 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"kmem/internal/allocif"
 	"kmem/internal/arena"
 	"kmem/internal/core"
 	"kmem/internal/machine"
+	"kmem/internal/objcache"
 )
 
 // Resource blocks are 512-byte kmem allocations and lock blocks 256-byte
 // ones, matching the block sizes whose miss rates the paper's DLM section
 // reports (frees of 256-byte blocks, allocations of 512-byte blocks).
+// Both now come from typed object caches: the live structures are
+// 48-byte objects riding in the paper's block sizes, and the slack pays
+// for cache coloring — successive resource blocks start on different
+// lines instead of stacking their hot headers on the same associativity
+// sets. Resource blocks are constructed with empty queues and a zero
+// lock count, which an unlock naturally restores, so re-creating a
+// resource skips the queue initialization entirely.
 const (
 	resBlockSize  = 512
 	lockBlockSize = 256
+	dlmObjSize    = 48 // live fields of both block types
 )
 
 // resource block field offsets.
@@ -57,9 +67,9 @@ type Manager struct {
 	al  *core.Allocator
 	mem *arena.Arena
 
-	buckets    []bucket
-	resCookie  core.Cookie
-	lockCookie core.Cookie
+	buckets   []bucket
+	resCache  *objcache.Cache // "dlm:res"
+	lockCache *objcache.Cache // "dlm:lock"
 
 	locks      atomic.Uint64
 	unlocks    atomic.Uint64
@@ -82,11 +92,26 @@ func NewManager(al *core.Allocator, nBuckets int) (*Manager, error) {
 		return nil, fmt.Errorf("dlm: invalid bucket count %d", nBuckets)
 	}
 	d := &Manager{al: al, mem: al.Machine().Mem()}
+	back := allocif.NewKMA{Allocator: al}
 	var err error
-	if d.resCookie, err = al.GetCookie(resBlockSize); err != nil {
+	// Resources are constructed with empty grant/wait queues and a zero
+	// lock count; Lock's create path writes only the id and hash link.
+	d.resCache, err = objcache.New(al.Machine(), back, "dlm:res", dlmObjSize, 8,
+		func(c *machine.CPU, mem *arena.Arena, obj arena.Addr) {
+			for _, off := range [...]uint64{rGrantHead, rWaitHead, rWaitTail, rLockCount} {
+				c.WriteAddr(obj + arena.Addr(off))
+				mem.Store64(obj+arena.Addr(off), 0)
+			}
+		}, nil, objcache.Opts{MinBackSize: resBlockSize})
+	if err != nil {
 		return nil, err
 	}
-	if d.lockCookie, err = al.GetCookie(lockBlockSize); err != nil {
+	// Lock blocks have no reusable constructed state (every field is
+	// per-request); the cache still buys magazine reuse and coloring of
+	// the 256-byte paper blocks.
+	d.lockCache, err = objcache.New(al.Machine(), back, "dlm:lock", dlmObjSize, 8,
+		nil, nil, objcache.Opts{MinBackSize: lockBlockSize})
+	if err != nil {
 		return nil, err
 	}
 	d.buckets = make([]bucket, nBuckets)
@@ -191,7 +216,7 @@ func (d *Manager) Lock(c *machine.CPU, resID uint64, mode Mode, owner int) (aren
 	if mode >= numModes {
 		return 0, Denied, fmt.Errorf("dlm: bad mode %d", mode)
 	}
-	l, err := d.al.AllocCookie(c, d.lockCookie)
+	l, err := d.lockCache.Get(c)
 	if err != nil {
 		return 0, Denied, err
 	}
@@ -199,18 +224,16 @@ func (d *Manager) Lock(c *machine.CPU, resID uint64, mode Mode, owner int) (aren
 	b.lk.Acquire(c)
 	res := d.findResource(c, b, resID)
 	if res == 0 {
-		res, err = d.al.AllocCookie(c, d.resCookie)
+		res, err = d.resCache.Get(c)
 		if err != nil {
 			b.lk.Release(c)
-			d.al.FreeCookie(c, l, d.lockCookie)
+			d.lockCache.Put(c, l)
 			return 0, Denied, err
 		}
 		d.resCreated.Add(1)
+		// Queues and lock count arrive constructed (empty/zero); only
+		// the identity and hash link are per-resource.
 		d.put(c, res+rResID, resID)
-		d.put(c, res+rGrantHead, 0)
-		d.put(c, res+rWaitHead, 0)
-		d.put(c, res+rWaitTail, 0)
-		d.put(c, res+rLockCount, 0)
 		d.put(c, res+rHashNext, uint64(b.head))
 		b.head = res
 		c.Write(b.line)
@@ -347,9 +370,11 @@ func (d *Manager) Unlock(c *machine.CPU, l arena.Addr, out []Grant) []Grant {
 	}
 	b.lk.Release(c)
 
-	d.al.FreeCookie(c, l, d.lockCookie)
+	d.lockCache.Put(c, l)
 	if freeRes {
-		d.al.FreeCookie(c, res, d.resCookie)
+		// The departing last lock left both queues empty and the count
+		// zero — exactly the constructed state the cache hands out.
+		d.resCache.Put(c, res)
 		d.resFreed.Add(1)
 	}
 	d.unlocks.Add(1)

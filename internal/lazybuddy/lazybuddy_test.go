@@ -38,6 +38,21 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+// The typed object-cache layer must degrade gracefully over this
+// baseline's plain Alloc/Free: no cookies, no shed registration, no
+// event spine — the lifecycle contract holds regardless.
+func TestObjCacheLifecycle(t *testing.T) {
+	alloctest.RunObjCache(t, func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
+		a, m := newTest(t, ncpu, physPages)
+		return alloctest.Instance{
+			A:       allocif.RetryWait{Allocator: a},
+			M:       m,
+			MaxSize: a.MaxSize(),
+			Check:   a.CheckConsistency,
+		}
+	})
+}
+
 func TestOrderFor(t *testing.T) {
 	cases := map[uint64]int{1: 4, 16: 4, 17: 5, 64: 6, 65: 7, 4096: 12}
 	for size, want := range cases {

@@ -1,0 +1,707 @@
+// Package objcache provides typed object caches — the slab-style layer
+// above the kernel memory allocator's cookie path. A cache holds
+// *constructed* objects of one type: the constructor runs once when a
+// buffer is first carved from its backing allocation, the destructor
+// runs only when the cache releases the buffer back to the allocator
+// under reclaim or Trim pressure, and every Get/Put in between reuses
+// the constructed state for free. This is the observation (Bonwick's)
+// that object initialization often costs more than allocation itself:
+// once a message block's header fields or a lock block's queue pointers
+// are set up, handing the same buffer back out skips that work.
+//
+// The common Get/Put case is served from a per-CPU pair of magazines
+// (loaded + previous) under the CPU's interrupt lock — the same
+// synchronization, and the same 13-instruction charge, as the cookie
+// fast path it sits above. When both magazines are empty (or both full
+// on Put) the cache exchanges a magazine with a spin-locked central
+// depot; only when the depot too is exhausted does it carve a new
+// buffer from the backing allocator and run the constructor.
+//
+// Each cache also colors its buffers: successive carves offset the
+// object within its backing block by increasing multiples of the cache
+// line size, consuming the slack the backing size class leaves over.
+// Caches whose objects would otherwise start at identical offsets in
+// identical classes (the "all headers on line 0" hot-spot the paper's
+// power-of-two critics point at) instead spread their hot first lines
+// across the associativity sets. The starting color is derived from the
+// cache's name, so two caches of the same shape are offset from each
+// other deterministically.
+package objcache
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"kmem/internal/allocif"
+	"kmem/internal/arena"
+	"kmem/internal/core"
+	"kmem/internal/machine"
+)
+
+// Fast-path instruction parity with the cookie path: intr-disable pair
+// (2) + magazine line read (1) + slot access (1) + line write (1) +
+// residual bookkeeping (8) = 13, matching core's cookie alloc. The win
+// over the cookie path is therefore never in the Get itself — it is the
+// constructor work a warm Get skips.
+const (
+	insnGetResidual = 8  // residual fast-path bookkeeping on Get
+	insnPutResidual = 8  // residual fast-path bookkeeping on Put
+	insnSlot        = 1  // load/store of the magazine slot
+	insnMagSwap     = 2  // exchange loaded and previous magazines
+	insnDepot       = 12 // depot list manipulation under its spin lock
+	insnCarve       = 10 // color selection + bookkeeping on a fresh carve
+	insnRelease     = 6  // bookkeeping when a buffer is released
+)
+
+// Ctor initializes a freshly carved buffer to its constructed state.
+// It runs at most once per buffer lifetime in the cache; Get returns
+// buffers in this state, and Put must receive them back in it.
+type Ctor func(c *machine.CPU, mem *arena.Arena, obj arena.Addr)
+
+// Dtor tears a constructed buffer down before its backing memory is
+// returned to the allocator (reclaim, Trim, or Destroy).
+type Dtor func(c *machine.CPU, mem *arena.Arena, obj arena.Addr)
+
+// Opts tunes a cache. The zero value selects defaults.
+type Opts struct {
+	// MagSize is the number of objects per magazine (default 8).
+	MagSize int
+	// DepotMags bounds the full magazines the depot retains; overflow
+	// magazines are destructed and released immediately (default 8).
+	DepotMags int
+	// MinBackSize sets a floor on the backing allocation request, for
+	// subsystems whose on-disk/paper layout fixes the block size (DLM's
+	// 512-byte resource blocks) while the live object is smaller. The
+	// slack becomes coloring room.
+	MinBackSize uint64
+	// ColorSpace asks for this many extra bytes of backing purely for
+	// coloring, when the natural class slack is too small to spread
+	// objects (e.g. an exact-fit size class).
+	ColorSpace uint64
+}
+
+// cookieBacking is the fast-path interface of the paper's allocator:
+// pre-resolved size-class cookies. Probed dynamically so objcache works
+// — degraded to plain Alloc/Free — over any allocif.Allocator.
+type cookieBacking interface {
+	GetCookie(size uint64) (core.Cookie, error)
+	AllocCookie(c *machine.CPU, ck core.Cookie) (arena.Addr, error)
+	FreeCookie(c *machine.CPU, addr arena.Addr, ck core.Cookie)
+}
+
+// shedBacking lets the cache register with the allocator's reclaim and
+// pressure machinery.
+type shedBacking interface {
+	RegisterCacheShed(fn core.CacheShedFunc) func()
+}
+
+// eventBacking routes cache events through the allocator's event spine.
+type eventBacking interface {
+	EmitCacheEvent(ev core.LayerEvent, n int)
+}
+
+// sizeBacking reports the true capacity a request rounds up to, so
+// coloring can use the full slack even without a cookie.
+type sizeBacking interface {
+	RoundedSize(size uint64) uint64
+}
+
+// cpuMags is one CPU's magazine pair. loaded serves the fast path; prev
+// is its reserve, kept either full or empty so one swap always helps.
+// The trailing pad keeps native-mode locks of adjacent CPUs off shared
+// cache lines, mirroring core's paddedIntrLock.
+type cpuMags struct {
+	il     machine.IntrLock
+	line   machine.Line // synthetic metadata line for the pair
+	loaded []arena.Addr
+	prev   []arena.Addr
+	_      [64]byte
+}
+
+// Stats is a point-in-time snapshot of one cache's counters.
+type Stats struct {
+	Gets      uint64 // objects handed out
+	Puts      uint64 // objects handed back
+	CtorRuns  uint64 // constructors executed (fresh carves)
+	CtorSkips uint64 // Gets served from constructed buffers
+	DtorRuns  uint64 // destructors executed (releases)
+	Carves    uint64 // buffers carved from the backing allocator
+	Releases  uint64 // buffers returned to the backing allocator
+	Sheds     uint64 // shed passes that released at least one buffer
+	Live      uint64 // buffers currently carved (in magazines, depot, or in use)
+	DepotFull int    // full magazines currently in the depot
+	Colors    int    // distinct colors the backing slack allows
+}
+
+// Cache is a typed object cache over a backing allocator.
+type Cache struct {
+	name  string
+	m     *machine.Machine
+	mem   *arena.Arena
+	back  allocif.Allocator
+	ctor  Ctor
+	dtor  Dtor
+	size  uint64 // object size
+	align uint64 // object alignment (power of two, >= 8)
+
+	// Backing geometry, fixed at New.
+	backReq  uint64 // size requested from the backing allocator
+	capacity uint64 // bytes the backing actually provides per carve
+	cookie   core.Cookie
+	hasCk    bool
+	sizer    sizeBacking
+	events   eventBacking
+	magSize  int
+	depotCap int
+
+	// Coloring.
+	colorInc  uint64 // one cache line
+	nColors   int
+	colorBase int
+
+	mags []cpuMags
+
+	// Depot of magazines, and the carve bookkeeping it shares a lock
+	// with is kept separate (objMu) so sheds can walk carves without
+	// contending with magazine exchanges.
+	depotLk   *machine.SpinLock
+	depotLn   machine.Line
+	full      [][]arena.Addr
+	emptyMag  [][]arena.Addr // recycled empty magazines (bounded)
+	depotFull atomic.Int32   // len(full) mirror for CPU-less Stats reads
+
+	// obj -> backing base, for releases. Bookkeeping memory (a kernel
+	// would keep this in the slab header); uncharged, slow-path only.
+	objMu    sync.Mutex
+	objs     map[arena.Addr]arena.Addr
+	carveSeq int
+
+	gets      atomic.Uint64
+	puts      atomic.Uint64
+	ctorRuns  atomic.Uint64
+	ctorSkips atomic.Uint64
+	skipsPub  atomic.Uint64 // ctorSkips already published to the event spine
+	dtorRuns  atomic.Uint64
+	carves    atomic.Uint64
+	releases  atomic.Uint64
+	sheds     atomic.Uint64
+
+	unregister func()
+	destroyed  atomic.Bool
+}
+
+// ErrDestroyed is returned by Get on a destroyed cache.
+var ErrDestroyed = errors.New("objcache: cache destroyed")
+
+// New creates a named cache of size-byte objects aligned to align
+// (0 selects 8) over back. ctor and dtor may be nil. The cache
+// registers with back's reclaim machinery when back supports it.
+func New(m *machine.Machine, back allocif.Allocator, name string, size, align uint64, ctor Ctor, dtor Dtor, o Opts) (*Cache, error) {
+	if size == 0 {
+		return nil, errors.New("objcache: zero object size")
+	}
+	if align == 0 {
+		align = 8
+	}
+	if align&(align-1) != 0 {
+		return nil, fmt.Errorf("objcache: alignment %d not a power of two", align)
+	}
+	if o.MagSize <= 0 {
+		o.MagSize = 8
+	}
+	if o.DepotMags <= 0 {
+		o.DepotMags = 8
+	}
+
+	k := &Cache{
+		name:     name,
+		m:        m,
+		mem:      m.Mem(),
+		back:     back,
+		ctor:     ctor,
+		dtor:     dtor,
+		size:     size,
+		align:    align,
+		magSize:  o.MagSize,
+		depotCap: o.DepotMags,
+		colorInc: uint64(1) << m.Config().LineShift,
+		depotLk:  machine.NewSpinLock(m),
+		depotLn:  m.NewMetaLine(),
+		objs:     make(map[arena.Addr]arena.Addr),
+	}
+
+	// Backing request: the object, worst-case alignment pad (backing
+	// blocks are at least 8-byte aligned), any explicit color space,
+	// and the subsystem's block-size floor.
+	var pad uint64
+	if align > 8 {
+		pad = align - 8
+	}
+	k.backReq = size + pad + o.ColorSpace
+	if k.backReq < o.MinBackSize {
+		k.backReq = o.MinBackSize
+	}
+
+	// Resolve the backing capacity: a cookie pins both the class and
+	// its true block size; otherwise RoundedSize, when offered, reports
+	// the slack the allocator would leave anyway.
+	if cb, ok := back.(cookieBacking); ok {
+		if ck, err := cb.GetCookie(k.backReq); err == nil {
+			k.cookie, k.hasCk = ck, true
+			k.capacity = uint64(ck.Size())
+		}
+	}
+	if !k.hasCk {
+		if sz, ok := back.(sizeBacking); ok {
+			k.sizer = sz
+			k.capacity = sz.RoundedSize(k.backReq)
+		}
+		if k.capacity < k.backReq {
+			k.capacity = k.backReq
+		}
+	}
+
+	// Coloring: one color per cache line of slack, starting at a
+	// name-derived offset so same-shaped caches interleave.
+	slack := k.capacity - size - pad
+	k.nColors = int(slack/k.colorInc) + 1
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	k.colorBase = int(h.Sum32()) % k.nColors
+	if k.colorBase < 0 {
+		k.colorBase += k.nColors
+	}
+
+	k.mags = make([]cpuMags, m.NumCPUs())
+	for i := range k.mags {
+		k.mags[i].line = m.NewMetaLineOn(m.NodeOf(i))
+		k.mags[i].loaded = make([]arena.Addr, 0, k.magSize)
+		k.mags[i].prev = make([]arena.Addr, 0, k.magSize)
+	}
+	if eb, ok := back.(eventBacking); ok {
+		k.events = eb
+	}
+	if sb, ok := back.(shedBacking); ok {
+		k.unregister = sb.RegisterCacheShed(k.shed)
+	}
+	return k, nil
+}
+
+// Name returns the cache's name.
+func (k *Cache) Name() string { return k.name }
+
+// ObjSize returns the constructed object size.
+func (k *Cache) ObjSize() uint64 { return k.size }
+
+// Capacity returns the backing bytes each carve consumes.
+func (k *Cache) Capacity() uint64 { return k.capacity }
+
+// NumColors returns how many distinct line offsets the cache cycles
+// through.
+func (k *Cache) NumColors() int { return k.nColors }
+
+// ColorInc returns the coloring step (the machine's cache line size).
+func (k *Cache) ColorInc() uint64 { return k.colorInc }
+
+// Get returns a constructed object. The common case pops the CPU's
+// loaded magazine under its interrupt lock — no shared locks, and
+// instruction-for-instruction the cost of a cookie alloc. Misses fall
+// through to the depot and finally to a fresh carve (the only point the
+// constructor runs).
+func (k *Cache) Get(c *machine.CPU) (arena.Addr, error) {
+	if k.destroyed.Load() {
+		return arena.NilAddr, ErrDestroyed
+	}
+	pc := &k.mags[c.ID()]
+	pc.il.Acquire(c)
+	if obj, ok := k.getFast(c, pc); ok {
+		pc.il.Release(c)
+		return obj, nil
+	}
+	pc.il.Release(c)
+	return k.getSlow(c, pc)
+}
+
+// getFast pops from the magazine pair. Caller holds pc.il.
+func (k *Cache) getFast(c *machine.CPU, pc *cpuMags) (arena.Addr, bool) {
+	c.Read(pc.line)
+	if len(pc.loaded) == 0 {
+		if len(pc.prev) == 0 {
+			return arena.NilAddr, false
+		}
+		pc.loaded, pc.prev = pc.prev, pc.loaded
+		c.Work(insnMagSwap)
+	}
+	obj := pc.loaded[len(pc.loaded)-1]
+	pc.loaded = pc.loaded[:len(pc.loaded)-1]
+	c.Work(insnSlot)
+	c.Write(pc.line)
+	c.Work(insnGetResidual)
+	k.gets.Add(1)
+	k.ctorSkips.Add(1)
+	return obj, true
+}
+
+// getSlow refills from the depot, or carves and constructs a fresh
+// buffer. Runs with no cache locks held across backing-allocator calls,
+// so a carve that triggers reclaim may re-enter this cache's shed.
+func (k *Cache) getSlow(c *machine.CPU, pc *cpuMags) (arena.Addr, error) {
+	// Try to exchange the empty loaded magazine for a full one.
+	k.depotLk.Acquire(c)
+	c.Read(k.depotLn)
+	var full []arena.Addr
+	if n := len(k.full); n > 0 {
+		full = k.full[n-1]
+		k.full = k.full[:n-1]
+		k.depotFull.Add(-1)
+		c.Write(k.depotLn)
+	}
+	c.Work(insnDepot)
+	k.depotLk.Release(c)
+
+	if full != nil {
+		pc.il.Acquire(c)
+		// A Put may have refilled the pair while the depot lock was
+		// held; prefer the magazines and return the depot's magazine.
+		if obj, ok := k.getFast(c, pc); ok {
+			pc.il.Release(c)
+			k.putDepotFull(c, full)
+			return obj, nil
+		}
+		// Install the full magazine; the empty loaded becomes spare.
+		k.recycleEmpty(c, pc.prev)
+		pc.prev = pc.loaded
+		pc.loaded = full
+		obj, _ := k.getFast(c, pc)
+		pc.il.Release(c)
+		return obj, nil
+	}
+
+	// Depot dry: carve a new buffer and construct it.
+	obj, err := k.carve(c)
+	if err != nil {
+		return arena.NilAddr, err
+	}
+	k.gets.Add(1)
+	return obj, nil
+}
+
+// carve allocates one backing block, picks its color, and runs the
+// constructor. The buffer is born "in use" — it does not pass through
+// a magazine.
+func (k *Cache) carve(c *machine.CPU) (arena.Addr, error) {
+	var base arena.Addr
+	var err error
+	if k.hasCk {
+		base, err = k.back.(cookieBacking).AllocCookie(c, k.cookie)
+	} else {
+		base, err = k.back.Alloc(c, k.backReq)
+	}
+	if err != nil {
+		return arena.NilAddr, err
+	}
+	c.Work(insnCarve)
+
+	k.objMu.Lock()
+	color := uint64((k.colorBase+k.carveSeq)%k.nColors) * k.colorInc
+	k.carveSeq++
+	obj := (base + arena.Addr(k.align) - 1) &^ (arena.Addr(k.align) - 1)
+	obj += arena.Addr(color)
+	k.objs[obj] = base
+	k.objMu.Unlock()
+
+	if k.ctor != nil {
+		k.ctor(c, k.mem, obj)
+	}
+	k.carves.Add(1)
+	k.ctorRuns.Add(1)
+	if k.events != nil {
+		k.events.EmitCacheEvent(core.EvCtorRun, 1)
+		k.publishSkips()
+	}
+	return obj, nil
+}
+
+// Put returns a constructed object to the cache. The object must be in
+// constructed state (Put callers undo their modifications, which is
+// still far cheaper than a full re-construction). The common case
+// pushes onto the loaded magazine under the CPU's interrupt lock.
+func (k *Cache) Put(c *machine.CPU, obj arena.Addr) {
+	if k.destroyed.Load() {
+		// Late Put on a destroyed cache: release directly.
+		k.puts.Add(1)
+		k.releaseObj(c, obj)
+		return
+	}
+	pc := &k.mags[c.ID()]
+	pc.il.Acquire(c)
+	if k.putFast(c, pc, obj) {
+		pc.il.Release(c)
+		return
+	}
+	pc.il.Release(c)
+	k.putSlow(c, pc, obj)
+}
+
+// putFast pushes onto the magazine pair. Caller holds pc.il.
+func (k *Cache) putFast(c *machine.CPU, pc *cpuMags, obj arena.Addr) bool {
+	c.Read(pc.line)
+	if len(pc.loaded) == cap(pc.loaded) {
+		if len(pc.prev) != 0 {
+			return false
+		}
+		pc.loaded, pc.prev = pc.prev, pc.loaded
+		c.Work(insnMagSwap)
+	}
+	pc.loaded = append(pc.loaded, obj)
+	c.Work(insnSlot)
+	c.Write(pc.line)
+	c.Work(insnPutResidual)
+	k.puts.Add(1)
+	return true
+}
+
+// putSlow moves a full magazine to the depot to make room. If the cache
+// has been destroyed meanwhile, the object is released instead.
+func (k *Cache) putSlow(c *machine.CPU, pc *cpuMags, obj arena.Addr) {
+	if k.destroyed.Load() {
+		k.puts.Add(1)
+		k.releaseObj(c, obj)
+		return
+	}
+	// Take an empty magazine (recycled or fresh), then swap it in for
+	// the older full one.
+	k.depotLk.Acquire(c)
+	c.Read(k.depotLn)
+	var empty []arena.Addr
+	if n := len(k.emptyMag); n > 0 {
+		empty = k.emptyMag[n-1]
+		k.emptyMag = k.emptyMag[:n-1]
+	}
+	c.Work(insnDepot)
+	k.depotLk.Release(c)
+	if empty == nil {
+		empty = make([]arena.Addr, 0, k.magSize)
+	}
+
+	pc.il.Acquire(c)
+	if k.putFast(c, pc, obj) { // raced: room appeared
+		pc.il.Release(c)
+		k.recycleEmpty(c, empty)
+		return
+	}
+	full := pc.prev
+	pc.prev = pc.loaded
+	pc.loaded = empty
+	k.putFast(c, pc, obj)
+	pc.il.Release(c)
+
+	k.putDepotFull(c, full)
+}
+
+// putDepotFull deposits a full magazine, releasing the oldest one when
+// the depot exceeds its bound (the cache's working-set limit).
+func (k *Cache) putDepotFull(c *machine.CPU, full []arena.Addr) {
+	var victim []arena.Addr
+	k.depotLk.Acquire(c)
+	c.Read(k.depotLn)
+	k.full = append(k.full, full)
+	if len(k.full) > k.depotCap {
+		victim = k.full[0]
+		k.full = k.full[1:]
+	} else {
+		k.depotFull.Add(1)
+	}
+	c.Write(k.depotLn)
+	c.Work(insnDepot)
+	k.depotLk.Release(c)
+	if victim != nil {
+		n := k.releaseMag(c, victim)
+		k.noteShed(n)
+	}
+}
+
+// recycleEmpty returns an empty magazine to the bounded spare pool.
+func (k *Cache) recycleEmpty(c *machine.CPU, mag []arena.Addr) {
+	if mag == nil || len(mag) != 0 {
+		return
+	}
+	k.depotLk.Acquire(c)
+	if len(k.emptyMag) < k.depotCap {
+		k.emptyMag = append(k.emptyMag, mag)
+	}
+	k.depotLk.Release(c)
+}
+
+// releaseMag destructs and releases every object in mag; returns the
+// count. The emptied magazine is recycled.
+func (k *Cache) releaseMag(c *machine.CPU, mag []arena.Addr) int {
+	n := len(mag)
+	for _, obj := range mag {
+		k.releaseObj(c, obj)
+	}
+	k.recycleEmpty(c, mag[:0])
+	return n
+}
+
+// releaseObj runs the destructor and returns the backing block to the
+// allocator — the only path on which constructed state is torn down.
+func (k *Cache) releaseObj(c *machine.CPU, obj arena.Addr) {
+	if k.dtor != nil {
+		k.dtor(c, k.mem, obj)
+	}
+	k.dtorRuns.Add(1)
+	k.objMu.Lock()
+	base, ok := k.objs[obj]
+	delete(k.objs, obj)
+	k.objMu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("objcache %q: release of unknown object %#x", k.name, uint64(obj)))
+	}
+	c.Work(insnRelease)
+	if k.hasCk {
+		k.back.(cookieBacking).FreeCookie(c, base, k.cookie)
+	} else {
+		k.back.Free(c, base, k.backReq)
+	}
+	k.releases.Add(1)
+}
+
+// shed is the allocator's reclaim callback: non-aggressive shrinks the
+// depot (cold magazines), aggressive also flushes every CPU's pair.
+// Runs with no allocator locks held.
+func (k *Cache) shed(c *machine.CPU, aggressive bool) int {
+	n := k.shrinkDepot(c)
+	if aggressive {
+		n += k.drainMags(c)
+	}
+	k.noteShed(n)
+	return n
+}
+
+// noteShed accounts one shed pass releasing n buffers.
+func (k *Cache) noteShed(n int) {
+	if n == 0 {
+		return
+	}
+	k.sheds.Add(1)
+	if k.events != nil {
+		k.events.EmitCacheEvent(core.EvCacheShed, n)
+		k.publishSkips()
+	}
+}
+
+// publishSkips pushes the ctor-skip tally accumulated on fast paths to
+// the event spine in arrears — the spine only sees slow-path emissions,
+// so the fast path stays emission-free like core's EvAlloc policy.
+func (k *Cache) publishSkips() {
+	skips := k.ctorSkips.Load()
+	pub := k.skipsPub.Load()
+	if skips > pub && k.skipsPub.CompareAndSwap(pub, skips) {
+		k.events.EmitCacheEvent(core.EvCtorSkip, int(skips-pub))
+	}
+}
+
+// shrinkDepot releases every full magazine in the depot.
+func (k *Cache) shrinkDepot(c *machine.CPU) int {
+	var n int
+	for {
+		k.depotLk.Acquire(c)
+		c.Read(k.depotLn)
+		var mag []arena.Addr
+		if l := len(k.full); l > 0 {
+			mag = k.full[l-1]
+			k.full = k.full[:l-1]
+			k.depotFull.Add(-1)
+			c.Write(k.depotLn)
+		}
+		c.Work(insnDepot)
+		k.depotLk.Release(c)
+		if mag == nil {
+			return n
+		}
+		n += k.releaseMag(c, mag)
+	}
+}
+
+// drainMags flushes every CPU's magazine pair.
+func (k *Cache) drainMags(c *machine.CPU) int {
+	var n int
+	for i := range k.mags {
+		pc := &k.mags[i]
+		pc.il.Acquire(c)
+		loaded, prev := pc.loaded, pc.prev
+		pc.loaded = make([]arena.Addr, 0, k.magSize)
+		pc.prev = make([]arena.Addr, 0, k.magSize)
+		pc.il.Release(c)
+		for _, obj := range loaded {
+			k.releaseObj(c, obj)
+			n++
+		}
+		for _, obj := range prev {
+			k.releaseObj(c, obj)
+			n++
+		}
+	}
+	return n
+}
+
+// Drain flushes the depot and every magazine, releasing all idle
+// constructed buffers. Objects currently handed out are unaffected.
+func (k *Cache) Drain(c *machine.CPU) int {
+	n := k.shrinkDepot(c) + k.drainMags(c)
+	k.noteShed(n)
+	return n
+}
+
+// Destroy drains the cache, unregisters it from the allocator's reclaim
+// machinery, and returns how many buffers remain live (still held by
+// callers — their memory stays allocated until Put, which will then
+// release it directly).
+func (k *Cache) Destroy(c *machine.CPU) int {
+	if k.destroyed.Swap(true) {
+		return 0
+	}
+	if k.unregister != nil {
+		k.unregister()
+		k.unregister = nil
+	}
+	k.Drain(c)
+	k.objMu.Lock()
+	live := len(k.objs)
+	k.objMu.Unlock()
+	return live
+}
+
+// ForEachCarved calls f for every currently carved buffer with its
+// backing base address. Test/audit hook; holds the bookkeeping lock.
+func (k *Cache) ForEachCarved(f func(obj, base arena.Addr)) {
+	k.objMu.Lock()
+	defer k.objMu.Unlock()
+	for obj, base := range k.objs {
+		f(obj, base)
+	}
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (k *Cache) Stats() Stats {
+	k.objMu.Lock()
+	live := len(k.objs)
+	k.objMu.Unlock()
+	return Stats{
+		Gets:      k.gets.Load(),
+		Puts:      k.puts.Load(),
+		CtorRuns:  k.ctorRuns.Load(),
+		CtorSkips: k.ctorSkips.Load(),
+		DtorRuns:  k.dtorRuns.Load(),
+		Carves:    k.carves.Load(),
+		Releases:  k.releases.Load(),
+		Sheds:     k.sheds.Load(),
+		Live:      uint64(live),
+		DepotFull: int(k.depotFull.Load()),
+		Colors:    k.nColors,
+	}
+}

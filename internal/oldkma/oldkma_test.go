@@ -40,6 +40,21 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+// The typed object-cache layer must degrade gracefully over this
+// baseline's plain Alloc/Free: no cookies, no shed registration, no
+// event spine — the lifecycle contract holds regardless.
+func TestObjCacheLifecycle(t *testing.T) {
+	alloctest.RunObjCache(t, func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
+		a, m := newTest(t, ncpu, physPages)
+		return alloctest.Instance{
+			A:       allocif.RetryWait{Allocator: a},
+			M:       m,
+			MaxSize: 4096,
+			Check:   a.CheckConsistency,
+		}
+	})
+}
+
 func TestInitialTreeSound(t *testing.T) {
 	a, _ := newTest(t, 1, 256)
 	if err := a.CheckConsistency(); err != nil {

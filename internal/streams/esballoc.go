@@ -30,24 +30,19 @@ func (s *Subsystem) Esballoc(c *machine.CPU, base arena.Addr, size uint64, frtn 
 	if frtn == nil {
 		return 0, fmt.Errorf("streams: esballoc without a free routine")
 	}
-	db, err := s.al.AllocCookie(c, s.dblkCookie)
+	db, err := s.dblks.Get(c)
 	if err != nil {
-		return 0, ErrNoMemory
-	}
-	mb, err := s.al.AllocCookie(c, s.mblkCookie)
-	if err != nil {
-		s.al.FreeCookie(c, db, s.dblkCookie)
 		return 0, ErrNoMemory
 	}
 	s.put(c, db+dbBase, base)
 	s.put(c, db+dbLim, base+size)
-	s.put(c, db+dbRef, 1)
-	s.put(c, db+dbSize, 0) // size 0 marks an external buffer
-	s.put(c, mb+mbNext, 0)
-	s.put(c, mb+mbCont, 0)
-	s.put(c, mb+mbRptr, base)
-	s.put(c, mb+mbWptr, base)
-	s.put(c, mb+mbDatap, db)
+	s.put(c, db+dbSize, 0) // external: this dblk owns no buffer memory
+	s.put(c, db+dbKind, dbKindExternal)
+	mb, err := s.newMblk(c, base, base, db)
+	if err != nil {
+		s.dblks.Put(c, db)
+		return 0, ErrNoMemory
+	}
 
 	s.frtnMu.Lock()
 	if s.frtns == nil {

@@ -22,6 +22,12 @@ const (
 	// OpDrain flushes CPU Arg%CPUs' caches from CPU (self- and
 	// cross-CPU drains both occur).
 	OpDrain
+	// OpCacheGet takes a constructed object from the typed object cache
+	// (ObjCache configs only; skipped at the working-set cap).
+	OpCacheGet
+	// OpCachePut returns held cache object Arg%len(cached) after
+	// restoring its constructed state (skipped when none held).
+	OpCachePut
 )
 
 func (k OpKind) String() string {
@@ -34,6 +40,10 @@ func (k OpKind) String() string {
 		return "free"
 	case OpDrain:
 		return "drain"
+	case OpCacheGet:
+		return "cacheget"
+	case OpCachePut:
+		return "cacheput"
 	}
 	return "op?"
 }
@@ -75,13 +85,33 @@ var smallSizes = []uint32{
 	200, 256, 257, 512, 513, 1000, 1024, 1025, 2048, 2049, 4000, 4096,
 }
 
-// generate materializes cfg.Ops operations from cfg.Seed.
+// generate materializes cfg.Ops operations from cfg.Seed. The non-cache
+// distribution is untouched when ObjCache is off, so existing seeds and
+// committed repro artifacts keep drawing the identical RNG stream.
 func generate(cfg Config) []Op {
 	r := newRng(cfg.Seed)
 	ops := make([]Op, 0, cfg.Ops)
 	for i := 0; i < cfg.Ops; i++ {
 		op := Op{CPU: uint8(r.intn(cfg.CPUs))}
-		switch roll := r.intn(100); {
+		roll := r.intn(100)
+		switch {
+		case cfg.ObjCache && roll < 35:
+			op.Kind = OpAlloc
+			op.Size = genSize(r, cfg.MaxSize)
+		case cfg.ObjCache && roll < 45:
+			op.Kind = OpAllocWait
+			op.Size = genSize(r, cfg.MaxSize)
+		case cfg.ObjCache && roll < 60:
+			op.Kind = OpCacheGet
+		case cfg.ObjCache && roll < 72:
+			op.Kind = OpCachePut
+			op.Arg = uint32(r.next())
+		case cfg.ObjCache && roll < 93:
+			op.Kind = OpFree
+			op.Arg = uint32(r.next())
+		case cfg.ObjCache:
+			op.Kind = OpDrain
+			op.Arg = uint32(r.intn(cfg.CPUs))
 		case roll < 50:
 			op.Kind = OpAlloc
 			op.Size = genSize(r, cfg.MaxSize)

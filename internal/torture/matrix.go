@@ -1,7 +1,8 @@
 package torture
 
 // The config matrix: CPUs × nodes × pressure × faultpoints × shards ×
-// adaptive × lazy spans. The small matrix is the PR-smoke set — every
+// adaptive × lazy spans × object caches. The small matrix is the
+// PR-smoke set — every
 // dimension exercised at least once on a multi-node topology, cheap
 // enough for every push. The full matrix is the nightly cross product.
 
@@ -21,6 +22,9 @@ func MatrixSmall() []Config {
 		{CPUs: 4, Nodes: 2, Lazy: true, Pressure: true, Faults: true},
 		{CPUs: 8, Nodes: 4, Pressure: true, Faults: true, Adaptive: true},
 		{CPUs: 8, Nodes: 4, Lazy: true, Pressure: true, Faults: true, Adaptive: true},
+		{CPUs: 4, Nodes: 2, ObjCache: true},
+		{CPUs: 4, Nodes: 2, ObjCache: true, Pressure: true},
+		{CPUs: 8, Nodes: 4, ObjCache: true, Lazy: true, Pressure: true, Faults: true},
 	}
 }
 
@@ -40,12 +44,14 @@ func MatrixFull() []Config {
 					}
 					for _, adaptive := range []bool{false, true} {
 						for _, lazy := range []bool{false, true} {
-							out = append(out, Config{
-								CPUs: tp.cpus, Nodes: tp.nodes,
-								Pressure: pressure, Faults: faults,
-								DisableShards: noShards, Adaptive: adaptive,
-								Lazy: lazy,
-							})
+							for _, objCache := range []bool{false, true} {
+								out = append(out, Config{
+									CPUs: tp.cpus, Nodes: tp.nodes,
+									Pressure: pressure, Faults: faults,
+									DisableShards: noShards, Adaptive: adaptive,
+									Lazy: lazy, ObjCache: objCache,
+								})
+							}
 						}
 					}
 				}

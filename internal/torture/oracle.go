@@ -6,6 +6,7 @@ import (
 	"kmem/internal/arena"
 	"kmem/internal/core"
 	"kmem/internal/machine"
+	"kmem/internal/objcache"
 )
 
 // The differential shadow oracle: a map-based model of what the
@@ -26,6 +27,15 @@ type handle struct {
 	op      int // op index that allocated it (for failure messages)
 }
 
+// cachedObj is one object held out of the typed object cache. The mark
+// byte plays the role of handle.pattern: each Get stamps its own mark,
+// so a double hand-out or a scribble shows up at Put time.
+type cachedObj struct {
+	obj  arena.Addr
+	mark byte
+	op   int
+}
+
 type oracle struct {
 	m    *machine.Machine
 	a    *core.Allocator
@@ -35,6 +45,14 @@ type oracle struct {
 	// liveBytes is the model's rounded-extent total across live handles,
 	// the "live" leg of the residency invariant chain.
 	liveBytes uint64
+
+	// cache and cached exist only on ObjCache configs: the typed cache
+	// under test and the objects currently held from it. dtorFail latches
+	// the first destructor-side violation (destructors run inside sheds
+	// and drains, where returning an error is impossible).
+	cache    *objcache.Cache
+	cached   []cachedObj
+	dtorFail string
 
 	pageBytes uint64
 	maxSmall  uint64
@@ -145,4 +163,58 @@ func (o *oracle) remove(j int) {
 	o.liveBytes -= o.live[j].rounded
 	o.live[j] = o.live[len(o.live)-1]
 	o.live = o.live[:len(o.live)-1]
+}
+
+// objCacheSize and objCachePattern shape the torture cache: the object
+// size leaves coloring slack inside its 128-byte class, and the pattern
+// is what the constructor fills and the destructor demands back.
+const (
+	objCacheSize    = 96
+	objCachePattern = 0x6b
+)
+
+// onCacheGet checks a freshly gotten cache object: it must carry the
+// constructed pattern (whether it came from the ctor, a magazine, or the
+// depot), must not alias another held object, and must not land inside
+// any live heap block's extent. Then the object is dirtied with this
+// op's mark, deliberately destroying the constructed state — the cache
+// must never hand it to anyone else before Put restores it.
+func (o *oracle) onCacheGet(obj arena.Addr, op int) string {
+	if obj == arena.NilAddr {
+		return "cache get returned the nil address without an error"
+	}
+	if off, ok := o.m.Mem().CheckFill(obj, objCacheSize, objCachePattern); !ok {
+		return fmt.Sprintf("cache get %#x: byte %d not constructed", obj, off)
+	}
+	for _, co := range o.cached {
+		if uint64(obj) < uint64(co.obj)+objCacheSize && uint64(co.obj) < uint64(obj)+objCacheSize {
+			return fmt.Sprintf("cache get %#x overlaps held object %#x (from op %d)", obj, co.obj, co.op)
+		}
+	}
+	for _, h := range o.live {
+		if uint64(obj) < uint64(h.addr)+h.rounded && uint64(h.addr) < uint64(obj)+objCacheSize {
+			return fmt.Sprintf("cache get %#x overlaps live heap block %#x (from op %d)", obj, h.addr, h.op)
+		}
+	}
+	co := cachedObj{obj: obj, mark: byte(0xC0 ^ op), op: op}
+	o.m.Mem().Fill(obj, objCacheSize, co.mark)
+	o.cached = append(o.cached, co)
+	return ""
+}
+
+// beforeCachePut re-verifies a held object's mark the instant before it
+// goes back, then restores the constructed pattern — the caller-side
+// half of the constructed-state contract.
+func (o *oracle) beforeCachePut(co cachedObj) string {
+	if off, ok := o.m.Mem().CheckFill(co.obj, objCacheSize, co.mark); !ok {
+		return fmt.Sprintf("cache object %#x (from op %d): byte %d corrupted while held", co.obj, co.op, off)
+	}
+	o.m.Mem().Fill(co.obj, objCacheSize, objCachePattern)
+	return ""
+}
+
+// removeCached drops held cache entry j (swap-remove, like remove).
+func (o *oracle) removeCached(j int) {
+	o.cached[j] = o.cached[len(o.cached)-1]
+	o.cached = o.cached[:len(o.cached)-1]
 }

@@ -14,10 +14,12 @@ package torture
 import (
 	"fmt"
 
+	"kmem/internal/allocif"
 	"kmem/internal/arena"
 	"kmem/internal/core"
 	"kmem/internal/faultpoint"
 	"kmem/internal/machine"
+	"kmem/internal/objcache"
 )
 
 // Config names one torture run exactly. The zero value of every field
@@ -55,6 +57,14 @@ type Config struct {
 	// audit recommits a decommitted span to prove scrubbed pages never
 	// read back dirty.
 	Lazy bool `json:"lazy,omitempty"`
+	// ObjCache drives a typed object cache (internal/objcache) over the
+	// allocator alongside the heap workload: OpCacheGet/OpCachePut ops
+	// enter the mix, every Get is checked for constructed state, every
+	// held object is mark-stamped against double hand-outs, and the
+	// end-of-run audit destroys the cache and proves the destructor ran
+	// for every buffer the cache ever released (carves == dtors ==
+	// releases) before the leak check.
+	ObjCache bool `json:"objcache,omitempty"`
 
 	// WorkingSet caps the live handles; allocs at the cap are skipped.
 	WorkingSet int `json:"working_set,omitempty"`
@@ -119,6 +129,9 @@ func (c Config) Name() string {
 	if c.Lazy {
 		n += "-lazy"
 	}
+	if c.ObjCache {
+		n += "-objcache"
+	}
 	return n
 }
 
@@ -146,6 +159,8 @@ type Report struct {
 	Frees       uint64
 	Drains      uint64
 	Skipped     uint64
+	CacheGets   uint64
+	CachePuts   uint64
 	// SchedHash is the machine's schedule hash: the identity of the
 	// interleaving this run executed.
 	SchedHash uint64
@@ -226,6 +241,26 @@ func (r *Runner) Run() (Report, error) {
 	}
 
 	ora := newOracle(m, a, cfg)
+	if cfg.ObjCache {
+		// The torture cache: ctor constructs the pattern, dtor demands it
+		// back. The dtor runs inside sheds and drains where no error can
+		// surface, so violations latch into the oracle and fail the next
+		// op's postcondition (or the end audit).
+		ctor := func(c *machine.CPU, mem *arena.Arena, obj arena.Addr) {
+			mem.Fill(obj, objCacheSize, objCachePattern)
+		}
+		dtor := func(c *machine.CPU, mem *arena.Arena, obj arena.Addr) {
+			if off, ok := mem.CheckFill(obj, objCacheSize, objCachePattern); !ok && ora.dtorFail == "" {
+				ora.dtorFail = fmt.Sprintf("dtor: object %#x byte %d not constructed at release", obj, off)
+			}
+		}
+		kc, err := objcache.New(m, allocif.NewKMA{Allocator: a}, "torture:obj",
+			objCacheSize, 8, ctor, dtor, objcache.Opts{})
+		if err != nil {
+			return Report{}, fmt.Errorf("torture: objcache: %w", err)
+		}
+		ora.cache = kc
+	}
 	var rep Report
 
 	// Split the op list by CPU; each simulated CPU walks its own
@@ -319,8 +354,41 @@ func (r *Runner) exec(c *machine.CPU, a *core.Allocator, ora *oracle, rep *Repor
 	case OpDrain:
 		a.DrainCPU(c, int(op.Arg)%r.cfg.CPUs)
 		rep.Drains++
+	case OpCacheGet:
+		if ora.cache == nil || len(ora.cached) >= r.cfg.WorkingSet {
+			rep.Skipped++
+			return nil
+		}
+		obj, err := ora.cache.Get(c)
+		if err != nil {
+			// A failed carve under faults or exhaustion is legal.
+			rep.AllocFails++
+			return nil
+		}
+		rep.CacheGets++
+		if msg := ora.onCacheGet(obj, i); msg != "" {
+			return &Failure{OpIndex: i, Msg: msg}
+		}
+	case OpCachePut:
+		if ora.cache == nil || len(ora.cached) == 0 {
+			rep.Skipped++
+			return nil
+		}
+		j := int(op.Arg) % len(ora.cached)
+		co := ora.cached[j]
+		if msg := ora.beforeCachePut(co); msg != "" {
+			return &Failure{OpIndex: i, Msg: msg}
+		}
+		ora.cache.Put(c, co.obj)
+		ora.removeCached(j)
+		rep.CachePuts++
 	default:
 		return &Failure{OpIndex: i, Msg: fmt.Sprintf("unknown op kind %d", op.Kind)}
+	}
+	// Destructors fire inside sheds under pressure; surface the first
+	// latched violation at the op that exposed it.
+	if ora.dtorFail != "" {
+		return &Failure{OpIndex: i, Msg: ora.dtorFail}
 	}
 	if msg := ora.residency(); msg != "" {
 		return &Failure{OpIndex: i, Msg: msg}
@@ -334,6 +402,35 @@ func (r *Runner) exec(c *machine.CPU, a *core.Allocator, ora *oracle, rep *Repor
 // blocks stranded anywhere in the caching hierarchy.
 func (r *Runner) endAudit(m *machine.Machine, a *core.Allocator, ora *oracle, rep *Report) *Failure {
 	c := m.CPU(0)
+	if ora.cache != nil {
+		// Return every held object (same per-object checks as OpCachePut),
+		// then destroy the cache: zero live, and the accounting must prove
+		// a destructor ran for every buffer the cache ever released —
+		// carves == dtors == releases. This precedes the DrainAll leak
+		// check because cached buffers are live allocations until the
+		// cache sheds them.
+		for _, co := range ora.cached {
+			if msg := ora.beforeCachePut(co); msg != "" {
+				return &Failure{OpIndex: -1, Msg: msg}
+			}
+			ora.cache.Put(c, co.obj)
+			rep.CachePuts++
+		}
+		ora.cached = nil
+		if live := ora.cache.Destroy(c); live != 0 {
+			return &Failure{OpIndex: -1, Msg: fmt.Sprintf(
+				"objcache: %d objects live after quiescent destroy", live)}
+		}
+		st := ora.cache.Stats()
+		if st.DtorRuns != st.Carves || st.Releases != st.Carves {
+			return &Failure{OpIndex: -1, Msg: fmt.Sprintf(
+				"objcache: carves %d, dtors %d, releases %d after destroy; a dtor must precede every release",
+				st.Carves, st.DtorRuns, st.Releases)}
+		}
+		if ora.dtorFail != "" {
+			return &Failure{OpIndex: -1, Msg: ora.dtorFail}
+		}
+	}
 	for _, h := range ora.live {
 		if msg := ora.beforeFree(h); msg != "" {
 			return &Failure{OpIndex: -1, Msg: msg}

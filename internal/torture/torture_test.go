@@ -167,21 +167,22 @@ func TestCorpusEncodings(t *testing.T) {
 // every dimension, the full one is the cross product.
 func TestMatrixShapes(t *testing.T) {
 	small := MatrixSmall()
-	var pressure, faults, noShards, adaptive, lazy, multiNode bool
+	var pressure, faults, noShards, adaptive, lazy, objCache, multiNode bool
 	for _, c := range small {
 		pressure = pressure || c.Pressure
 		faults = faults || c.Faults
 		noShards = noShards || c.DisableShards
 		adaptive = adaptive || c.Adaptive
 		lazy = lazy || c.Lazy
+		objCache = objCache || c.ObjCache
 		multiNode = multiNode || c.Nodes > 1
 	}
-	if !pressure || !faults || !noShards || !adaptive || !lazy || !multiNode {
-		t.Errorf("small matrix misses a dimension: pressure=%v faults=%v noShards=%v adaptive=%v lazy=%v multiNode=%v",
-			pressure, faults, noShards, adaptive, lazy, multiNode)
+	if !pressure || !faults || !noShards || !adaptive || !lazy || !objCache || !multiNode {
+		t.Errorf("small matrix misses a dimension: pressure=%v faults=%v noShards=%v adaptive=%v lazy=%v objCache=%v multiNode=%v",
+			pressure, faults, noShards, adaptive, lazy, objCache, multiNode)
 	}
-	// 2 single-node topologies x 16 flag combos + 2 multi-node x 32.
-	if got, want := len(MatrixFull()), 96; got != want {
+	// 2 single-node topologies x 32 flag combos + 2 multi-node x 64.
+	if got, want := len(MatrixFull()), 192; got != want {
 		t.Errorf("full matrix has %d configs, want %d", got, want)
 	}
 }
