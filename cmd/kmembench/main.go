@@ -17,6 +17,7 @@
 //	kmembench pressure  [-cpus 4] [-nodes 1,2,4] [-pages 96,64,48,32] [-rounds 400]
 //	kmembench frag      [-cycles 3] [-pages 4096]
 //	kmembench objcache  [-sizes 64,256,1024] [-pairs 2000]
+//	kmembench harden    [-sizes 64,256,1024] [-pairs 2000]
 //	kmembench all
 //
 // Every subcommand accepts -json to emit its result rows as one JSON
@@ -68,6 +69,8 @@ func main() {
 		err = cmdFrag(args)
 	case "objcache":
 		err = cmdObjCache(args)
+	case "harden":
+		err = cmdHarden(args)
 	case "projection":
 		err = cmdProjection(args)
 	case "all":
@@ -100,6 +103,7 @@ func usage() {
   pressure   memory-pressure sweep: fail-fast Alloc vs blocking AllocWait under shrinking pools
   frag       fragmentation triple (reserved/resident/live) over churn cycles, eager vs lazy backing
   objcache   STREAMS triple pair over named object caches vs the plain cookie path (ctor-skip win)
+  harden     corruption-hardening overhead: alloc/free pair with redzones+poison off vs on
   projection scaling under a widening CPU/memory gap (the paper's closing claim)
   all        everything above with default settings`)
 }
@@ -517,6 +521,34 @@ func cmdObjCache(args []string) error {
 	return nil
 }
 
+func cmdHarden(args []string) error {
+	fs := flag.NewFlagSet("harden", flag.ExitOnError)
+	sizes := fs.String("sizes", "64,256,1024", "comma-separated block sizes")
+	pairs := fs.Int("pairs", 2000, "steady-state alloc/free pairs per point")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	szs, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunHarden(szs, *pairs)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return emitJSON(res)
+	}
+	res.Table().Fprint(os.Stdout)
+	fmt.Println()
+	res.StreamsTable().Fprint(os.Stdout)
+	fmt.Println("\nThe hardened pair pays for canary writes, poison fills and verify-on-alloc;")
+	fmt.Println("with Params.Harden nil every hook is a nil check and the pair is cycle-identical")
+	fmt.Println("to the unhardened allocator (the STREAMS table is CI-gated against BENCH_7).")
+	return nil
+}
+
 func cmdProjection(args []string) error {
 	fs := flag.NewFlagSet("projection", flag.ExitOnError)
 	seconds := fs.Float64("seconds", 0.05, "virtual seconds per point")
@@ -638,6 +670,10 @@ func cmdAll() error {
 	}
 	fmt.Println("\n=== Typed object caches: ctor-skip win ===============================")
 	if err := cmdObjCache(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Corruption-hardening overhead ====================================")
+	if err := cmdHarden(nil); err != nil {
 		return err
 	}
 	fmt.Println("\n=== Projection: widening CPU/memory gap ==============================")

@@ -12,6 +12,7 @@ import (
 
 	"kmem/internal/allocif"
 	"kmem/internal/arena"
+	"kmem/internal/harden"
 	"kmem/internal/machine"
 	"kmem/internal/physmem"
 )
@@ -27,6 +28,11 @@ type Instance struct {
 	Coalesces bool
 	// Check audits internal consistency; may be nil.
 	Check func() error
+	// Reports, when non-nil, returns the corruption reports a hardened
+	// allocator has filed so far. Nil means the instance has no
+	// detection layer, and the corruption suite only asserts the
+	// documented-UB-but-no-hang contract.
+	Reports func() []harden.Report
 }
 
 // Factory builds a fresh Instance on a machine with the given shape.

@@ -1,0 +1,136 @@
+package alloctest
+
+import (
+	"testing"
+
+	"kmem/internal/harden"
+)
+
+// RunCorruption executes the corruption conformance suite: a planted
+// double free and a planted write-after-free. Instances whose factory
+// sets Reports (a hardened allocator) must detect both plants and keep
+// serving; instances without a detection layer get the weaker,
+// documented-UB contract — the plant may corrupt state or panic, but
+// nothing may hang, which the suite checks by completing a bounded
+// follow-up workload.
+func RunCorruption(t *testing.T, f Factory) {
+	t.Run("DoubleFree", func(t *testing.T) { testDoubleFree(t, f) })
+	t.Run("WriteAfterFree", func(t *testing.T) { testWriteAfterFree(t, f) })
+}
+
+// plantOp runs fn tolerating a panic: allocators without a detection
+// layer may legally fail fast on a planted corruption, they just must
+// not hang.
+func plantOp(fn func()) (panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	fn()
+	return false
+}
+
+func testDoubleFree(t *testing.T, f Factory) {
+	in := f(t, 1, 1024)
+	c := in.M.CPU(0)
+	const size = 128
+
+	b, err := in.A.Alloc(c, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.A.Free(c, b, size)
+	panicked := plantOp(func() { in.A.Free(c, b, size) })
+
+	if in.Reports == nil {
+		// No detection layer: the double free is documented UB. The
+		// process did not hang (we are here); nothing else is promised.
+		t.Logf("%s: unhardened double free completed (panicked=%v)", in.A.Name(), panicked)
+		return
+	}
+
+	if panicked {
+		t.Fatalf("%s: hardened double free panicked instead of quarantining", in.A.Name())
+	}
+	reps := in.Reports()
+	if len(reps) == 0 {
+		t.Fatalf("%s: double free not detected", in.A.Name())
+	}
+	last := reps[len(reps)-1]
+	if last.Kind != harden.KindDoubleFree {
+		t.Errorf("%s: detection kind = %v, want double-free", in.A.Name(), last.Kind)
+	}
+	if last.Addr != uint64(b) {
+		t.Errorf("%s: detection addr = %#x, want %#x", in.A.Name(), last.Addr, uint64(b))
+	}
+
+	// Quarantine-and-continue: the allocator must keep serving and stay
+	// consistent.
+	for i := 0; i < 200; i++ {
+		nb, err := in.A.Alloc(c, size)
+		if err != nil {
+			t.Fatalf("%s: alloc %d after contained double free: %v", in.A.Name(), i, err)
+		}
+		if nb == b {
+			t.Fatalf("%s: doubly-freed block %#x re-issued", in.A.Name(), uint64(nb))
+		}
+		in.A.Free(c, nb, size)
+	}
+	check(t, in)
+}
+
+func testWriteAfterFree(t *testing.T, f Factory) {
+	in := f(t, 1, 1024)
+	c := in.M.CPU(0)
+	const size = 128
+
+	b, err := in.A.Alloc(c, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.A.Free(c, b, size)
+	// The late write lands past any freelist link or header word an
+	// allocator might keep in the first 16 bytes of a free block.
+	in.M.Mem().Fill(b+16, 4, 0x77)
+
+	if in.Reports == nil {
+		// Documented UB without hardening: follow-up operations must not
+		// hang; block contents and identity are not promised.
+		plantOp(func() {
+			for i := 0; i < 200; i++ {
+				nb, err := in.A.Alloc(c, size)
+				if err != nil {
+					return
+				}
+				in.A.Free(c, nb, size)
+			}
+		})
+		return
+	}
+
+	// Hardened: reallocation churn must surface the destroyed poison as
+	// a use-after-free before the block is ever served again.
+	for i := 0; i < 200 && len(in.Reports()) == 0; i++ {
+		nb, err := in.A.Alloc(c, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nb == b {
+			t.Fatalf("%s: corrupted block %#x served to a caller", in.A.Name(), uint64(nb))
+		}
+		in.A.Free(c, nb, size)
+	}
+	reps := in.Reports()
+	if len(reps) == 0 {
+		t.Fatalf("%s: write-after-free never detected across realloc churn", in.A.Name())
+	}
+	rep := reps[0]
+	if rep.Kind != harden.KindUseAfterFree {
+		t.Errorf("%s: detection kind = %v, want use-after-free", in.A.Name(), rep.Kind)
+	}
+	if rep.Addr != uint64(b) {
+		t.Errorf("%s: detection addr = %#x, want %#x", in.A.Name(), rep.Addr, uint64(b))
+	}
+	check(t, in)
+}

@@ -60,9 +60,10 @@ type Allocator struct {
 	// Registered object-cache shed callbacks (cache.go). Nil until the
 	// first RegisterCacheShed, so the reclaim paths of cache-free
 	// allocators stay cycle-identical to the pre-objcache code.
-	shedMu  sync.Mutex
-	shedFns []cacheShedEntry
-	shedSeq int
+	shedMu    sync.Mutex
+	shedFns   []cacheShedEntry
+	shedSeq   int
+	shedQueue []int // ids pending in shedOne's current sweep
 
 	// Memory-pressure machinery (pressure.go). pressure mirrors the
 	// physmem pool's level (always 0 with Params.Pressure nil); waitqs
@@ -76,6 +77,10 @@ type Allocator struct {
 	faultsInjected      atomic.Uint64
 	pressureTransitions atomic.Uint64
 	reclaimStepsDone    atomic.Uint64
+
+	// Corruption-hardening state (harden.go). Nil unless Params.Harden
+	// is set, so every hardening hook is one nil test when off.
+	hd *hardenState
 }
 
 // classState groups one size class's parameters and upper layers. target
@@ -113,6 +118,12 @@ func New(m *machine.Machine, params Params) (*Allocator, error) {
 	}
 	if err := p.validate(cfg.PageBytes, cfg.MemBytes); err != nil {
 		return nil, err
+	}
+	if p.Harden != nil {
+		// Harden supersedes the legacy Poison debug mode: its own
+		// poison/verify machinery (distinct fill bytes, reports instead
+		// of panics) runs on the same paths.
+		p.Poison = false
 	}
 	if uint64(1)<<p.VmblkShift > cfg.MemBytes {
 		return nil, fmt.Errorf("core: vmblk size exceeds arena")
@@ -193,6 +204,14 @@ func New(m *machine.Machine, params Params) (*Allocator, error) {
 
 	a.waitCfg = p.Wait.withDefaults()
 	a.waitqs = make([]waitq, len(p.Classes)+1)
+	if p.Harden != nil {
+		if rz := p.Harden.RedzoneBytes(); rz >= uint64(a.maxSmall) {
+			// An absurd redzone would push every request onto the
+			// large path.
+			return nil, fmt.Errorf("core: redzone %d bytes leaves no small class usable", rz)
+		}
+		a.hd = newHardenState(a)
+	}
 	if err := a.initPressure(); err != nil {
 		return nil, err
 	}
@@ -242,8 +261,17 @@ func (ck Cookie) Size() uint32 { return ck.size }
 
 // GetCookie translates a request size into a cookie. It fails for sizes
 // that the small-block classes cannot serve; such requests must use the
-// standard interface.
+// standard interface. With hardening on, the request maps to the class
+// serving size+redzone and the cookie reports the usable capacity
+// (class size minus the redzone), so callers never see canary bytes.
 func (a *Allocator) GetCookie(size uint64) (Cookie, error) {
+	if a.hd != nil {
+		if size == 0 || size+a.hd.rz > uint64(a.maxSmall) {
+			return Cookie{}, ErrBadSize
+		}
+		cls := a.classFor(size + a.hd.rz)
+		return Cookie{cls: int8(cls), size: a.classes[cls].size - uint32(a.hd.rz)}, nil
+	}
 	if size == 0 || size > uint64(a.maxSmall) {
 		return Cookie{}, ErrBadSize
 	}
@@ -270,12 +298,16 @@ func (a *Allocator) Alloc(c *machine.CPU, size uint64) (arena.Addr, error) {
 	if size == 0 {
 		return arena.NilAddr, ErrBadSize
 	}
-	if size > uint64(a.maxSmall) {
+	eff := size
+	if a.hd != nil {
+		eff += a.hd.rz
+	}
+	if eff > uint64(a.maxSmall) {
 		return a.allocLargeWithReclaim(c, size)
 	}
 	c.Work(insnStdAllocExtra)
 	c.Read(a.sizeTableLine)
-	return a.allocClass(c, a.classFor(size))
+	return a.allocClass(c, a.classFor(eff))
 }
 
 // Free is the standard kmem_free interface, taking the address and the
@@ -284,13 +316,17 @@ func (a *Allocator) Free(c *machine.CPU, addr arena.Addr, size uint64) {
 	if size == 0 {
 		panic("kmem: Free with size 0")
 	}
-	if size > uint64(a.maxSmall) {
-		a.vm.freeLarge(c, addr)
+	eff := size
+	if a.hd != nil {
+		eff += a.hd.rz
+	}
+	if eff > uint64(a.maxSmall) {
+		a.vmFreeLarge(c, addr)
 		return
 	}
 	c.Work(insnStdFreeExtra)
 	c.Read(a.sizeTableLine)
-	a.freeClass(c, a.classFor(size), addr)
+	a.freeClass(c, a.classFor(eff), addr)
 }
 
 // FreeByAddr frees a block given only its address, locating the size via
@@ -302,7 +338,7 @@ func (a *Allocator) FreeByAddr(c *machine.CPU, addr arena.Addr) {
 	case pdSplit:
 		a.freeClass(c, int(pd.class), addr)
 	case pdAllocHead:
-		a.vm.freeLarge(c, addr)
+		a.vmFreeLarge(c, addr)
 	default:
 		panic(fmt.Sprintf("kmem: FreeByAddr(%#x) of %s page", addr, pdStateName(pd.state)))
 	}
@@ -336,7 +372,12 @@ func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
 		}
 		il.Release(c)
 		if ok {
-			if a.params.Poison {
+			if a.hd != nil {
+				if !a.hardenAlloc(c, cls, b) {
+					// Block swallowed into quarantine; retry.
+					continue
+				}
+			} else if a.params.Poison {
 				a.poisonCheck(b, a.classes[cls].size)
 			}
 			return b, nil
@@ -416,7 +457,14 @@ func (a *Allocator) freeClass(c *machine.CPU, cls int, addr arena.Addr) {
 	if a.params.DebugOwnership {
 		defer c.EndExclusive(c.BeginExclusive())
 	}
-	if a.params.Poison {
+	if a.hd != nil {
+		if !a.hardenFree(c, cls, addr) {
+			// The free was swallowed: double free, quarantined page, or
+			// a detection under PolicyQuarantine. The allocator keeps
+			// serving; the block never re-enters circulation.
+			return
+		}
+	} else if a.params.Poison {
 		// Debug mode: a free through the wrong cookie would silently
 		// thread the block onto the wrong class's freelists; catch it at
 		// the source via the page descriptor.
@@ -532,20 +580,20 @@ func (a *Allocator) routeSpill(c *machine.CPU, cls int, spill blocklist.List) {
 // after each, while the normal path keeps the single stop-the-world
 // reclaim retry.
 func (a *Allocator) allocLargeWithReclaim(c *machine.CPU, size uint64) (arena.Addr, error) {
-	b, err := a.vm.allocLarge(c, size)
+	b, err := a.vmAllocLarge(c, size)
 	if err == nil {
 		return b, nil
 	}
 	if a.pressureLevel() == PressureCritical {
 		for i := a.reclaimSteps(); i > 0; i-- {
 			a.reclaimStep(c)
-			if b, err = a.vm.allocLarge(c, size); err == nil {
+			if b, err = a.vmAllocLarge(c, size); err == nil {
 				return b, nil
 			}
 		}
 	} else {
 		a.reclaim(c)
-		if b, err = a.vm.allocLarge(c, size); err == nil {
+		if b, err = a.vmAllocLarge(c, size); err == nil {
 			return b, nil
 		}
 	}

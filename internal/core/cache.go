@@ -85,15 +85,40 @@ func (a *Allocator) numShedders() int {
 	return n
 }
 
-// shedOne runs the i'th registered cache's non-aggressive shed — one
-// increment of the reclaimStep rotation. Registration order can shift
-// between steps; the cursor just needs every cache visited over a sweep.
-func (a *Allocator) shedOne(c *machine.CPU, i int) {
-	fns := a.shedSnapshot()
-	if len(fns) == 0 {
-		return
+// shedOne runs one registered cache's non-aggressive shed — one
+// increment of the reclaimStep rotation. The rotation works a sweep
+// queue of registration ids, snapshotted whenever the previous sweep is
+// exhausted: every cache registered at sweep start (and still registered
+// at its turn) is visited exactly once per sweep, and ids popped for
+// caches that unregistered mid-sweep are skipped. Ids are stable under
+// churn, so no amount of unregister/re-register reshuffling between
+// steps can starve a cache that stays registered — the position-modulo
+// selection this replaces could land on the same slot every step while a
+// neighbor was never visited.
+func (a *Allocator) shedOne(c *machine.CPU) {
+	a.shedMu.Lock()
+	var fn CacheShedFunc
+	for fn == nil {
+		if len(a.shedQueue) == 0 {
+			if len(a.shedFns) == 0 {
+				a.shedMu.Unlock()
+				return
+			}
+			for _, e := range a.shedFns {
+				a.shedQueue = append(a.shedQueue, e.id)
+			}
+		}
+		id := a.shedQueue[0]
+		a.shedQueue = a.shedQueue[1:]
+		for _, e := range a.shedFns {
+			if e.id == id {
+				fn = e.fn
+				break
+			}
+		}
 	}
-	fns[i%len(fns)].fn(c, false)
+	a.shedMu.Unlock()
+	fn(c, false)
 }
 
 // EmitCacheEvent pushes an object-cache event (EvCtorRun, EvCacheShed)

@@ -6,6 +6,7 @@ import (
 	"kmem/internal/allocif"
 	"kmem/internal/alloctest"
 	"kmem/internal/core"
+	"kmem/internal/harden"
 	"kmem/internal/machine"
 )
 
@@ -67,4 +68,45 @@ func TestObjCacheLifecycleCookie(t *testing.T) {
 
 func TestObjCacheLifecycleLazy(t *testing.T) {
 	alloctest.RunObjCache(t, factory(false, true))
+}
+
+// hardenedFactory builds the allocator with the corruption-hardening
+// layer on (quarantine-and-continue policy) and exposes its report log,
+// so the corruption suite asserts detection rather than just survival.
+func hardenedFactory() alloctest.Factory {
+	return func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
+		cfg := machine.DefaultConfig()
+		cfg.NumCPUs = ncpu
+		cfg.MemBytes = 16 << 20
+		cfg.PhysPages = physPages
+		m := machine.New(cfg)
+		a, err := core.New(m, core.Params{RadixSort: true, Harden: &harden.Config{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alloctest.Instance{
+			A:         allocif.NewKMA{Allocator: a},
+			M:         m,
+			MaxSize:   1 << 20,
+			Coalesces: true,
+			Check:     a.CheckConsistency,
+			Reports:   func() []harden.Report { return a.HardenReports(m.CPU(0)) },
+		}
+	}
+}
+
+// The hardened allocator must pass the full conformance suite unchanged
+// — redzones and poison shift block geometry but not the contract.
+func TestConformanceHardened(t *testing.T) {
+	alloctest.Run(t, hardenedFactory())
+}
+
+func TestCorruptionHardened(t *testing.T) {
+	alloctest.RunCorruption(t, hardenedFactory())
+}
+
+// Without hardening the same plants are documented UB: the suite only
+// demands that nothing hangs.
+func TestCorruptionUnhardened(t *testing.T) {
+	alloctest.RunCorruption(t, factory(false, false))
 }

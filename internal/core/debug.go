@@ -145,7 +145,7 @@ func (a *Allocator) CheckConsistency() error {
 					return fmt.Errorf("kmem: split page %d freelist has %d blocks, descriptor says %d",
 						i, count, pd.nFree)
 				}
-				if pd.flags != pdfResident {
+				if pd.flags&^pdfQuarantined != pdfResident {
 					return fmt.Errorf("kmem: split page %d has flags %#x, want resident", i, pd.flags)
 				}
 				splitByClass[i] = cls
@@ -174,6 +174,9 @@ func (a *Allocator) CheckConsistency() error {
 					}
 					if pd.nFree == 0 {
 						return fmt.Errorf("kmem: class %d list holds empty page %d", cls, pg)
+					}
+					if pd.flags&pdfQuarantined != 0 {
+						return fmt.Errorf("kmem: class %d list holds quarantined page %d", cls, pg)
 					}
 					if home := a.vm.nodeOfPage(pg); home != p.node {
 						return fmt.Errorf("kmem: class %d node %d pool holds page %d homed on node %d",
@@ -299,15 +302,24 @@ func (a *Allocator) HomeOf(b arena.Addr) int {
 // request: the size class's block size for small requests, the
 // page-rounded size for large ones. Uncharged; used by shadow oracles to
 // compute the true extent of a live block when checking for overlap.
+// With hardening on the redzone is part of the reserved footprint, so
+// the usable rounded size is the class (or page-rounded) size minus the
+// redzone; usable extents of distinct blocks still never overlap.
 func (a *Allocator) RoundedSize(size uint64) uint64 {
 	if size == 0 {
 		return 0
 	}
-	if size <= uint64(a.maxSmall) {
-		return uint64(a.classes[a.classFor(size)].size)
+	eff := size
+	var rz uint64
+	if a.hd != nil {
+		rz = a.hd.rz
+		eff += rz
+	}
+	if eff <= uint64(a.maxSmall) {
+		return uint64(a.classes[a.classFor(eff)].size) - rz
 	}
 	pb := a.m.Config().PageBytes
-	return (size + pb - 1) / pb * pb
+	return (eff+pb-1)/pb*pb - rz
 }
 
 // HeaderPages returns the total header pages of every vmblk created so

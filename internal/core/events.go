@@ -117,6 +117,13 @@ const (
 	EvCtorSkip
 	EvCacheShed
 
+	// Corruption-hardening events (Params.Harden / hardened object
+	// caches; all zero with hardening off). EvCorruption counts
+	// detections (n = 1, class of the corrupt block or -1); EvQuarantine
+	// counts pages pulled from circulation for post-mortem (n = pages).
+	EvCorruption
+	EvQuarantine
+
 	numLayerEvents
 )
 
@@ -164,6 +171,8 @@ var layerEventNames = [numLayerEvents]string{
 	EvCtorRun:         "ctor-run",
 	EvCtorSkip:        "ctor-skip",
 	EvCacheShed:       "cache-shed",
+	EvCorruption:      "corruption",
+	EvQuarantine:      "quarantine",
 }
 
 // NumLayerEvents is the number of distinct layer events.

@@ -26,6 +26,15 @@ func (a *Allocator) reclaim(c *machine.CPU) {
 	a.reclaims.Add(1)
 	a.emit(-1, EvReclaim, 1)
 
+	// With hardening on, reclaim doubles as the audit sweep: every
+	// tracked block's canary/poison is re-verified, so dormant
+	// corruption is caught even if the corrupt block is never freed or
+	// reallocated. Runs before the drains so corrupt pages are
+	// quarantined rather than coalesced.
+	if a.hd != nil {
+		a.AuditSweep(c)
+	}
+
 	// Typed object caches shed first: their constructed buffers are
 	// allocated blocks from this allocator's point of view, so
 	// destructing and freeing them is what lets the drains below

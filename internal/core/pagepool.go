@@ -142,6 +142,9 @@ func (p *pagePool) carvePage(c *machine.CPU) (int32, error) {
 	pd.state = pdSplit
 	pd.class = int8(p.cls)
 	pd.spanPages = 1
+	if p.al.hd != nil {
+		p.al.hd.forgetPage(c, pg)
+	}
 	base := p.al.vm.pageAddr(pg)
 	mem := p.al.mem
 	// Link the blocks front-to-back so the freelist ascends through the
@@ -257,6 +260,19 @@ func (p *pagePool) putBlockLocked(c *machine.CPU, b arena.Addr) {
 		panic(fmt.Sprintf("kmem: block %#x homed on node %d returned to node %d pool",
 			b, home, p.node))
 	}
+	if pd.flags&pdfQuarantined != 0 {
+		// Quarantined page (harden.go): park the block on the page's own
+		// freelist for post-mortem — never refile the page, never give
+		// it back, even when every block has come home.
+		p.al.mem.Store64(b, pd.freeHead)
+		c.WriteAddr(b)
+		pd.freeHead = b
+		pd.nFree++
+		c.Write(pd.line)
+		p.al.hd.qObjects.Add(1)
+		p.al.hd.qBytes.Add(uint64(p.size))
+		return
+	}
 	oldFree := int(pd.nFree)
 	p.al.mem.Store64(b, pd.freeHead)
 	c.WriteAddr(b)
@@ -273,6 +289,11 @@ func (p *pagePool) putBlockLocked(c *machine.CPU, b arena.Addr) {
 		pd.freeHead = arena.NilAddr
 		pd.nFree = 0
 		pd.class = -1
+		if p.al.hd != nil {
+			// The page is leaving the split state; its owner slots
+			// must not survive into the page's next life.
+			p.al.hd.forgetPage(c, pg)
+		}
 		p.ev[EvPageFree]++
 		p.al.emit(p.cls, EvPageFree, 1)
 		p.al.vm.freePages(c, pg, 1)

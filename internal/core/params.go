@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"kmem/internal/faultpoint"
+	"kmem/internal/harden"
 )
 
 // DefaultClasses is the paper's "default set of nine power-of-two block
@@ -130,6 +131,20 @@ type Params struct {
 	// FaultPagePoolRefill). Nil — the default — compiles the checks down
 	// to a nil-receiver test on slow paths only.
 	Faults *faultpoint.Set
+
+	// Harden, when non-nil, enables the corruption-hardening layer:
+	// per-object redzones verified on free and on reclaim audit sweeps,
+	// poison-on-free with verify-on-alloc, per-block owner slots (an
+	// extension of the dope vector) feeding bounded per-CPU audit
+	// rings, and — under the default quarantine policy — containment of
+	// detected corruption by pulling the affected page from every
+	// freelist while keeping it mapped for post-mortem. Hardened
+	// requests map size to the class serving size+Redzone, so usable
+	// cookie/small sizes shrink by the redzone width. Nil — the default
+	// — keeps every path cycle-identical to the unhardened allocator
+	// (TestHardenOffCycleIdentity). Harden supersedes Poison on the
+	// class paths: its own poison/verify machinery runs instead.
+	Harden *harden.Config
 }
 
 // Names of the fault points compiled into the allocator's exhaustion

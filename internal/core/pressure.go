@@ -147,11 +147,10 @@ func (a *Allocator) reclaimStep(c *machine.CPU) {
 	} else {
 		// One object cache's depot shrink — the incremental form of the
 		// cache shed the stop-the-world reclaim performs in full. Only
-		// reached when caches are registered.
-		if a.params.LazySpans {
-			i--
-		}
-		a.shedOne(c, i)
+		// reached when caches are registered; shedOne keeps its own
+		// id-based cursor, so the rotation position only decides *when*
+		// a shed step runs, not which cache it lands on.
+		a.shedOne(c)
 	}
 	a.wakeAll()
 }

@@ -161,6 +161,21 @@ type PressureStats struct {
 	ReclaimSteps   uint64        // incremental reclaim steps run
 }
 
+// QuarantineStats reports the corruption-hardening layer's detections
+// and containment (all zero with Params.Harden nil). Quarantined memory
+// stays mapped — it counts in Phys.Mapped and Phys.Quarantined — but is
+// permanently out of circulation.
+type QuarantineStats struct {
+	Detections    uint64 // total corruption reports filed
+	Overruns      uint64 // redzone canaries destroyed
+	DoubleFrees   uint64 // frees of blocks not currently allocated
+	UseAfterFrees uint64 // free-poison destroyed by a late write
+
+	Pages   uint64 // pages pulled from circulation (split pages + large spans)
+	Objects uint64 // blocks and spans parked or swallowed
+	Bytes   uint64 // bytes of parked blocks/spans (rounded sizes)
+}
+
 // FragStats is the fragmentation triple: the three nested footprints of
 // the virtual-span model, Reserved ≥ Resident ≥ Live. The gap between
 // Resident and Live is internal + caching fragmentation (memory the
@@ -196,12 +211,13 @@ func (f FragStats) Utilization() float64 {
 
 // Stats is a full snapshot of the allocator.
 type Stats struct {
-	Classes  []ClassStats
-	VM       VMStats
-	Phys     physmem.Stats
-	Frag     FragStats
-	Reclaims uint64
-	Pressure PressureStats
+	Classes    []ClassStats
+	VM         VMStats
+	Phys       physmem.Stats
+	Frag       FragStats
+	Reclaims   uint64
+	Pressure   PressureStats
+	Quarantine QuarantineStats
 }
 
 // Stats gathers a snapshot; pass the calling CPU's handle as everywhere
@@ -344,5 +360,6 @@ func (a *Allocator) Stats(c *machine.CPU) Stats {
 		FaultsInjected: a.faultsInjected.Load(),
 		ReclaimSteps:   a.reclaimStepsDone.Load(),
 	}
+	out.Quarantine = a.hd.quarantineStats()
 	return out
 }

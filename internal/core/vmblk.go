@@ -60,6 +60,14 @@ func pdStateName(s uint8) string {
 const (
 	pdfResident uint8 = 1 << 0 // page is physically committed
 	pdfScrubbed uint8 = 1 << 1 // decommitted and scrub-filled (lazy mode)
+	// pdfQuarantined marks a split page the hardening layer pulled from
+	// circulation after a corruption detection: it is filed out of every
+	// radix bucket, its blocks are parked on its own freelist as their
+	// frees arrive, and it is never carved from, coalesced back into a
+	// free span, or decommitted — the page stays resident for
+	// post-mortem inspection. Set and read under the owning page pool's
+	// lock (harden.go).
+	pdfQuarantined uint8 = 1 << 2
 )
 
 // decommitScrub is the fill byte the decommit pass writes over a page's

@@ -53,6 +53,20 @@ func TestObjCacheLifecycle(t *testing.T) {
 	})
 }
 
+// This baseline has no hardening layer; the corruption suite checks the
+// documented-UB contract only — planted corruptions must not hang it.
+func TestCorruption(t *testing.T) {
+	alloctest.RunCorruption(t, func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
+		a, m := newTest(t, ncpu, physPages)
+		return alloctest.Instance{
+			A:       allocif.RetryWait{Allocator: a},
+			M:       m,
+			MaxSize: a.MaxSize(),
+			Check:   a.CheckConsistency,
+		}
+	})
+}
+
 func TestOrderFor(t *testing.T) {
 	cases := map[uint64]int{1: 4, 16: 4, 17: 5, 64: 6, 65: 7, 4096: 12}
 	for size, want := range cases {

@@ -38,6 +38,7 @@ import (
 	"kmem/internal/allocif"
 	"kmem/internal/arena"
 	"kmem/internal/core"
+	"kmem/internal/harden"
 	"kmem/internal/machine"
 )
 
@@ -81,6 +82,16 @@ type Opts struct {
 	// coloring, when the natural class slack is too small to spread
 	// objects (e.g. an exact-fit size class).
 	ColorSpace uint64
+	// Harden, when non-nil, enables per-cache corruption hardening: a
+	// redzone canary immediately after the object (verified on every
+	// Put), and — unless NoPoison is set — poison-on-put with
+	// verify-on-get. Poisoning sacrifices the constructed-state reuse
+	// win: a poisoned object must be destructed on Put and
+	// re-constructed on Get, so caches that want hardening without
+	// losing ctor skips set NoPoison. Detections follow Config.Policy;
+	// quarantined objects are pinned (never magazined, never released)
+	// and counted in Stats.Quarantined.
+	Harden *harden.Config
 }
 
 // cookieBacking is the fast-path interface of the paper's allocator:
@@ -134,6 +145,10 @@ type Stats struct {
 	Live      uint64 // buffers currently carved (in magazines, depot, or in use)
 	DepotFull int    // full magazines currently in the depot
 	Colors    int    // distinct colors the backing slack allows
+
+	// Hardening (all zero with Opts.Harden nil).
+	Detections  uint64 // corruption reports filed by this cache
+	Quarantined uint64 // objects pinned after a detection
 }
 
 // Cache is a typed object cache over a backing allocator.
@@ -191,6 +206,45 @@ type Cache struct {
 
 	unregister func()
 	destroyed  atomic.Bool
+
+	// Corruption hardening (nil with Opts.Harden nil).
+	hd *cacheHarden
+}
+
+// cacheHarden is one cache's hardening state: the canary/poison
+// geometry, per-object owner records, and the quarantine set. The
+// bookkeeping lock is an uncharged host mutex like objMu — a kernel
+// would keep these fields in the slab header.
+type cacheHarden struct {
+	cfg *harden.Config
+	rz  uint64 // canary bytes after the object
+
+	mu      sync.Mutex
+	seq     uint64
+	state   map[arena.Addr]*objOwner
+	quar    map[arena.Addr]bool
+	reports []harden.Report
+
+	detections  atomic.Uint64
+	quarantined atomic.Uint64
+}
+
+// objOwner tracks one carved object's whereabouts and last-owner
+// provenance.
+type objOwner struct {
+	out     bool // handed to a caller (vs resting in a magazine/depot)
+	lastGet harden.Record
+	lastPut harden.Record
+}
+
+// cacheHardenMaxReports bounds the retained per-cache report buffer.
+const cacheHardenMaxReports = 64
+
+// poisonMode reports whether objects at rest are poisoned (hardening on
+// and NoPoison unset) — the mode that trades ctor skips for
+// use-after-free detection.
+func (k *Cache) poisonMode() bool {
+	return k.hd != nil && !k.hd.cfg.NoPoison
 }
 
 // ErrDestroyed is returned by Get on a destroyed cache.
@@ -234,13 +288,25 @@ func New(m *machine.Machine, back allocif.Allocator, name string, size, align ui
 	}
 
 	// Backing request: the object, worst-case alignment pad (backing
-	// blocks are at least 8-byte aligned), any explicit color space,
-	// and the subsystem's block-size floor.
+	// blocks are at least 8-byte aligned), the hardening redzone (the
+	// canary lives immediately after the object, where an overrun lands
+	// first), any explicit color space, and the subsystem's block-size
+	// floor.
 	var pad uint64
 	if align > 8 {
 		pad = align - 8
 	}
-	k.backReq = size + pad + o.ColorSpace
+	var rz uint64
+	if o.Harden != nil {
+		rz = o.Harden.RedzoneBytes()
+		k.hd = &cacheHarden{
+			cfg:   o.Harden,
+			rz:    rz,
+			state: make(map[arena.Addr]*objOwner),
+			quar:  make(map[arena.Addr]bool),
+		}
+	}
+	k.backReq = size + pad + rz + o.ColorSpace
 	if k.backReq < o.MinBackSize {
 		k.backReq = o.MinBackSize
 	}
@@ -265,8 +331,10 @@ func New(m *machine.Machine, back allocif.Allocator, name string, size, align ui
 	}
 
 	// Coloring: one color per cache line of slack, starting at a
-	// name-derived offset so same-shaped caches interleave.
-	slack := k.capacity - size - pad
+	// name-derived offset so same-shaped caches interleave. The redzone
+	// is not slack — the canary must fit after the object at every
+	// color.
+	slack := k.capacity - size - pad - rz
 	k.nColors = int(slack/k.colorInc) + 1
 	h := fnv.New32a()
 	h.Write([]byte(name))
@@ -328,21 +396,36 @@ func (k *Cache) Get(c *machine.CPU) (arena.Addr, error) {
 // getFast pops from the magazine pair. Caller holds pc.il.
 func (k *Cache) getFast(c *machine.CPU, pc *cpuMags) (arena.Addr, bool) {
 	c.Read(pc.line)
-	if len(pc.loaded) == 0 {
-		if len(pc.prev) == 0 {
-			return arena.NilAddr, false
+	for {
+		if len(pc.loaded) == 0 {
+			if len(pc.prev) == 0 {
+				return arena.NilAddr, false
+			}
+			pc.loaded, pc.prev = pc.prev, pc.loaded
+			c.Work(insnMagSwap)
 		}
-		pc.loaded, pc.prev = pc.prev, pc.loaded
-		c.Work(insnMagSwap)
+		obj := pc.loaded[len(pc.loaded)-1]
+		pc.loaded = pc.loaded[:len(pc.loaded)-1]
+		c.Work(insnSlot)
+		c.Write(pc.line)
+		c.Work(insnGetResidual)
+		if k.hd != nil && !k.hardenGet(c, obj) {
+			continue // object quarantined; try the next one
+		}
+		k.gets.Add(1)
+		if k.poisonMode() {
+			// The object was destructed and poisoned when it was Put;
+			// rebuild the constructed state — the price verify-on-get
+			// pays for catching late writes.
+			if k.ctor != nil {
+				k.ctor(c, k.mem, obj)
+			}
+			k.ctorRuns.Add(1)
+		} else {
+			k.ctorSkips.Add(1)
+		}
+		return obj, true
 	}
-	obj := pc.loaded[len(pc.loaded)-1]
-	pc.loaded = pc.loaded[:len(pc.loaded)-1]
-	c.Work(insnSlot)
-	c.Write(pc.line)
-	c.Work(insnGetResidual)
-	k.gets.Add(1)
-	k.ctorSkips.Add(1)
-	return obj, true
 }
 
 // getSlow refills from the depot, or carves and constructs a fresh
@@ -416,6 +499,14 @@ func (k *Cache) carve(c *machine.CPU) (arena.Addr, error) {
 	if k.ctor != nil {
 		k.ctor(c, k.mem, obj)
 	}
+	if k.hd != nil {
+		k.mem.Fill(obj+arena.Addr(k.size), k.hd.rz, harden.CanaryByte)
+		k.hd.mu.Lock()
+		o := &objOwner{out: true}
+		o.lastGet = k.hd.record(c, harden.OpAlloc, obj)
+		k.hd.state[obj] = o
+		k.hd.mu.Unlock()
+	}
 	k.carves.Add(1)
 	k.ctorRuns.Add(1)
 	if k.events != nil {
@@ -430,10 +521,13 @@ func (k *Cache) carve(c *machine.CPU) (arena.Addr, error) {
 // still far cheaper than a full re-construction). The common case
 // pushes onto the loaded magazine under the CPU's interrupt lock.
 func (k *Cache) Put(c *machine.CPU, obj arena.Addr) {
+	if k.hd != nil && !k.hardenPut(c, obj) {
+		return // swallowed: double put, or quarantined after an overrun
+	}
 	if k.destroyed.Load() {
 		// Late Put on a destroyed cache: release directly.
 		k.puts.Add(1)
-		k.releaseObj(c, obj)
+		k.releaseObj(c, obj, !k.poisonMode())
 		return
 	}
 	pc := &k.mags[c.ID()]
@@ -469,7 +563,7 @@ func (k *Cache) putFast(c *machine.CPU, pc *cpuMags, obj arena.Addr) bool {
 func (k *Cache) putSlow(c *machine.CPU, pc *cpuMags, obj arena.Addr) {
 	if k.destroyed.Load() {
 		k.puts.Add(1)
-		k.releaseObj(c, obj)
+		k.releaseObj(c, obj, !k.poisonMode())
 		return
 	}
 	// Take an empty magazine (recycled or fresh), then swap it in for
@@ -537,23 +631,35 @@ func (k *Cache) recycleEmpty(c *machine.CPU, mag []arena.Addr) {
 }
 
 // releaseMag destructs and releases every object in mag; returns the
-// count. The emptied magazine is recycled.
+// count. The emptied magazine is recycled. In poison mode the resting
+// objects were already destructed (and poisoned) on Put, so the
+// destructor must not run again.
 func (k *Cache) releaseMag(c *machine.CPU, mag []arena.Addr) int {
 	n := len(mag)
+	runDtor := !k.poisonMode()
 	for _, obj := range mag {
-		k.releaseObj(c, obj)
+		k.releaseObj(c, obj, runDtor)
 	}
 	k.recycleEmpty(c, mag[:0])
 	return n
 }
 
-// releaseObj runs the destructor and returns the backing block to the
-// allocator — the only path on which constructed state is torn down.
-func (k *Cache) releaseObj(c *machine.CPU, obj arena.Addr) {
-	if k.dtor != nil {
-		k.dtor(c, k.mem, obj)
+// releaseObj returns the backing block to the allocator — the only path
+// on which a buffer leaves the cache. runDtor tears down constructed
+// state; callers pass false when the object was already destructed on
+// Put (poison mode).
+func (k *Cache) releaseObj(c *machine.CPU, obj arena.Addr, runDtor bool) {
+	if runDtor {
+		if k.dtor != nil {
+			k.dtor(c, k.mem, obj)
+		}
+		k.dtorRuns.Add(1)
 	}
-	k.dtorRuns.Add(1)
+	if k.hd != nil {
+		k.hd.mu.Lock()
+		delete(k.hd.state, obj)
+		k.hd.mu.Unlock()
+	}
 	k.objMu.Lock()
 	base, ok := k.objs[obj]
 	delete(k.objs, obj)
@@ -637,12 +743,13 @@ func (k *Cache) drainMags(c *machine.CPU) int {
 		pc.loaded = make([]arena.Addr, 0, k.magSize)
 		pc.prev = make([]arena.Addr, 0, k.magSize)
 		pc.il.Release(c)
+		runDtor := !k.poisonMode()
 		for _, obj := range loaded {
-			k.releaseObj(c, obj)
+			k.releaseObj(c, obj, runDtor)
 			n++
 		}
 		for _, obj := range prev {
-			k.releaseObj(c, obj)
+			k.releaseObj(c, obj, runDtor)
 			n++
 		}
 	}
@@ -691,7 +798,7 @@ func (k *Cache) Stats() Stats {
 	k.objMu.Lock()
 	live := len(k.objs)
 	k.objMu.Unlock()
-	return Stats{
+	s := Stats{
 		Gets:      k.gets.Load(),
 		Puts:      k.puts.Load(),
 		CtorRuns:  k.ctorRuns.Load(),
@@ -704,4 +811,183 @@ func (k *Cache) Stats() Stats {
 		DepotFull: int(k.depotFull.Load()),
 		Colors:    k.nColors,
 	}
+	if k.hd != nil {
+		s.Detections = k.hd.detections.Load()
+		s.Quarantined = k.hd.quarantined.Load()
+	}
+	return s
+}
+
+// record stamps a fresh provenance record. Caller holds hd.mu.
+func (h *cacheHarden) record(c *machine.CPU, op harden.Op, obj arena.Addr) harden.Record {
+	h.seq++
+	return harden.Record{
+		Op:    op,
+		Addr:  uint64(obj),
+		Site:  "", // caches attribute by cache name, not call site
+		CPU:   c.ID(),
+		Node:  c.Node(),
+		Cycle: c.Now(),
+		Seq:   h.seq,
+	}
+}
+
+// hardenReport files a corruption report. Caller holds hd.mu; the
+// returned report is for the caller to act on (event, panic) after
+// releasing the lock.
+func (k *Cache) hardenReport(c *machine.CPU, kind harden.Kind, obj arena.Addr, off uint64, expected, got byte, o *objOwner) harden.Report {
+	h := k.hd
+	rep := harden.Report{
+		Kind:     kind,
+		Cache:    k.name,
+		Addr:     uint64(obj),
+		Class:    -1, // cache objects are not size-class blocks
+		Size:     k.size,
+		Offset:   off,
+		Expected: expected,
+		Got:      got,
+		CPU:      c.ID(),
+		Node:     c.Node(),
+		Cycle:    c.Now(),
+	}
+	if o != nil {
+		rep.LastAlloc = o.lastGet
+		rep.LastFree = o.lastPut
+	}
+	h.detections.Add(1)
+	h.reports = append(h.reports, rep)
+	if len(h.reports) > cacheHardenMaxReports {
+		h.reports = h.reports[len(h.reports)-cacheHardenMaxReports:]
+	}
+	if h.cfg.OnReport != nil {
+		h.cfg.OnReport(rep)
+	}
+	return rep
+}
+
+// hardenDetected finishes a detection once hd.mu is released: event,
+// then policy. PolicyPanic aborts with the full report.
+func (k *Cache) hardenDetected(rep *harden.Report) {
+	if k.events != nil {
+		k.events.EmitCacheEvent(core.EvCorruption, 1)
+	}
+	if k.hd.cfg.Policy == harden.PolicyPanic {
+		panic(rep.String())
+	}
+}
+
+// quarantineObj pins obj: it stays in k.objs (so its backing is never
+// released) and in hd.quar (so no magazine will serve it again). Caller
+// holds hd.mu.
+func (k *Cache) quarantineObj(obj arena.Addr) {
+	h := k.hd
+	if !h.quar[obj] {
+		h.quar[obj] = true
+		h.quarantined.Add(1)
+	}
+}
+
+// hardenGet verifies a magazine-served object before handing it out: a
+// quarantined object is skipped, and in poison mode the at-rest poison
+// must be intact — a flipped byte is a late write through a stale
+// pointer (use-after-free). Returns false when the caller must pick
+// another object.
+func (k *Cache) hardenGet(c *machine.CPU, obj arena.Addr) bool {
+	h := k.hd
+	h.mu.Lock()
+	if h.quar[obj] {
+		// A stale magazine slot can still name a quarantined object;
+		// drop it silently — the detection was already reported.
+		h.mu.Unlock()
+		return false
+	}
+	o := h.state[obj]
+	if k.poisonMode() {
+		if off, ok := k.mem.CheckFill(obj, k.size, harden.PoisonByte); !ok {
+			got := k.mem.Bytes(obj+arena.Addr(off), 1)[0]
+			rep := k.hardenReport(c, harden.KindUseAfterFree, obj, off, harden.PoisonByte, got, o)
+			pol := h.cfg.Policy
+			if pol == harden.PolicyQuarantine {
+				k.quarantineObj(obj)
+			}
+			h.mu.Unlock()
+			k.hardenDetected(&rep)
+			if pol == harden.PolicyQuarantine {
+				if k.events != nil {
+					k.events.EmitCacheEvent(core.EvQuarantine, 1)
+				}
+				return false
+			}
+			h.mu.Lock() // log-only: serve it anyway
+		}
+	}
+	if o != nil {
+		o.out = true
+		o.lastGet = h.record(c, harden.OpAlloc, obj)
+	}
+	h.mu.Unlock()
+	return true
+}
+
+// hardenPut runs the put-side checks: a put of an object that is not
+// currently out is a double put (always swallowed — magazining it twice
+// would corrupt the cache), the canary after the object is verified,
+// and in poison mode the object is destructed and poisoned before it
+// rests. Returns false when the Put was swallowed.
+func (k *Cache) hardenPut(c *machine.CPU, obj arena.Addr) bool {
+	h := k.hd
+	h.mu.Lock()
+	o := h.state[obj]
+	if o == nil || !o.out {
+		rep := k.hardenReport(c, harden.KindDoubleFree, obj, 0, 0, 0, o)
+		h.mu.Unlock()
+		k.hardenDetected(&rep)
+		return false
+	}
+	if off, ok := k.mem.CheckFill(obj+arena.Addr(k.size), h.rz, harden.CanaryByte); !ok {
+		boff := k.size + off
+		got := k.mem.Bytes(obj+arena.Addr(boff), 1)[0]
+		rep := k.hardenReport(c, harden.KindOverrun, obj, boff, harden.CanaryByte, got, o)
+		o.out = false
+		o.lastPut = h.record(c, harden.OpFree, obj)
+		pol := h.cfg.Policy
+		if pol == harden.PolicyQuarantine {
+			k.quarantineObj(obj)
+		}
+		h.mu.Unlock()
+		k.hardenDetected(&rep)
+		if pol == harden.PolicyQuarantine {
+			if k.events != nil {
+				k.events.EmitCacheEvent(core.EvQuarantine, 1)
+			}
+			return false
+		}
+		h.mu.Lock() // log-only: heal the canary and rest it as usual
+		k.mem.Fill(obj+arena.Addr(k.size), h.rz, harden.CanaryByte)
+	} else {
+		o.out = false
+		o.lastPut = h.record(c, harden.OpFree, obj)
+	}
+	if k.poisonMode() {
+		if k.dtor != nil {
+			k.dtor(c, k.mem, obj)
+		}
+		k.dtorRuns.Add(1)
+		k.mem.Fill(obj, k.size, harden.PoisonByte)
+	}
+	h.mu.Unlock()
+	return true
+}
+
+// HardenReports returns the cache's retained corruption reports (oldest
+// first, bounded). Empty when hardening is off.
+func (k *Cache) HardenReports() []harden.Report {
+	if k.hd == nil {
+		return nil
+	}
+	k.hd.mu.Lock()
+	defer k.hd.mu.Unlock()
+	out := make([]harden.Report, len(k.hd.reports))
+	copy(out, k.hd.reports)
+	return out
 }

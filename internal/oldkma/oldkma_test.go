@@ -55,6 +55,21 @@ func TestObjCacheLifecycle(t *testing.T) {
 	})
 }
 
+// This baseline has no hardening layer; the corruption suite checks the
+// documented-UB contract only (its double free fails fast by panicking,
+// which the suite tolerates — nothing may hang).
+func TestCorruption(t *testing.T) {
+	alloctest.RunCorruption(t, func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
+		a, m := newTest(t, ncpu, physPages)
+		return alloctest.Instance{
+			A:       allocif.RetryWait{Allocator: a},
+			M:       m,
+			MaxSize: 4096,
+			Check:   a.CheckConsistency,
+		}
+	})
+}
+
 func TestInitialTreeSound(t *testing.T) {
 	a, _ := newTest(t, 1, 256)
 	if err := a.CheckConsistency(); err != nil {

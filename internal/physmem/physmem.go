@@ -95,6 +95,7 @@ type Pool struct {
 	mapOps       uint64 // cumulative pages committed
 	unmapOps     uint64 // cumulative pages decommitted
 	failures     uint64
+	quarantined  int64 // resident pages pinned for post-mortem (hardening)
 
 	// Watermarks over *free* physical pages (capacity - resident); 0
 	// disables the pressure model.
@@ -356,6 +357,33 @@ func (p *Pool) Unmap(n int64) error {
 	return nil
 }
 
+// Quarantine records n resident pages as quarantined: still committed
+// (they count against capacity and the pressure model exactly as
+// before — that is the cost of keeping corrupt memory mapped for
+// post-mortem) but pinned, never to be decommitted. It is bookkeeping
+// only, called by the allocator's hardening layer on each containment;
+// a negative n would indicate a caller bug and panics.
+func (p *Pool) Quarantine(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("physmem: Quarantine(%d)", n))
+	}
+	p.mu.Lock()
+	p.quarantined += n
+	if p.quarantined > p.resident {
+		q, r := p.quarantined, p.resident
+		p.mu.Unlock()
+		panic(fmt.Sprintf("physmem: %d pages quarantined with only %d resident", q, r))
+	}
+	p.mu.Unlock()
+}
+
+// Quarantined returns the number of pages pinned by Quarantine.
+func (p *Pool) Quarantined() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quarantined
+}
+
 // Stats is a snapshot of pool accounting.
 type Stats struct {
 	Capacity     int64  // total physical pages
@@ -369,6 +397,7 @@ type Stats struct {
 	ReserveOps   uint64 // cumulative pages reserved
 	UnreserveOps uint64 // cumulative pages unreserved
 	Failures     uint64 // commits/reserves refused (exhaustion or injected fault)
+	Quarantined  int64  // resident pages pinned for post-mortem by the hardening layer
 
 	// Pressure model (zero watermarks = model disabled, Pressure ok).
 	LowWater    int64         // free-page low watermark
@@ -393,6 +422,7 @@ func (p *Pool) Stats() Stats {
 		ReserveOps:   p.reserveOps,
 		UnreserveOps: p.unreserveOps,
 		Failures:     p.failures,
+		Quarantined:  p.quarantined,
 		LowWater:     p.lowWater,
 		MinWater:     p.minWater,
 		Pressure:     p.levelLocked(),

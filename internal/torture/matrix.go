@@ -1,10 +1,12 @@
 package torture
 
 // The config matrix: CPUs × nodes × pressure × faultpoints × shards ×
-// adaptive × lazy spans × object caches. The small matrix is the
-// PR-smoke set — every
-// dimension exercised at least once on a multi-node topology, cheap
-// enough for every push. The full matrix is the nightly cross product.
+// adaptive × lazy spans × object caches × hardening. The small matrix is
+// the PR-smoke set — every dimension exercised at least once on a
+// multi-node topology, plus one planted corruption per kind, cheap
+// enough for every push. The full matrix is the nightly cross product
+// (plants are directed single-shot scenarios, so they live in the small
+// matrix only).
 
 // MatrixSmall returns the PR-smoke configs. Seeds and op counts are the
 // caller's to fill (tests pin them; kmemtorture sweeps them).
@@ -25,6 +27,16 @@ func MatrixSmall() []Config {
 		{CPUs: 4, Nodes: 2, ObjCache: true},
 		{CPUs: 4, Nodes: 2, ObjCache: true, Pressure: true},
 		{CPUs: 8, Nodes: 4, ObjCache: true, Lazy: true, Pressure: true, Faults: true},
+		// Hardening with panic policy: a clean workload must produce zero
+		// detections across topologies, pressure, lazy spans and caches.
+		{CPUs: 4, Nodes: 2, Harden: true},
+		{CPUs: 4, Nodes: 2, Harden: true, Pressure: true},
+		{CPUs: 8, Nodes: 4, Harden: true, Lazy: true, ObjCache: true},
+		// Planted corruptions: each kind must be detected, attributed to
+		// the plant's site tags, and contained in quarantine.
+		{CPUs: 4, Nodes: 2, Harden: true, Plant: "overrun"},
+		{CPUs: 4, Nodes: 2, Harden: true, Plant: "doublefree"},
+		{CPUs: 4, Nodes: 2, Harden: true, Plant: "latewrite"},
 	}
 }
 
@@ -45,12 +57,15 @@ func MatrixFull() []Config {
 					for _, adaptive := range []bool{false, true} {
 						for _, lazy := range []bool{false, true} {
 							for _, objCache := range []bool{false, true} {
-								out = append(out, Config{
-									CPUs: tp.cpus, Nodes: tp.nodes,
-									Pressure: pressure, Faults: faults,
-									DisableShards: noShards, Adaptive: adaptive,
-									Lazy: lazy, ObjCache: objCache,
-								})
+								for _, hard := range []bool{false, true} {
+									out = append(out, Config{
+										CPUs: tp.cpus, Nodes: tp.nodes,
+										Pressure: pressure, Faults: faults,
+										DisableShards: noShards, Adaptive: adaptive,
+										Lazy: lazy, ObjCache: objCache,
+										Harden: hard,
+									})
+								}
 							}
 						}
 					}

@@ -5,6 +5,7 @@ import (
 
 	"kmem/internal/arena"
 	"kmem/internal/core"
+	"kmem/internal/harden"
 	"kmem/internal/machine"
 	"kmem/internal/objcache"
 )
@@ -21,7 +22,7 @@ import (
 type handle struct {
 	addr    arena.Addr
 	size    uint64 // requested size (what Free must be passed)
-	rounded uint64 // true reserved extent (class- or page-rounded)
+	rounded uint64 // true reserved extent (class/page-rounded, + redzone when hardened)
 	home    int    // NUMA home at allocation time
 	pattern byte
 	op      int // op index that allocated it (for failure messages)
@@ -54,18 +55,32 @@ type oracle struct {
 	cached   []cachedObj
 	dtorFail string
 
+	// rz is the hardening redzone width (0 with Harden off): the gap
+	// between a block's usable capacity (RoundedSize) and its true
+	// footprint, which is what alignment and extents must be checked
+	// against. planted collects the hardening layer's corruption
+	// reports on Plant configs; plantDone latches the one-shot plant.
+	rz        uint64
+	planted   *[]harden.Report
+	plantDone bool
+
 	pageBytes uint64
 	maxSmall  uint64
 }
 
 func newOracle(m *machine.Machine, a *core.Allocator, cfg Config) *oracle {
-	return &oracle{
+	o := &oracle{
 		m:         m,
 		a:         a,
 		cfg:       cfg,
 		pageBytes: m.Config().PageBytes,
 		maxSmall:  uint64(a.MaxSmall()),
 	}
+	if cfg.Harden {
+		// Torture always runs the default hardening geometry.
+		o.rz = (&harden.Config{}).RedzoneBytes()
+	}
+	return o
 }
 
 // onAlloc checks a fresh allocation against the model and admits it.
@@ -78,17 +93,22 @@ func (o *oracle) onAlloc(addr arena.Addr, size uint64, op int) string {
 	if rounded < size {
 		return fmt.Sprintf("alloc(%d): rounded size %d smaller than request", size, rounded)
 	}
-	if uint64(addr)+rounded > o.m.Config().MemBytes {
-		return fmt.Sprintf("alloc(%d) = %#x: extent %d overruns the arena", size, addr, rounded)
+	// With hardening on, RoundedSize is the usable capacity; the true
+	// footprint (what placement aligns to and what the extent occupies)
+	// adds the trailing redzone.
+	extent := rounded + o.rz
+	if uint64(addr)+extent > o.m.Config().MemBytes {
+		return fmt.Sprintf("alloc(%d) = %#x: extent %d overruns the arena", size, addr, extent)
 	}
 	// Placement: small blocks sit class-aligned inside one page; large
-	// blocks are page-aligned spans.
+	// blocks are page-aligned spans. The hardened small/large split is
+	// on size+redzone, mirroring the allocator's.
 	off := uint64(addr) % o.pageBytes
-	if size <= o.maxSmall {
-		if off%rounded != 0 {
-			return fmt.Sprintf("alloc(%d) = %#x: not aligned to its class size %d", size, addr, rounded)
+	if size+o.rz <= o.maxSmall {
+		if off%extent != 0 {
+			return fmt.Sprintf("alloc(%d) = %#x: not aligned to its class size %d", size, addr, extent)
 		}
-		if off+rounded > o.pageBytes {
+		if off+extent > o.pageBytes {
 			return fmt.Sprintf("alloc(%d) = %#x: class block straddles a page boundary", size, addr)
 		}
 	} else if off != 0 {
@@ -109,7 +129,7 @@ func (o *oracle) onAlloc(addr arena.Addr, size uint64, op int) string {
 	h := handle{
 		addr:    addr,
 		size:    size,
-		rounded: rounded,
+		rounded: extent,
 		home:    home,
 		pattern: byte(0xA0 ^ op),
 		op:      op,
@@ -119,7 +139,7 @@ func (o *oracle) onAlloc(addr arena.Addr, size uint64, op int) string {
 	// allocator metadata, breaks the pattern.
 	o.m.Mem().Fill(addr, size, h.pattern)
 	o.live = append(o.live, h)
-	o.liveBytes += rounded
+	o.liveBytes += extent
 	return ""
 }
 

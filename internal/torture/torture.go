@@ -13,11 +13,13 @@ package torture
 
 import (
 	"fmt"
+	"strings"
 
 	"kmem/internal/allocif"
 	"kmem/internal/arena"
 	"kmem/internal/core"
 	"kmem/internal/faultpoint"
+	"kmem/internal/harden"
 	"kmem/internal/machine"
 	"kmem/internal/objcache"
 )
@@ -65,6 +67,21 @@ type Config struct {
 	// for every buffer the cache ever released (carves == dtors ==
 	// releases) before the leak check.
 	ObjCache bool `json:"objcache,omitempty"`
+	// Harden runs the allocator with the corruption-hardening layer on
+	// (internal/harden: redzones, poison auditing, quarantine). With no
+	// Plant the policy is panic, so any detection under the clean
+	// workload is a false positive that aborts the run.
+	Harden bool `json:"harden,omitempty"`
+	// Plant arms one self-contained planted corruption — "overrun",
+	// "doublefree" or "latewrite" — fired at the midpoint of the op
+	// sequence. Requires Harden; the policy becomes
+	// quarantine-and-continue and the end-of-run audit demands the plant
+	// was detected, attributed to its "plant:" site tags, and contained
+	// without leaking quarantined pages. The plant allocates its victim
+	// directly (outside the shadow model and the workload RNG streams),
+	// so the surrounding op sequence is byte-identical to the plant-free
+	// run with the same seeds.
+	Plant string `json:"plant,omitempty"`
 
 	// WorkingSet caps the live handles; allocs at the cap are skipped.
 	WorkingSet int `json:"working_set,omitempty"`
@@ -131,6 +148,12 @@ func (c Config) Name() string {
 	}
 	if c.ObjCache {
 		n += "-objcache"
+	}
+	if c.Harden {
+		n += "-harden"
+	}
+	if c.Plant != "" {
+		n += "-plant-" + c.Plant
 	}
 	return n
 }
@@ -235,12 +258,24 @@ func (r *Runner) Run() (Report, error) {
 		}
 		p.Faults = fs
 	}
+	var planted []harden.Report
+	if cfg.Harden {
+		hcfg := &harden.Config{Policy: harden.PolicyPanic}
+		if cfg.Plant != "" {
+			hcfg.Policy = harden.PolicyQuarantine
+			hcfg.OnReport = func(rep harden.Report) { planted = append(planted, rep) }
+		}
+		p.Harden = hcfg
+	} else if cfg.Plant != "" {
+		return Report{}, fmt.Errorf("torture: plant %q requires Harden", cfg.Plant)
+	}
 	a, err := core.New(m, p)
 	if err != nil {
 		return Report{}, fmt.Errorf("torture: allocator: %w", err)
 	}
 
 	ora := newOracle(m, a, cfg)
+	ora.planted = &planted
 	if cfg.ObjCache {
 		// The torture cache: ctor constructs the pattern, dtor demands it
 		// back. The dtor runs inside sheds and drains where no error can
@@ -308,6 +343,12 @@ func (r *Runner) Run() (Report, error) {
 
 // exec runs one op and its oracle postconditions; nil means healthy.
 func (r *Runner) exec(c *machine.CPU, a *core.Allocator, ora *oracle, rep *Report, i int) *Failure {
+	if r.cfg.Plant != "" && !ora.plantDone && i == len(r.ops)/2 {
+		ora.plantDone = true
+		if msg := r.plant(c, a, ora); msg != "" {
+			return &Failure{OpIndex: i, Msg: msg}
+		}
+	}
 	op := r.ops[i]
 	switch op.Kind {
 	case OpAlloc, OpAllocWait:
@@ -396,6 +437,90 @@ func (r *Runner) exec(c *machine.CPU, a *core.Allocator, ora *oracle, rep *Repor
 	return nil
 }
 
+// plant fires the armed corruption. The victim is allocated directly —
+// never entering the shadow model or perturbing the workload RNG streams
+// — and each step runs under a "plant:" site tag so the end-of-run audit
+// can check the detection's provenance attribution.
+func (r *Runner) plant(c *machine.CPU, a *core.Allocator, ora *oracle) string {
+	const size = 256
+	mem := ora.m.Mem()
+	a.SetHardenSite(c, "plant:alloc")
+	b, err := a.Alloc(c, size)
+	a.SetHardenSite(c, "")
+	if err != nil {
+		return fmt.Sprintf("plant %s: victim alloc: %v", r.cfg.Plant, err)
+	}
+	switch r.cfg.Plant {
+	case "overrun":
+		// One byte past the usable capacity lands on the first canary
+		// byte; the free must catch it.
+		mem.Fill(b+arena.Addr(a.RoundedSize(size)), 1, 0x5a)
+		a.SetHardenSite(c, "plant:free")
+		a.Free(c, b, size)
+		a.SetHardenSite(c, "")
+	case "doublefree":
+		a.Free(c, b, size)
+		a.SetHardenSite(c, "plant:free")
+		a.Free(c, b, size)
+		a.SetHardenSite(c, "")
+	case "latewrite":
+		a.Free(c, b, size)
+		// A write into the poison region after the free; the LIFO
+		// reallocation below must detect it and serve a different block.
+		mem.Fill(b+16, 4, 0x77)
+		a.SetHardenSite(c, "plant:alloc")
+		nb, err := a.Alloc(c, size)
+		a.SetHardenSite(c, "")
+		if err != nil {
+			return fmt.Sprintf("plant latewrite: realloc: %v", err)
+		}
+		if nb == b {
+			return fmt.Sprintf("plant latewrite: scribbled block %#x re-served", b)
+		}
+		a.Free(c, nb, size)
+	default:
+		return fmt.Sprintf("unknown plant %q", r.cfg.Plant)
+	}
+	return ""
+}
+
+// plantKinds maps a plant name to the corruption kind its detection must
+// report.
+var plantKinds = map[string]harden.Kind{
+	"overrun":    harden.KindOverrun,
+	"doublefree": harden.KindDoubleFree,
+	"latewrite":  harden.KindUseAfterFree,
+}
+
+// auditPlant verifies the armed plant was detected, attributed, and
+// contained; "" means all three hold.
+func (r *Runner) auditPlant(ora *oracle, q core.QuarantineStats) string {
+	want := plantKinds[r.cfg.Plant]
+	var hit *harden.Report
+	for i := range *ora.planted {
+		if (*ora.planted)[i].Kind == want {
+			hit = &(*ora.planted)[i]
+			break
+		}
+	}
+	if hit == nil {
+		return fmt.Sprintf("plant %s: no %v report filed (%d reports total)",
+			r.cfg.Plant, want, len(*ora.planted))
+	}
+	attributed := strings.HasPrefix(hit.Site, "plant:") ||
+		strings.HasPrefix(hit.LastAlloc.Site, "plant:") ||
+		strings.HasPrefix(hit.LastFree.Site, "plant:")
+	if !attributed {
+		return fmt.Sprintf("plant %s: detected but not attributed: %s", r.cfg.Plant, hit)
+	}
+	// Overrun and late-write victims must be contained in quarantine; a
+	// swallowed double free leaves nothing to park.
+	if r.cfg.Plant != "doublefree" && q.Pages == 0 {
+		return fmt.Sprintf("plant %s: detected but nothing quarantined", r.cfg.Plant)
+	}
+	return ""
+}
+
 // endAudit frees everything still live (with the same per-block checks),
 // drains every layer, and verifies the allocator returns to its
 // header-pages-only physical footprint — the leak check that catches
@@ -444,9 +569,22 @@ func (r *Runner) endAudit(m *machine.Machine, a *core.Allocator, ora *oracle, re
 	if err := a.CheckConsistency(); err != nil {
 		return &Failure{OpIndex: -1, Msg: err.Error()}
 	}
-	if mapped, floor := a.Stats(c).Phys.Mapped, a.HeaderPages(); mapped != floor {
+	st := a.Stats(c)
+	// Quarantined pages stay mapped by design (post-mortem evidence);
+	// anything above that raised floor is a genuine leak.
+	floor := a.HeaderPages() + int64(st.Quarantine.Pages)
+	if st.Phys.Mapped != floor {
 		return &Failure{OpIndex: -1, Msg: fmt.Sprintf(
-			"leak: %d pages mapped after full free and drain, header floor is %d", mapped, floor)}
+			"leak: %d pages mapped after full free and drain, floor is %d (%d header + %d quarantined)",
+			st.Phys.Mapped, floor, a.HeaderPages(), st.Quarantine.Pages)}
+	}
+	if r.cfg.Plant != "" {
+		if !ora.plantDone {
+			return &Failure{OpIndex: -1, Msg: fmt.Sprintf("plant %s never fired", r.cfg.Plant)}
+		}
+		if msg := r.auditPlant(ora, st.Quarantine); msg != "" {
+			return &Failure{OpIndex: -1, Msg: msg}
+		}
 	}
 	if r.cfg.Lazy {
 		// Decommit/recommit read-back audit. The drain just decommitted

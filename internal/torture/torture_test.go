@@ -167,7 +167,8 @@ func TestCorpusEncodings(t *testing.T) {
 // every dimension, the full one is the cross product.
 func TestMatrixShapes(t *testing.T) {
 	small := MatrixSmall()
-	var pressure, faults, noShards, adaptive, lazy, objCache, multiNode bool
+	var pressure, faults, noShards, adaptive, lazy, objCache, hardened, multiNode bool
+	plants := map[string]bool{}
 	for _, c := range small {
 		pressure = pressure || c.Pressure
 		faults = faults || c.Faults
@@ -175,14 +176,21 @@ func TestMatrixShapes(t *testing.T) {
 		adaptive = adaptive || c.Adaptive
 		lazy = lazy || c.Lazy
 		objCache = objCache || c.ObjCache
+		hardened = hardened || c.Harden
 		multiNode = multiNode || c.Nodes > 1
+		if c.Plant != "" {
+			plants[c.Plant] = true
+		}
 	}
-	if !pressure || !faults || !noShards || !adaptive || !lazy || !objCache || !multiNode {
-		t.Errorf("small matrix misses a dimension: pressure=%v faults=%v noShards=%v adaptive=%v lazy=%v objCache=%v multiNode=%v",
-			pressure, faults, noShards, adaptive, lazy, objCache, multiNode)
+	if !pressure || !faults || !noShards || !adaptive || !lazy || !objCache || !hardened || !multiNode {
+		t.Errorf("small matrix misses a dimension: pressure=%v faults=%v noShards=%v adaptive=%v lazy=%v objCache=%v harden=%v multiNode=%v",
+			pressure, faults, noShards, adaptive, lazy, objCache, hardened, multiNode)
 	}
-	// 2 single-node topologies x 32 flag combos + 2 multi-node x 64.
-	if got, want := len(MatrixFull()), 192; got != want {
+	if !plants["overrun"] || !plants["doublefree"] || !plants["latewrite"] {
+		t.Errorf("small matrix misses a planted corruption kind: have %v", plants)
+	}
+	// 2 single-node topologies x 64 flag combos + 2 multi-node x 128.
+	if got, want := len(MatrixFull()), 384; got != want {
 		t.Errorf("full matrix has %d configs, want %d", got, want)
 	}
 }

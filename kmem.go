@@ -27,12 +27,18 @@
 package kmem
 
 import (
+	"fmt"
 	"io"
+	"sort"
+	"sync"
 
+	"kmem/internal/allocif"
 	"kmem/internal/arena"
 	"kmem/internal/core"
 	"kmem/internal/faultpoint"
+	"kmem/internal/harden"
 	"kmem/internal/machine"
+	"kmem/internal/objcache"
 )
 
 // Addr is an address in the managed arena (the kernel virtual address
@@ -96,6 +102,11 @@ const (
 	EvWake            = core.EvWake
 	EvFaultInjected   = core.EvFaultInjected
 	EvReclaimStep     = core.EvReclaimStep
+	EvCtorRun         = core.EvCtorRun
+	EvCtorSkip        = core.EvCtorSkip
+	EvCacheShed       = core.EvCacheShed
+	EvCorruption      = core.EvCorruption
+	EvQuarantine      = core.EvQuarantine
 )
 
 // AdaptiveConfig tunes the per-class adaptive target controller; the
@@ -219,8 +230,15 @@ type Config struct {
 	// FaultPagePoolRefill).
 	Faults *FaultSet
 	// Poison fills freed memory with a pattern and checks it on
-	// reallocation (debugging aid).
+	// reallocation (debugging aid). Superseded by Harden, which includes
+	// poisoning; Poison is ignored when Harden is non-nil.
 	Poison bool
+	// Harden enables the corruption-hardening layer: redzone canaries
+	// verified on free and on reclaim sweeps, poison-on-free with
+	// verify-on-alloc, per-CPU audit rings with last-owner provenance,
+	// and quarantine-and-continue degradation. Nil — the default — keeps
+	// the unhardened layout and cycle counts exactly.
+	Harden *HardenConfig
 	// DebugOwnership panics when two goroutines drive one CPU handle
 	// concurrently (debugging aid for Native mode).
 	DebugOwnership bool
@@ -234,6 +252,9 @@ type Config struct {
 type System struct {
 	m *machine.Machine
 	a *core.Allocator
+
+	cacheMu sync.Mutex
+	caches  map[string]*ObjCache
 }
 
 // NewSystem builds a System from cfg.
@@ -271,6 +292,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Wait:           cfg.Wait,
 		Faults:         cfg.Faults,
 		Poison:         cfg.Poison,
+		Harden:         cfg.Harden,
 		DebugOwnership: cfg.DebugOwnership,
 	})
 	if err != nil {
@@ -373,3 +395,128 @@ func (s *System) Allocator() *core.Allocator { return s.a }
 // Machine exposes the underlying machine (clocks, per-CPU stats, the
 // scheduler for simulated workloads).
 func (s *System) Machine() *machine.Machine { return s.m }
+
+// --- corruption hardening -------------------------------------------------
+
+// HardenConfig tunes the corruption-hardening layer (Config.Harden, and
+// per-cache via CacheOpts.Harden). The zero value selects a 16-byte
+// redzone, poisoning on, a 64-record audit ring, and PolicyQuarantine.
+type HardenConfig = harden.Config
+
+// HardenPolicy selects what a corruption detection does beyond filing a
+// CorruptionReport.
+type HardenPolicy = harden.Policy
+
+// Hardening policies.
+const (
+	// PolicyQuarantine (the default) pulls the corrupt page or object
+	// from circulation — its memory stays mapped for post-mortem — and
+	// the allocator keeps serving.
+	PolicyQuarantine = harden.PolicyQuarantine
+	// PolicyPanic panics with the report text (fail-stop debugging).
+	PolicyPanic = harden.PolicyPanic
+	// PolicyLog only files the report; operation proceeds unchanged.
+	PolicyLog = harden.PolicyLog
+)
+
+// CorruptionReport is one detection: what was found where, the first
+// bad byte, and the last-owner provenance from the extended dope vector.
+type CorruptionReport = harden.Report
+
+// CorruptionKind classifies a detection (overrun, double free,
+// use-after-free).
+type CorruptionKind = harden.Kind
+
+// Corruption kinds.
+const (
+	KindOverrun      = harden.KindOverrun
+	KindDoubleFree   = harden.KindDoubleFree
+	KindUseAfterFree = harden.KindUseAfterFree
+)
+
+// QuarantineStats is the hardening slice of Stats (Stats.Quarantine).
+type QuarantineStats = core.QuarantineStats
+
+// AuditSweep re-verifies every tracked block's at-rest canary and
+// poison, filing a report per violation. The reclaim path runs one
+// automatically; call it directly for an on-demand audit. Nil with
+// hardening off.
+func (s *System) AuditSweep(c *CPU) []CorruptionReport { return s.a.AuditSweep(c) }
+
+// HardenReports returns the retained corruption reports, oldest first.
+func (s *System) HardenReports(c *CPU) []CorruptionReport { return s.a.HardenReports(c) }
+
+// SetHardenSite tags subsequent allocations and frees on CPU c with a
+// provenance site string (typically caller file:line or a subsystem
+// name), which corruption reports then attribute blocks to.
+func (s *System) SetHardenSite(c *CPU, site string) { s.a.SetHardenSite(c, site) }
+
+// --- named object caches --------------------------------------------------
+
+// ObjCache is a typed object cache (the slab-style layer over the cookie
+// path); see internal/objcache.
+type ObjCache = objcache.Cache
+
+// Ctor initializes a freshly carved buffer to its constructed state.
+type Ctor = objcache.Ctor
+
+// Dtor tears a constructed buffer down before its memory is released.
+type Dtor = objcache.Dtor
+
+// CacheOpts tunes an object cache (magazine and depot sizes, coloring,
+// per-cache hardening). The zero value selects defaults.
+type CacheOpts = objcache.Opts
+
+// NewCache creates and registers a named typed object cache over this
+// System's allocator — the kmem_cache_create shape. Names are unique per
+// System; look registered caches up with Cache, release them with
+// DestroyCache.
+func (s *System) NewCache(name string, size, align uint64, ctor Ctor, dtor Dtor, opts CacheOpts) (*ObjCache, error) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if _, dup := s.caches[name]; dup {
+		return nil, fmt.Errorf("kmem: cache %q already exists", name)
+	}
+	k, err := objcache.New(s.m, allocif.NewKMA{Allocator: s.a}, name, size, align, ctor, dtor, opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.caches == nil {
+		s.caches = make(map[string]*ObjCache)
+	}
+	s.caches[name] = k
+	return k, nil
+}
+
+// Cache returns the registered cache named name, or nil.
+func (s *System) Cache(name string) *ObjCache {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	return s.caches[name]
+}
+
+// Caches returns the registered cache names, sorted.
+func (s *System) Caches() []string {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	out := make([]string, 0, len(s.caches))
+	for name := range s.caches {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DestroyCache destroys the named cache and frees its name, returning
+// how many of its objects remain live (still held by callers, or
+// quarantined). Returns -1 if no such cache is registered.
+func (s *System) DestroyCache(c *CPU, name string) int {
+	s.cacheMu.Lock()
+	k := s.caches[name]
+	delete(s.caches, name)
+	s.cacheMu.Unlock()
+	if k == nil {
+		return -1
+	}
+	return k.Destroy(c)
+}
