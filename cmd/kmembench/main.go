@@ -25,7 +25,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -108,12 +107,12 @@ func usage() {
   all        everything above with default settings`)
 }
 
-// emitJSON writes v as one indented JSON object on stdout; every
-// subcommand's -json flag funnels through it so CI can parse the output.
-func emitJSON(v any) error {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(v)
+// emitJSON writes v as one JSON object on stdout through the shared
+// bench.Emit envelope — every subcommand's -json flag funnels through
+// it, so each output carries "Schema": "kmembench/<name>" and
+// "SchemaVersion" for CI and the committed BENCH_*.json baselines.
+func emitJSON(name string, v any) error {
+	return bench.Emit(os.Stdout, name, v)
 }
 
 func parseInts(s string) ([]int, error) {
@@ -162,7 +161,7 @@ func cmdBestCase(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(res)
+		return emitJSON("bestcase", res)
 	}
 	res.Figure(*logY).Fprint(os.Stdout)
 	if *csv != "" {
@@ -210,7 +209,7 @@ func cmdWorstCase(args []string) error {
 			return err
 		}
 		if *jsonOut {
-			return emitJSON(rows)
+			return emitJSON("worstcase", rows)
 		}
 		bench.WorstCaseAnyTable(*alloc, rows).Fprint(os.Stdout)
 		return nil
@@ -220,7 +219,7 @@ func cmdWorstCase(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(res)
+		return emitJSON("worstcase", res)
 	}
 	res.Figure().Fprint(os.Stdout)
 	if *csv != "" {
@@ -267,7 +266,7 @@ func cmdDLM(args []string) error {
 		}
 	}
 	if *jsonOut {
-		return emitJSON(struct {
+		return emitJSON("dlm", struct {
 			Result  *bench.DLMResult
 			Scaling []bench.DLMScaleRow `json:",omitempty"`
 		}{out, scaling})
@@ -292,7 +291,7 @@ func cmdInsns(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(rows)
+		return emitJSON("insns", rows)
 	}
 	bench.InsnTable(rows).Fprint(os.Stdout)
 	return nil
@@ -310,7 +309,7 @@ func cmdAnalysis(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(struct {
+		return emitJSON("analysis", struct {
 			Old      []bench.AnalysisResult
 			New      []bench.AnalysisResult
 			HotLines []bench.HotLine
@@ -385,7 +384,7 @@ func cmdAblate(args []string) error {
 		}
 	}
 	if *jsonOut {
-		return emitJSON(collected)
+		return emitJSON("ablate", collected)
 	}
 	return nil
 }
@@ -404,9 +403,7 @@ func cmdAdaptive(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		return emitJSON("adaptive", res)
 	}
 	res.Table().Fprint(os.Stdout)
 	fmt.Println("\nThe fixed run is pinned to the paper's compile-time target; the adaptive run")
@@ -428,7 +425,7 @@ func cmdCyclic(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(res)
+		return emitJSON("cyclic", res)
 	}
 	res.Table().Fprint(os.Stdout)
 	fmt.Println("\nAn allocator without online coalescing cannot complete this cycle without")
@@ -463,7 +460,7 @@ func cmdPressure(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(res)
+		return emitJSON("pressure", res)
 	}
 	res.Table().Fprint(os.Stdout)
 	fmt.Println("\nEach point runs the same oversubscribed churn twice: \"nosleep\" counts every")
@@ -485,7 +482,7 @@ func cmdFrag(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(res)
+		return emitJSON("frag", res)
 	}
 	res.Table().Fprint(os.Stdout)
 	fmt.Println("\nEager backing unmaps as spans coalesce, so resident tracks live; lazy backing")
@@ -511,7 +508,7 @@ func cmdObjCache(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(res)
+		return emitJSON("objcache", res)
 	}
 	res.Table().Fprint(os.Stdout)
 	fmt.Println("\nThe cookie baseline re-initializes the triple on every allocb (the paper's")
@@ -538,7 +535,7 @@ func cmdHarden(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(res)
+		return emitJSON("harden", res)
 	}
 	res.Table().Fprint(os.Stdout)
 	fmt.Println()
@@ -561,7 +558,7 @@ func cmdProjection(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(rows)
+		return emitJSON("projection", rows)
 	}
 	bench.ProjectionTable(rows).Fprint(os.Stdout)
 	return nil
@@ -588,7 +585,7 @@ func cmdTopology(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(res)
+		return emitJSON("topology", res)
 	}
 	res.Table().Fprint(os.Stdout)
 	fmt.Println("\nPartitioning the machine into nodes splits both the bus bandwidth and the")
@@ -603,6 +600,7 @@ func cmdScaling(args []string) error {
 	nodes := fs.String("nodes", "1,2,4", "comma-separated node counts (sweep skips counts that do not divide the CPUs)")
 	seconds := fs.Float64("seconds", 0.005, "virtual seconds per point")
 	size := fs.Uint64("size", 128, "block size")
+	lockFree := fs.Bool("lockfree", false, "sweep the optimistic axis instead: locked vs rseq+CAS fast paths, shards on")
 	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -615,12 +613,35 @@ func cmdScaling(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *lockFree {
+		res, err := bench.RunScalingLockFree(cpuCounts, nodeCounts, *size, *seconds)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return emitJSON("scaling-lockfree", res)
+		}
+		res.LockFreeTable().Fprint(os.Stdout)
+		if lk, lf := res.PointLF(8, 4, "prodcons", false), res.PointLF(8, 4, "prodcons", true); lk != nil && lf != nil && lk.LockWaitCycles > 0 {
+			wait := fmt.Sprintf("cut lock wait %.1fx (%d -> %d cycles)",
+				float64(lk.LockWaitCycles)/float64(lf.LockWaitCycles), lk.LockWaitCycles, lf.LockWaitCycles)
+			if lf.LockWaitCycles == 0 {
+				wait = fmt.Sprintf("eliminated lock wait (%d -> 0 cycles)", lk.LockWaitCycles)
+			}
+			fmt.Printf("\n8 CPUs / 4 nodes, prodcons: lock-free paths %s and gained %.0f%% throughput\n",
+				wait, 100*(lf.PairsPerSec/lk.PairsPerSec-1))
+		}
+		fmt.Println("\nBoth runs keep remote-free shards on; \"lockfree on\" swaps the per-CPU")
+		fmt.Println("interrupt-masked paths for restartable sequences and the global freelists for")
+		fmt.Println("CAS commits (restarts/retries are the cycles the optimism paid back).")
+		return nil
+	}
 	res, err := bench.RunScaling(cpuCounts, nodeCounts, *size, *seconds)
 	if err != nil {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(res)
+		return emitJSON("scaling", res)
 	}
 	res.Table().Fprint(os.Stdout)
 	if routed, sharded := res.Point(8, 4, "prodcons", false), res.Point(8, 4, "prodcons", true); routed != nil && sharded != nil &&

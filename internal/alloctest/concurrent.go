@@ -1,0 +1,133 @@
+package alloctest
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"kmem/internal/allocif"
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+// RunConcurrentGetPut hammers Alloc/Free from every CPU at once and
+// checks a shadow oracle the whole way: each block is filled with a
+// pattern derived from the issuing CPU and op index at allocation and
+// verified intact at free, so a double-issued block, a lost lock-free
+// update, or a torn restartable-sequence commit surfaces as a pattern
+// mismatch or a duplicate live address rather than silent reuse.
+//
+// On a simulated machine the suite arms aggressive restart jitter
+// (preemption at every third opportunity), so allocators built on
+// restartable sequences and CAS retry loops exercise their abort and
+// retry paths constantly; consistency is audited mid-run. On a Native
+// machine the CPUs are real goroutines — run it under -race — and the
+// audit happens after the barrier, where it cannot add synchronization
+// edges that would mask allocator races.
+func RunConcurrentGetPut(t *testing.T, f Factory) {
+	const (
+		ncpu      = 8
+		opsPerCPU = 3000
+		window    = 32
+	)
+	in := f(t, ncpu, 4096)
+	sim := in.M.Config().Mode == machine.Sim
+	if sim {
+		in.M.SetScheduleJitter(&machine.JitterConfig{Seed: 1789, RestartEvery: 3})
+	}
+
+	type rec struct {
+		b    arena.Addr
+		size uint64
+		pat  byte
+	}
+	held := make([][]rec, ncpu)
+	rngs := make([]*rand.Rand, ncpu)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(int64(3*i + 1)))
+	}
+	ops := make([]int, ncpu)
+	// The distinct-address oracle: every live block's address maps to its
+	// owner. Sim runs ops to completion on one goroutine, so the map is
+	// safe there; in Native it would be a synchronization point hiding
+	// real races, so the pattern checks alone carry that mode.
+	var live map[arena.Addr]int
+	if sim {
+		live = make(map[arena.Addr]int)
+	}
+	drainer, canDrain := in.A.(allocif.Coalescer)
+	var failed atomic.Bool
+	sizes := []uint64{16, 32, 48, 96, 128, 256, 600, 1024}
+
+	in.M.Run(func(c *machine.CPU) bool {
+		id := c.ID()
+		if failed.Load() || ops[id] >= opsPerCPU {
+			return false
+		}
+		ops[id]++
+		rng := rngs[id]
+		h := held[id]
+		// Cross-CPU interference: an occasional full drain aborts other
+		// CPUs' in-flight sequences and churns the global layer.
+		if canDrain && ops[id]%977 == 0 {
+			drainer.DrainAll(c)
+		}
+		if len(h) == 0 || (rng.Intn(5) < 3 && len(h) < window) {
+			size := sizes[rng.Intn(len(sizes))]
+			if size > in.MaxSize {
+				size = in.MaxSize
+			}
+			b, err := in.A.Alloc(c, size)
+			if err != nil {
+				return true // exhaustion under stress is legal
+			}
+			if live != nil {
+				if owner, dup := live[b]; dup {
+					t.Errorf("cpu %d: block %#x issued while live on cpu %d", id, b, owner)
+					failed.Store(true)
+					return false
+				}
+				live[b] = id
+			}
+			pat := byte(id*31+ops[id]*7) | 1
+			in.M.Mem().Fill(b, size, pat)
+			held[id] = append(h, rec{b, size, pat})
+		} else {
+			i := rng.Intn(len(h))
+			r := h[i]
+			if off, ok := in.M.Mem().CheckFill(r.b, r.size, r.pat); !ok {
+				t.Errorf("cpu %d: block %#x size %d corrupted at +%d", id, r.b, r.size, off)
+				failed.Store(true)
+				return false
+			}
+			if live != nil {
+				delete(live, r.b)
+			}
+			in.A.Free(c, r.b, r.size)
+			h[i] = h[len(h)-1]
+			held[id] = h[:len(h)-1]
+		}
+		if sim && id == 0 && ops[0]%1000 == 0 {
+			check(t, in)
+		}
+		return true
+	})
+	if failed.Load() {
+		t.FailNow()
+	}
+
+	// Everything still held must read back intact, then free cleanly.
+	for id, h := range held {
+		c := in.M.CPU(id)
+		for _, r := range h {
+			if off, ok := in.M.Mem().CheckFill(r.b, r.size, r.pat); !ok {
+				t.Fatalf("cpu %d: surviving block %#x size %d corrupted at +%d", id, r.b, r.size, off)
+			}
+			in.A.Free(c, r.b, r.size)
+		}
+	}
+	if canDrain {
+		drainer.DrainAll(in.M.CPU(0))
+	}
+	check(t, in)
+}

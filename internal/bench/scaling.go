@@ -18,6 +18,7 @@ type ScalingPoint struct {
 	Nodes    int
 	Workload string // "allocfree" (local churn) or "prodcons" (cross-CPU handoff)
 	Shards   bool   // remote-free shards enabled
+	LockFree bool   // optimistic fast paths (Params.Rseq + Params.LockFree)
 
 	Pairs       uint64  // alloc+free round trips completed in the window
 	PairsPerSec float64 // throughput in round trips per simulated second
@@ -38,6 +39,10 @@ type ScalingPoint struct {
 	LockContended  uint64 // acquisitions that had to spin
 	LockWaitCycles uint64 // cycles spent spinning (the EvLockWait spine sum)
 	LockHoldCycles int64  // cycles locks were held
+
+	// Optimistic fast-path activity (zero with LockFree off).
+	RseqRestarts uint64 // per-CPU sequences aborted and re-run
+	CASRetries   uint64 // lock-free commits that lost their CAS and re-ran
 }
 
 // ScalingResult is the full sweep.
@@ -79,7 +84,7 @@ func RunScaling(cpuCounts, nodeCounts []int, blockSize uint64, seconds float64) 
 			}
 			for _, wl := range ScalingWorkloads {
 				for _, shards := range []bool{false, true} {
-					pt, err := runScalingPoint(ncpu, nn, wl, shards, blockSize, seconds)
+					pt, err := runScalingPoint(ncpu, nn, wl, shards, false, blockSize, seconds)
 					if err != nil {
 						return nil, err
 					}
@@ -91,11 +96,53 @@ func RunScaling(cpuCounts, nodeCounts []int, blockSize uint64, seconds float64) 
 	return res, nil
 }
 
-func runScalingPoint(ncpu, nnodes int, workload string, shards bool, blockSize uint64, seconds float64) (ScalingPoint, error) {
+// RunScalingLockFree sweeps the optimistic axis: every (CPUs, nodes,
+// workload) point with remote-free shards on — the production
+// configuration — measured once with the classical interrupt-masked and
+// spin-locked paths and once with the restartable per-CPU sequences and
+// the CAS-based global layer (Params.Rseq + Params.LockFree together).
+// The pairing isolates what going lock-free buys: the workload, the
+// topology, and the shard batching are held identical.
+func RunScalingLockFree(cpuCounts, nodeCounts []int, blockSize uint64, seconds float64) (*ScalingResult, error) {
+	if seconds <= 0 {
+		return nil, fmt.Errorf("bench: scaling needs a positive window, got %v", seconds)
+	}
+	res := &ScalingResult{BlockSize: blockSize, Seconds: seconds}
+	for _, ncpu := range cpuCounts {
+		if ncpu < 2 || ncpu%2 != 0 {
+			return nil, fmt.Errorf("bench: scaling needs even CPU counts >= 2, got %d", ncpu)
+		}
+		for _, nn := range nodeCounts {
+			if nn < 1 {
+				return nil, fmt.Errorf("bench: scaling with %d nodes", nn)
+			}
+			if nn > ncpu || ncpu%nn != 0 {
+				continue
+			}
+			for _, wl := range ScalingWorkloads {
+				for _, lockFree := range []bool{false, true} {
+					pt, err := runScalingPoint(ncpu, nn, wl, true, lockFree, blockSize, seconds)
+					if err != nil {
+						return nil, err
+					}
+					res.Points = append(res.Points, pt)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func runScalingPoint(ncpu, nnodes int, workload string, shards, lockFree bool, blockSize uint64, seconds float64) (ScalingPoint, error) {
 	cfg := MachineFor(ncpu, 32<<20, 8192)
 	cfg.Nodes = nnodes
 	m := machine.New(cfg)
-	a, err := core.New(m, core.Params{RadixSort: true, DisableRemoteShards: !shards})
+	a, err := core.New(m, core.Params{
+		RadixSort:           true,
+		DisableRemoteShards: !shards,
+		Rseq:                lockFree,
+		LockFree:            lockFree,
+	})
 	if err != nil {
 		return ScalingPoint{}, err
 	}
@@ -170,7 +217,7 @@ func runScalingPoint(ncpu, nnodes int, workload string, shards bool, blockSize u
 	before := collectCounters(a.Stats(m.CPU(0)))
 	m.RunFor(seconds, body)
 
-	pt := ScalingPoint{CPUs: ncpu, Nodes: nnodes, Workload: workload, Shards: shards}
+	pt := ScalingPoint{CPUs: ncpu, Nodes: nnodes, Workload: workload, Shards: shards, LockFree: lockFree}
 	for _, p := range pairs {
 		pt.Pairs += p
 	}
@@ -190,6 +237,8 @@ func runScalingPoint(ncpu, nnodes int, workload string, shards bool, blockSize u
 	pt.LockAcqs = after.LockAcqs - before.LockAcqs
 	pt.LockContended = after.LockContended - before.LockContended
 	pt.LockHoldCycles = after.LockHoldCycles - before.LockHoldCycles
+	pt.RseqRestarts = after.RseqRestarts - before.RseqRestarts
+	pt.CASRetries = after.CASRetries - before.CASRetries
 	return pt, nil
 }
 
@@ -204,6 +253,8 @@ func collectCounters(st core.Stats) ScalingPoint {
 		pt.HomeMemoHits += cs.HomeMemoHits
 		pt.NodeSteals += cs.NodeSteals
 		pt.LockWaitCycles += cs.LockWaitCycles
+		pt.RseqRestarts += cs.RseqRestarts
+		pt.CASRetries += cs.CASRetries
 		for _, ls := range []machine.LockStats{cs.GlobalLock, cs.PageLock} {
 			pt.LockAcqs += ls.Acquisitions
 			pt.LockContended += ls.Contended
@@ -222,6 +273,18 @@ func (r *ScalingResult) Point(cpus, nodes int, workload string, shards bool) *Sc
 	for i := range r.Points {
 		p := &r.Points[i]
 		if p.CPUs == cpus && p.Nodes == nodes && p.Workload == workload && p.Shards == shards {
+			return p
+		}
+	}
+	return nil
+}
+
+// PointLF returns the lock-free sweep's point for one exact
+// configuration (shards are always on there), or nil.
+func (r *ScalingResult) PointLF(cpus, nodes int, workload string, lockFree bool) *ScalingPoint {
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.CPUs == cpus && p.Nodes == nodes && p.Workload == workload && p.LockFree == lockFree {
 			return p
 		}
 	}
@@ -250,6 +313,33 @@ func (r *ScalingResult) Table() *Table {
 			fmt.Sprintf("%d", p.LockWaitCycles),
 			fmt.Sprintf("%d", p.LockHoldCycles),
 			fmt.Sprintf("%.1f%%", 100*p.BusOccupancy),
+		)
+	}
+	return t
+}
+
+// LockFreeTable renders the optimistic sweep: locked vs lock-free fast
+// paths, per point, with the restart/retry counters that price the
+// optimism.
+func (r *ScalingResult) LockFreeTable() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Lock-free sweep: %d-byte blocks, %.3fs window, shards on, locked vs rseq+CAS paths",
+			r.BlockSize, r.Seconds),
+		Headers: []string{"cpus", "nodes", "workload", "lockfree", "pairs/s",
+			"lock wait", "lock hold", "restarts", "cas retries"},
+	}
+	onoff := map[bool]string{false: "off", true: "on"}
+	for _, p := range r.Points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.CPUs),
+			fmt.Sprintf("%d", p.Nodes),
+			p.Workload,
+			onoff[p.LockFree],
+			fmt.Sprintf("%.0f", p.PairsPerSec),
+			fmt.Sprintf("%d", p.LockWaitCycles),
+			fmt.Sprintf("%d", p.LockHoldCycles),
+			fmt.Sprintf("%d", p.RseqRestarts),
+			fmt.Sprintf("%d", p.CASRetries),
 		)
 	}
 	return t

@@ -47,6 +47,17 @@ type Allocator struct {
 	percpu [][]pcpu // [cpu][class]
 	intr   []paddedIntrLock
 
+	// rseq[cpu] is the CPU's restartable-sequence region guarding its
+	// per-CPU caches across every class, exactly the scope intr[cpu]
+	// guards; nil unless Params.Rseq. All access goes through pcpuRun
+	// (owner) and pcpuInterfere (foreign drains, stats).
+	rseq []*machine.Rseq
+
+	// lockFree gates the Sim-mode Treiber fast paths of the global and
+	// page layers: Params.LockFree and the machine is in Sim mode (the
+	// CAS cost model is what the flag buys; Native keeps the locks).
+	lockFree bool
+
 	// spillScratch[cpu] is that CPU's reusable per-node partition buffer
 	// for routeSpill, sized [nodes]. Each CPU handle is driven by one
 	// goroutine at a time (the per-CPU contract), so no lock guards it,
@@ -139,6 +150,7 @@ func New(m *machine.Machine, params Params) (*Allocator, error) {
 	}
 	a.pageShift = uint(bits.TrailingZeros64(cfg.PageBytes))
 	a.pagesPerVmblkShift = a.vmblkShift - a.pageShift
+	a.lockFree = p.LockFree && m.Sim()
 
 	a.sizeToClass = make([]int8, a.maxSmall+1)
 	cls := 0
@@ -199,6 +211,12 @@ func New(m *machine.Machine, params Params) (*Allocator, error) {
 		a.spillScratch = make([][]blocklist.List, n)
 		for cpu := range a.spillScratch {
 			a.spillScratch[cpu] = make([]blocklist.List, a.nodes)
+		}
+	}
+	if p.Rseq {
+		a.rseq = make([]*machine.Rseq, n)
+		for cpu := 0; cpu < n; cpu++ {
+			a.rseq[cpu] = machine.NewRseqOn(m, m.NodeOf(cpu))
 		}
 	}
 
@@ -344,6 +362,40 @@ func (a *Allocator) FreeByAddr(c *machine.CPU, addr arena.Addr) {
 	}
 }
 
+// --- per-CPU critical sections --------------------------------------------
+
+// pcpuRun executes body as CPU cpu's per-CPU critical section — a
+// restartable sequence under Params.Rseq, the interrupt-disable pair
+// otherwise. Only the owning CPU's instruction stream may use it; body
+// receives the number of aborted attempts so restart tallies land in
+// state the section itself protects.
+func (a *Allocator) pcpuRun(c *machine.CPU, cpu int, body func(restarts int)) {
+	if a.rseq != nil {
+		a.rseq[cpu].Run(c, body)
+		return
+	}
+	il := &a.intr[cpu]
+	il.Acquire(c)
+	body(0)
+	il.Release(c)
+}
+
+// pcpuInterfere executes body against CPU cpu's per-CPU caches from a
+// (possibly) foreign instruction stream: under Params.Rseq it claims
+// the victim's region and bumps its epoch so in-flight sequences abort
+// and restart instead of racing; otherwise it takes the victim's
+// IntrLock exactly as the pre-rseq drains did.
+func (a *Allocator) pcpuInterfere(c *machine.CPU, cpu int, body func()) {
+	if a.rseq != nil {
+		a.rseq[cpu].Interfere(c, body)
+		return
+	}
+	il := &a.intr[cpu]
+	il.Acquire(c)
+	body()
+	il.Release(c)
+}
+
 // --- per-class operations -------------------------------------------------
 
 // allocClass allocates one block of class cls on CPU c: per-CPU cache
@@ -357,20 +409,22 @@ func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
 	}
 	cpu := c.ID()
 	pc := &a.percpu[cpu][cls]
-	il := &a.intr[cpu]
 	ctl := a.classes[cls].ctl
 	single := a.params.DisableSplitFreelist
 	reclaimBudget := -1 // -1: reclaim not yet attempted
 	for {
-		il.Acquire(c)
 		var b arena.Addr
 		var ok bool
-		if single {
-			b, ok = a.allocFastSingle(c, pc)
-		} else {
-			b, ok = a.allocFast(c, pc)
-		}
-		il.Release(c)
+		a.pcpuRun(c, cpu, func(restarts int) {
+			if restarts > 0 {
+				pc.ev[EvRseqRestart] += uint64(restarts)
+			}
+			if single {
+				b, ok = a.allocFastSingle(c, pc)
+			} else {
+				b, ok = a.allocFast(c, pc)
+			}
+		})
 		if ok {
 			if a.hd != nil {
 				if !a.hardenAlloc(c, cls, b) {
@@ -407,24 +461,27 @@ func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
 		if !lst.Empty() {
 			n := lst.Len()
 			var delta uint64
-			il.Acquire(c)
-			pc.ev[EvCPURefill]++
-			if ctl.enabled {
-				// Requote the target and batch the fast-path ops since
-				// the last report into the controller's window.
-				ops := pc.ops()
-				delta = ops - pc.notedOps
-				pc.notedOps = ops
-				pc.target = ctl.curTarget()
-			}
-			if pc.main.Empty() {
-				pc.main = lst
-			} else {
-				// A drain cannot have added blocks (drains only
-				// remove), but be robust: splice.
-				pc.main.Append(c, a.mem, lst)
-			}
-			il.Release(c)
+			a.pcpuRun(c, cpu, func(restarts int) {
+				if restarts > 0 {
+					pc.ev[EvRseqRestart] += uint64(restarts)
+				}
+				pc.ev[EvCPURefill]++
+				if ctl.enabled {
+					// Requote the target and batch the fast-path ops since
+					// the last report into the controller's window.
+					ops := pc.ops()
+					delta = ops - pc.notedOps
+					pc.notedOps = ops
+					pc.target = ctl.curTarget()
+				}
+				if pc.main.Empty() {
+					pc.main = lst
+				} else {
+					// A drain cannot have added blocks (drains only
+					// remove), but be robust: splice.
+					pc.main.Append(c, a.mem, lst)
+				}
+			})
 			a.emit(cls, EvCPURefill, n)
 			if ctl.enabled {
 				ctl.noteCPU(a, c, cls, delta, 1)
@@ -477,59 +534,61 @@ func (a *Allocator) freeClass(c *machine.CPU, cls int, addr arena.Addr) {
 	}
 	cpu := c.ID()
 	pc := &a.percpu[cpu][cls]
-	il := &a.intr[cpu]
 	ctl := a.classes[cls].ctl
 
-	il.Acquire(c)
 	var spill blocklist.List
 	// flushHome is the destination node when spill is a full remote
 	// shard; -1 marks a classic main/aux spill, which still routes by
 	// per-block lookup (a cache may mix stolen blocks from any node).
 	flushHome := -1
-	if a.shards {
-		// Classify the block's home first: remote blocks stage in the
-		// per-node shard and never enter main/aux, so a shard flush is
-		// already wholly owned by one node. The 1-entry memo answers
-		// repeat lookups within one vmblk with a compare instead of the
-		// dope-vector charge; a vmblk's home never changes, so the memo
-		// can never go stale.
-		idx := int64(addr >> a.vmblkShift)
-		var home int
-		if pc.memoVmblk == idx {
-			c.Work(insnHomeMemo)
-			pc.ev[EvHomeMemoHit]++
-			home = int(pc.memoHome)
-		} else {
-			home = a.vm.homeOf(c, addr)
-			pc.memoVmblk = idx
-			pc.memoHome = int8(home)
+	var delta uint64
+	noted := false
+	a.pcpuRun(c, cpu, func(restarts int) {
+		if restarts > 0 {
+			pc.ev[EvRseqRestart] += uint64(restarts)
 		}
-		if home != c.Node() {
-			spill = a.freeShard(c, pc, a.effTarget(pc.target), home, addr)
-			flushHome = home
+		if a.shards {
+			// Classify the block's home first: remote blocks stage in the
+			// per-node shard and never enter main/aux, so a shard flush is
+			// already wholly owned by one node. The 1-entry memo answers
+			// repeat lookups within one vmblk with a compare instead of the
+			// dope-vector charge; a vmblk's home never changes, so the memo
+			// can never go stale.
+			idx := int64(addr >> a.vmblkShift)
+			var home int
+			if pc.memoVmblk == idx {
+				c.Work(insnHomeMemo)
+				pc.ev[EvHomeMemoHit]++
+				home = int(pc.memoHome)
+			} else {
+				home = a.vm.homeOf(c, addr)
+				pc.memoVmblk = idx
+				pc.memoHome = int8(home)
+			}
+			if home != c.Node() {
+				spill = a.freeShard(c, pc, a.effTarget(pc.target), home, addr)
+				flushHome = home
+			} else if a.params.DisableSplitFreelist {
+				spill = a.freeFastSingle(c, pc, a.effTarget(pc.target), addr)
+			} else {
+				spill = a.freeFast(c, pc, a.effTarget(pc.target), addr)
+			}
 		} else if a.params.DisableSplitFreelist {
+			// Under pressure the cache's spill threshold is halved
+			// (effTarget), so frees surrender surplus to the lower layers
+			// sooner.
 			spill = a.freeFastSingle(c, pc, a.effTarget(pc.target), addr)
 		} else {
 			spill = a.freeFast(c, pc, a.effTarget(pc.target), addr)
 		}
-	} else if a.params.DisableSplitFreelist {
-		// Under pressure the cache's spill threshold is halved
-		// (effTarget), so frees surrender surplus to the lower layers
-		// sooner.
-		spill = a.freeFastSingle(c, pc, a.effTarget(pc.target), addr)
-	} else {
-		spill = a.freeFast(c, pc, a.effTarget(pc.target), addr)
-	}
-	var delta uint64
-	noted := false
-	if ctl.enabled && !spill.Empty() {
-		ops := pc.ops()
-		delta = ops - pc.notedOps
-		pc.notedOps = ops
-		pc.target = ctl.curTarget()
-		noted = true
-	}
-	il.Release(c)
+		if ctl.enabled && !spill.Empty() {
+			ops := pc.ops()
+			delta = ops - pc.notedOps
+			pc.notedOps = ops
+			pc.target = ctl.curTarget()
+			noted = true
+		}
+	})
 	if !spill.Empty() {
 		n := spill.Len()
 		c.Work(insnRefill)

@@ -70,6 +70,57 @@ func TestObjCacheLifecycleLazy(t *testing.T) {
 	alloctest.RunObjCache(t, factory(false, true))
 }
 
+// optFactory builds the allocator with the optimistic fast paths
+// configured, for the concurrent conformance suite: restartable
+// per-CPU sequences, the CAS-based global layer, or both, in either
+// machine mode. (Native keeps the locked global layer — LockFree is a
+// Sim-only commit model — but the rseq path is live in both.)
+func optFactory(rseq, lockFree bool, mode machine.Mode) alloctest.Factory {
+	return func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
+		cfg := machine.DefaultConfig()
+		cfg.Mode = mode
+		cfg.NumCPUs = ncpu
+		cfg.MemBytes = 16 << 20
+		cfg.PhysPages = physPages
+		m := machine.New(cfg)
+		a, err := core.New(m, core.Params{RadixSort: true, Rseq: rseq, LockFree: lockFree})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alloctest.Instance{
+			A:         allocif.NewKMA{Allocator: a},
+			M:         m,
+			MaxSize:   1 << 20,
+			Coalesces: true,
+			Check:     a.CheckConsistency,
+		}
+	}
+}
+
+// The concurrent conformance suite: all-CPU Alloc/Free under aggressive
+// restart jitter, shadow oracle plus consistency audits, across every
+// fast-path configuration. The Native variant runs real goroutines and
+// is the -race coverage for the rseq interference path.
+func TestConcurrentGetPut(t *testing.T) {
+	alloctest.RunConcurrentGetPut(t, factory(false, false))
+}
+
+func TestConcurrentGetPutRseq(t *testing.T) {
+	alloctest.RunConcurrentGetPut(t, optFactory(true, false, machine.Sim))
+}
+
+func TestConcurrentGetPutLockFree(t *testing.T) {
+	alloctest.RunConcurrentGetPut(t, optFactory(false, true, machine.Sim))
+}
+
+func TestConcurrentGetPutOptimistic(t *testing.T) {
+	alloctest.RunConcurrentGetPut(t, optFactory(true, true, machine.Sim))
+}
+
+func TestConcurrentGetPutNative(t *testing.T) {
+	alloctest.RunConcurrentGetPut(t, optFactory(true, true, machine.Native))
+}
+
 // hardenedFactory builds the allocator with the corruption-hardening
 // layer on (quarantine-and-continue policy) and exposes its report log,
 // so the corruption suite asserts detection rather than just survival.

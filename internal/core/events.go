@@ -124,6 +124,17 @@ const (
 	EvCorruption
 	EvQuarantine
 
+	// Optimistic-concurrency events (Params.Rseq / Params.LockFree; all
+	// zero with both off). EvRseqRestart counts restartable-sequence
+	// attempts aborted by preemption/interference (n = aborts);
+	// EvCASRetry counts lock-free commit attempts that lost their CAS to
+	// a concurrent commit and re-ran (n = retries). Both are tallied in
+	// the owning structure's counters on the paths where they occur;
+	// EvRseqRestart on the fast path is tallied per CPU but never pushed
+	// through a Hook, like EvAlloc/EvFree.
+	EvRseqRestart
+	EvCASRetry
+
 	numLayerEvents
 )
 
@@ -173,6 +184,8 @@ var layerEventNames = [numLayerEvents]string{
 	EvCacheShed:       "cache-shed",
 	EvCorruption:      "corruption",
 	EvQuarantine:      "quarantine",
+	EvRseqRestart:     "rseq-restart",
+	EvCASRetry:        "cas-retry",
 }
 
 // NumLayerEvents is the number of distinct layer events.

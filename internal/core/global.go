@@ -45,6 +45,13 @@ type globalPool struct {
 	lists  []blocklist.List
 	bucket blocklist.List
 
+	// lf is the Treiber-stack commit model for lists (Params.LockFree,
+	// Sim mode): the common getList/putList/stealList paths commit with
+	// a tagged CAS on lf's head word instead of taking lk. The bucket,
+	// drains, and stats stay behind lk — they are the uncommon paths
+	// the paper's lock already served fine.
+	lf lfState
+
 	// ev tallies this pool's slice of the event spine (EvGlobalGet,
 	// EvGlobalPut, EvGlobalRefill, EvGlobalSpill, plus the node-crossing
 	// EvRemoteFree/EvNodeSteal/EvInterconnect), written under lk.
@@ -52,7 +59,7 @@ type globalPool struct {
 }
 
 func newGlobalPool(a *Allocator, cls, node int, ctl *classController) *globalPool {
-	return &globalPool{
+	g := &globalPool{
 		al:   a,
 		cls:  cls,
 		node: node,
@@ -60,6 +67,10 @@ func newGlobalPool(a *Allocator, cls, node int, ctl *classController) *globalPoo
 		lk:   machine.NewSpinLockOn(a.m, node),
 		line: a.m.NewMetaLineOn(node),
 	}
+	if a.lockFree {
+		g.lf = newLfState(a.m, node)
+	}
+	return g
 }
 
 // capacityLists is the high-water mark: beyond it, excess lists are sent
@@ -72,6 +83,9 @@ func (g *globalPool) capacityLists() int { return 2 * g.ctl.curGblTarget() }
 // coalesce-to-page layer, so only one in gbltarget global accesses incurs
 // coalescing-layer overhead. An empty result means low memory.
 func (g *globalPool) getList(c *machine.CPU) (blocklist.List, error) {
+	if g.al.lockFree {
+		return g.getListLF(c)
+	}
 	target, gbltarget := g.al.effTarget(g.ctl.curTarget()), g.ctl.curGblTarget()
 	g.lk.Acquire(c)
 	g.noteLockWait()
@@ -117,8 +131,171 @@ func (g *globalPool) getList(c *machine.CPU) (blocklist.List, error) {
 	return out, nil
 }
 
+// --- lock-free fast paths (Params.LockFree, Sim mode) --------------------
+
+// lfPush publishes one target-sized list on the Treiber stack: write
+// the new top's next link, then one tagged CAS of the head word.
+func (g *globalPool) lfPush(c *machine.CPU, l blocklist.List) {
+	if r := g.lf.commit(c, func() { c.WriteAddr(l.Head()) }); r > 0 {
+		g.ev[EvCASRetry] += uint64(r)
+	}
+	g.lists = append(g.lists, l)
+}
+
+// lfPop removes the top list with the pop side of the protocol: read
+// the top node's next pointer, then CAS the head word from {top, tag}
+// to {next, tag+1}. Returns false (charging only the empty-head read)
+// when the stack is empty.
+func (g *globalPool) lfPop(c *machine.CPU) (blocklist.List, bool) {
+	if len(g.lists) == 0 {
+		c.Read(g.lf.line)
+		return blocklist.List{}, false
+	}
+	retries := g.lf.commit(c, func() {
+		if n := len(g.lists); n > 0 {
+			c.ReadAddr(g.lists[n-1].Head())
+		}
+	})
+	if retries > 0 {
+		g.ev[EvCASRetry] += uint64(retries)
+		if tortureBug(TortureBugLFStackABA) && len(g.lists) >= 2 {
+			// Armed ABA bug: the contended pop ignores the tag and
+			// installs the stale next snapshot it read before its first
+			// failed CAS — the classic lost update, dropping the list
+			// beneath the top. The leaked blocks never return to their
+			// pages, so the torture end-audit's mapped-pages leak floor
+			// catches the theft after a full drain.
+			g.lists = append(g.lists[:len(g.lists)-2], g.lists[len(g.lists)-1])
+		}
+	}
+	n := len(g.lists)
+	out := g.lists[n-1]
+	g.lists = g.lists[:n-1]
+	return out, true
+}
+
+// getListLF is getList's lock-free form: one CAS pop on the common
+// path. The bucket (odd-sized lists) stays behind lk — low-memory
+// operation only — and a refill carves from the page layer with no
+// global-layer critical section at all, publishing the surplus lists
+// one CAS push at a time.
+func (g *globalPool) getListLF(c *machine.CPU) (blocklist.List, error) {
+	target, gbltarget := g.al.effTarget(g.ctl.curTarget()), g.ctl.curGblTarget()
+	c.Work(insnGlobalOp)
+	g.ev[EvGlobalGet]++
+	if out, ok := g.lfPop(c); ok {
+		g.al.emit(g.cls, EvGlobalGet, 1)
+		g.noteGet(c, false)
+		return out, nil
+	}
+	if !g.bucket.Empty() {
+		g.lk.Acquire(c)
+		g.noteLockWait()
+		c.Read(g.line)
+		out := g.bucket.Take()
+		c.Write(g.line)
+		g.lk.Release(c)
+		if !out.Empty() {
+			g.al.emit(g.cls, EvGlobalGet, 1)
+			g.noteGet(c, false)
+			return out, nil
+		}
+	}
+	g.ev[EvGlobalRefill]++
+	fresh, err := g.pp.getLists(c, gbltarget, target)
+	if len(fresh) == 0 {
+		g.al.emit(g.cls, EvGlobalGet, 1)
+		g.noteGet(c, true)
+		if err == nil {
+			err = ErrNoMemory
+		}
+		return blocklist.List{}, err
+	}
+	refilled := 0
+	for _, l := range fresh {
+		refilled += l.Len()
+	}
+	out := fresh[len(fresh)-1]
+	for _, l := range fresh[:len(fresh)-1] {
+		g.lfPush(c, l)
+	}
+	g.al.emit(g.cls, EvGlobalGet, 1)
+	g.al.emit(g.cls, EvGlobalRefill, refilled)
+	g.noteGet(c, true)
+	return out, nil
+}
+
+// putListLF is putList's lock-free form: a target-sized list is one
+// CAS push; odd sizes fall back to the locked bucket regroup (cache
+// flushes and low-memory operation). The capacity check pops the
+// surplus with the same CAS protocol and spills it outside any
+// critical section.
+func (g *globalPool) putListLF(c *machine.CPU, l blocklist.List) {
+	target, gbltarget := g.ctl.curTarget(), g.ctl.curGblTarget()
+	c.Work(insnGlobalOp)
+	g.ev[EvGlobalPut]++
+	remote := 0
+	if c.Node() != g.node {
+		remote = l.Len()
+		g.ev[EvRemoteFree] += uint64(remote)
+		g.ev[EvRemotePut]++
+		g.ev[EvInterconnect]++
+	}
+
+	if l.Len() == target {
+		g.lfPush(c, l)
+	} else {
+		g.lk.Acquire(c)
+		g.noteLockWait()
+		c.Read(g.line)
+		g.bucket.Append(c, g.al.mem, l)
+		var regrouped []blocklist.List
+		for g.bucket.Len() >= target {
+			regrouped = append(regrouped, g.bucket.SplitOff(c, g.al.mem, target))
+		}
+		c.Write(g.line)
+		g.lk.Release(c)
+		for _, r := range regrouped {
+			g.lfPush(c, r)
+		}
+	}
+	g.al.emit(g.cls, EvGlobalPut, 1)
+	if remote > 0 {
+		g.al.emit(g.cls, EvRemoteFree, remote)
+		g.al.emit(g.cls, EvRemotePut, 1)
+		g.al.emit(g.cls, EvInterconnect, 1)
+	}
+
+	// Same hysteresis as the locked path: spill on crossing 2*gbltarget
+	// (gbltarget under pressure), popping the surplus list by list.
+	limit, spillN := 2*gbltarget, gbltarget
+	if g.al.pressureLevel() >= PressureLow {
+		limit, spillN = gbltarget, len(g.lists)-gbltarget
+	}
+	spilled := 0
+	if len(g.lists) > limit {
+		g.ev[EvGlobalSpill]++
+		for i := 0; i < spillN; i++ {
+			s, ok := g.lfPop(c)
+			if !ok {
+				break
+			}
+			spilled += s.Len()
+			g.pp.putBlocks(c, s)
+		}
+	}
+	if spilled > 0 {
+		g.al.emit(g.cls, EvGlobalSpill, spilled)
+	}
+	g.notePut(c, spilled > 0)
+	g.al.wakeClass(g.cls)
+}
+
 // getOne hands a single block to a per-CPU cache — used only by the
 // no-split-freelist ablation (A2), which exchanges blocks one at a time.
+// It keeps the locked path even under Params.LockFree: the ablation
+// exists to measure the paper's split-freelist design, not the
+// optimistic layer.
 func (g *globalPool) getOne(c *machine.CPU) (blocklist.List, error) {
 	target, gbltarget := g.al.effTarget(g.ctl.curTarget()), g.ctl.curGblTarget()
 	g.lk.Acquire(c)
@@ -173,6 +350,10 @@ func (g *globalPool) getOne(c *machine.CPU) (blocklist.List, error) {
 // the coalesce-to-page layer.
 func (g *globalPool) putList(c *machine.CPU, l blocklist.List) {
 	if l.Empty() {
+		return
+	}
+	if g.al.lockFree {
+		g.putListLF(c, l)
 		return
 	}
 	target, gbltarget := g.ctl.curTarget(), g.ctl.curGblTarget()
@@ -290,6 +471,25 @@ func (g *globalPool) notePut(c *machine.CPU, missed bool) {
 // when the thief's CPU cache spills them later, routeSpill sends them
 // back here.
 func (g *globalPool) stealList(c *machine.CPU) blocklist.List {
+	if g.al.lockFree {
+		c.Work(insnGlobalOp)
+		out, ok := g.lfPop(c)
+		if !ok && !g.bucket.Empty() {
+			g.lk.Acquire(c)
+			g.noteLockWait()
+			c.Read(g.line)
+			out = g.bucket.Take()
+			c.Write(g.line)
+			g.lk.Release(c)
+		}
+		if stolen := out.Len(); stolen > 0 {
+			g.ev[EvNodeSteal] += uint64(stolen)
+			g.ev[EvInterconnect]++
+			g.al.emit(g.cls, EvNodeSteal, stolen)
+			g.al.emit(g.cls, EvInterconnect, 1)
+		}
+		return out
+	}
 	g.lk.Acquire(c)
 	g.noteLockWait()
 	c.Work(insnGlobalOp)
@@ -332,6 +532,12 @@ func (g *globalPool) drainAll(c *machine.CPU) {
 	}
 	if !bucket.Empty() {
 		g.pp.putBlocks(c, bucket)
+	}
+	if g.al.lockFree {
+		// Parked fully-free pages (the page layer's lock-free refill
+		// stack) must not survive a drain either: release them to the
+		// vmblk layer so the heap returns to its floor footprint.
+		g.pp.drainParked(c)
 	}
 }
 

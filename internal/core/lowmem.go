@@ -72,20 +72,23 @@ func (a *Allocator) Reclaims() uint64 { return a.reclaims.Load() }
 // cache's target from the class controller: a drained cache must not
 // resume exchanging stale-sized lists after an adaptive retune.
 func (a *Allocator) DrainCPU(c *machine.CPU, cpu int) {
-	il := &a.intr[cpu]
 	for cls := range a.classes {
 		ctl := a.classes[cls].ctl
-		il.Acquire(c)
 		pc := &a.percpu[cpu][cls]
-		main, aux := pc.takeAll(c)
+		var main, aux blocklist.List
 		var shards []blocklist.List
-		if !tortureBug(TortureBugSkipShardFlush) {
-			shards = pc.takeShards(c)
-		}
-		if ctl.enabled {
-			pc.target = ctl.curTarget()
-		}
-		il.Release(c)
+		// The drain interferes with the victim CPU's fast path: under
+		// Params.Rseq it bumps the victim's epoch (aborting any sequence
+		// in flight there) instead of taking its IntrLock.
+		a.pcpuInterfere(c, cpu, func() {
+			main, aux = pc.takeAll(c)
+			if !tortureBug(TortureBugSkipShardFlush) {
+				shards = pc.takeShards(c)
+			}
+			if ctl.enabled {
+				pc.target = ctl.curTarget()
+			}
+		})
 		if a.nodes == 1 {
 			if !main.Empty() {
 				a.classes[cls].globals[0].putList(c, main)

@@ -40,10 +40,27 @@ type pagePool struct {
 	// fifo replaces buckets when Params.RadixSort is false (ablation A3).
 	fifo pdList
 
+	// stk is the lock-free stack of parked fully-free pages
+	// (Params.LockFree): a page whose last block comes home is parked
+	// here — split descriptor, in-page freelist and residency intact,
+	// filed in no bucket — instead of round-tripping through the vmblk
+	// layer's span lock, and the next refill reclaims it with one CAS
+	// pop (stkLf is the commit model), skipping the span search, the
+	// page map, the zero fill and the carve-link loop. Bounded to
+	// lfPageStackCap pages; drains flush it (drainParked) and pressure
+	// bypasses it, so the stack never delays memory the system needs.
+	stk   []int32
+	stkLf lfState
+
 	// ev tallies this pool's slice of the event spine (EvBlockGet,
 	// EvBlockPut, EvPageCarve, EvPageFree), written under lk.
 	ev eventCounts
 }
+
+// lfPageStackCap bounds the parked-page stack: enough to absorb the
+// carve/free flutter of a steady workload, small enough that the
+// parked residency stays a rounding error against the heap.
+const lfPageStackCap = 4
 
 func newPagePool(a *Allocator, cls, node int, size uint32) *pagePool {
 	p := &pagePool{
@@ -61,6 +78,9 @@ func newPagePool(a *Allocator, cls, node int, size uint32) *pagePool {
 		p.buckets[i] = newPdList()
 	}
 	p.minHint = p.blocksPerPage + 1
+	if a.lockFree {
+		p.stkLf = newLfState(a.m, node)
+	}
 	return p
 }
 
@@ -185,6 +205,9 @@ func (p *pagePool) getLists(c *machine.CPU, nLists, target int) ([]blocklist.Lis
 	got := 0
 	for got < want {
 		pg := p.pickPage(c)
+		if pg == -1 && p.al.lockFree {
+			pg = p.popParked(c)
+		}
 		if pg == -1 {
 			var err error
 			pg, err = p.carvePage(c)
@@ -281,6 +304,21 @@ func (p *pagePool) putBlockLocked(c *machine.CPU, b arena.Addr) {
 	c.Write(pd.line)
 	p.ev[EvBlockPut]++
 	if int(pd.nFree) == p.blocksPerPage {
+		if p.al.lockFree && len(p.stk) < lfPageStackCap && p.al.pressureLevel() < PressureLow {
+			// Park the fully-free page on the lock-free stack instead of
+			// releasing its span: it keeps its split descriptor and
+			// in-page freelist, is filed in no bucket, and the next
+			// refill reclaims it with one CAS pop. Not under pressure —
+			// then the system wants the frames, not a warm page.
+			if oldFree > 0 {
+				p.fileOut(c, pg, oldFree)
+			}
+			if r := p.stkLf.commit(c, func() { c.Write(pd.line) }); r > 0 {
+				p.ev[EvCASRetry] += uint64(r)
+			}
+			p.stk = append(p.stk, pg)
+			return
+		}
 		// Every block in the page is free: give the page back at once.
 		c.Work(insnPageSetup)
 		if oldFree > 0 {
@@ -304,4 +342,52 @@ func (p *pagePool) putBlockLocked(c *machine.CPU, b arena.Addr) {
 	} else {
 		p.refile(c, pg, oldFree, int(pd.nFree))
 	}
+}
+
+// popParked reclaims one parked fully-free page for the refill path
+// (caller holds p.lk): one CAS pop, then the page is filed back in with
+// its full freelist, ready for the pick loop. Returns -1 when nothing
+// is parked. Against the span path it replaces — span search under the
+// vmblk lock, PageMapCycles, PageZeroCycles, and the carve-link loop —
+// the pop is the whole point of the stack.
+func (p *pagePool) popParked(c *machine.CPU) int32 {
+	if len(p.stk) == 0 {
+		c.Read(p.stkLf.line)
+		return -1
+	}
+	if r := p.stkLf.commit(c, nil); r > 0 {
+		p.ev[EvCASRetry] += uint64(r)
+	}
+	pg := p.stk[len(p.stk)-1]
+	p.stk = p.stk[:len(p.stk)-1]
+	p.fileIn(c, pg, p.blocksPerPage)
+	return pg
+}
+
+// drainParked releases every parked page to the vmblk layer. Every
+// drain path (reclaim, DrainAll, incremental reclaim steps) reaches it
+// through globalPool.drainAll, so parked pages never outlive a drain
+// and the quiescent heap still collapses to its header-pages floor.
+func (p *pagePool) drainParked(c *machine.CPU) {
+	if len(p.stk) == 0 {
+		return
+	}
+	p.lk.Acquire(c)
+	p.noteLockWait()
+	for len(p.stk) > 0 {
+		pg := p.stk[len(p.stk)-1]
+		p.stk = p.stk[:len(p.stk)-1]
+		pd := p.al.vm.pdOf(pg)
+		c.Work(insnPageSetup)
+		pd.freeHead = arena.NilAddr
+		pd.nFree = 0
+		pd.class = -1
+		if p.al.hd != nil {
+			p.al.hd.forgetPage(c, pg)
+		}
+		p.ev[EvPageFree]++
+		p.al.emit(p.cls, EvPageFree, 1)
+		p.al.vm.freePages(c, pg, 1)
+	}
+	p.lk.Release(c)
 }

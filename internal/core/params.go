@@ -132,6 +132,33 @@ type Params struct {
 	// to a nil-receiver test on slow paths only.
 	Faults *faultpoint.Set
 
+	// Rseq replaces the per-CPU layer's interrupt-disable critical
+	// sections with restartable sequences (machine.Rseq): the fast path
+	// commits with a single store and is restarted — never blocked — when
+	// preemption or a cross-CPU drain lands inside it. The cookie path
+	// stays at 13 instructions (the begin/commit pair costs the same two
+	// instructions as cli/sti) and saves IntrCycles-CommitCycles per
+	// operation; foreign drains (DrainCPU, reclaim, stats assembly) abort
+	// in-flight sequences through Rseq.Interfere instead of taking a
+	// lock. False — the default — keeps the paper's interrupt-disable
+	// protocol, cycle-for-cycle identical to the pre-rseq allocator
+	// (TestOptimisticOffCycleIdentity).
+	Rseq bool
+
+	// LockFree rebuilds the global layer's per-node block stacks as
+	// Treiber-style CAS freelists with an ABA-guarding tag, so getList,
+	// putList, the shard-flush path and cross-node steals no longer take
+	// the pool spinlock on the common path; the page layer keeps its lock
+	// but gains a lock-free stack of parked fully-free pages that lets a
+	// refill skip the vmblk span layer entirely. Uncommon paths (bucket
+	// regrouping of odd-sized lists, drains, stats) keep the lock. The
+	// CAS cost model is Sim-mode only: in Native mode the flag leaves the
+	// locked paths in place, since real lock-free publication of the
+	// simulator's Go-slice stacks is not what the model measures — rseq
+	// is the Native-mode optimistic feature. False — the default — keeps
+	// the spin-locked global layer cycle-for-cycle intact.
+	LockFree bool
+
 	// Harden, when non-nil, enables the corruption-hardening layer:
 	// per-object redzones verified on free and on reclaim audit sweeps,
 	// poison-on-free with verify-on-alloc, per-block owner slots (an

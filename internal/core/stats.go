@@ -45,6 +45,10 @@ type ClassStats struct {
 	// the event spine (EvLockWait).
 	LockWaitCycles uint64
 
+	// Optimistic-concurrency activity (zero with Rseq/LockFree off).
+	RseqRestarts uint64 // per-CPU sequences aborted and re-run
+	CASRetries   uint64 // lock-free commits that lost their CAS and re-ran
+
 	// Coalesce-to-page layer.
 	BlockGets  uint64
 	BlockPuts  uint64
@@ -255,20 +259,20 @@ func (a *Allocator) Stats(c *machine.CPU) Stats {
 	// per-class lock/unlock sequence that let classes skew against each
 	// other mid-run.
 	for cpu := range a.percpu {
-		il := &a.intr[cpu]
-		il.Acquire(c)
-		for i := range a.classes {
-			pc := &a.percpu[cpu][i]
-			st := &out.Classes[i]
-			st.Allocs += pc.ev[EvAlloc]
-			st.Frees += pc.ev[EvFree]
-			st.AllocRefills += pc.ev[EvCPURefill]
-			st.FreeSpills += pc.ev[EvCPUSpill]
-			st.ShardFlushes += pc.ev[EvShardFlush]
-			st.HomeMemoHits += pc.ev[EvHomeMemoHit]
-			st.HeldPerCPU += pc.held()
-		}
-		il.Release(c)
+		a.pcpuInterfere(c, cpu, func() {
+			for i := range a.classes {
+				pc := &a.percpu[cpu][i]
+				st := &out.Classes[i]
+				st.Allocs += pc.ev[EvAlloc]
+				st.Frees += pc.ev[EvFree]
+				st.AllocRefills += pc.ev[EvCPURefill]
+				st.FreeSpills += pc.ev[EvCPUSpill]
+				st.ShardFlushes += pc.ev[EvShardFlush]
+				st.HomeMemoHits += pc.ev[EvHomeMemoHit]
+				st.RseqRestarts += pc.ev[EvRseqRestart]
+				st.HeldPerCPU += pc.held()
+			}
+		})
 	}
 
 	for i := range a.classes {
@@ -286,6 +290,7 @@ func (a *Allocator) Stats(c *machine.CPU) Stats {
 			st.NodeSteals += g.ev[EvNodeSteal]
 			st.Interconnect += g.ev[EvInterconnect]
 			st.LockWaitCycles += g.ev[EvLockWait]
+			st.CASRetries += g.ev[EvCASRetry]
 			st.HeldGlobal += g.bucket.Len()
 			for _, l := range g.lists {
 				st.HeldGlobal += l.Len()
@@ -305,6 +310,7 @@ func (a *Allocator) Stats(c *machine.CPU) Stats {
 			st.PageAllocs += p.ev[EvPageCarve]
 			st.PageFrees += p.ev[EvPageFree]
 			st.LockWaitCycles += p.ev[EvLockWait]
+			st.CASRetries += p.ev[EvCASRetry]
 			p.lk.Release(c)
 			ls := p.lk.Stats()
 			st.PageLock.Acquisitions += ls.Acquisitions

@@ -16,6 +16,13 @@ const (
 	// boundary-tag coalesce, leaving adjacent free spans that the
 	// consistency audit's coalescing invariant rejects.
 	TortureBugDropRightMerge
+	// TortureBugLFStackABA strips the lock-free global stack's ABA tag:
+	// a contended pop (one whose CAS commit had to retry) installs the
+	// stale next snapshot from before the retry, dropping the list
+	// beneath the top — the lost update the tag/epoch scheme exists to
+	// prevent. The leaked blocks keep their pages mapped forever, which
+	// the torture end-audit's leak floor detects after a full drain.
+	TortureBugLFStackABA
 
 	numTortureBugs
 )

@@ -38,6 +38,21 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+// The concurrent conformance suite over the buddy system: the shadow
+// oracle and buddy-tree audits must hold under all-CPU churn.
+func TestConcurrentGetPut(t *testing.T) {
+	alloctest.RunConcurrentGetPut(t, func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
+		a, m := newTest(t, ncpu, physPages)
+		return alloctest.Instance{
+			A:         allocif.RetryWait{Allocator: a},
+			M:         m,
+			MaxSize:   a.MaxSize(),
+			Coalesces: true,
+			Check:     a.CheckConsistency,
+		}
+	})
+}
+
 // The typed object-cache layer must degrade gracefully over this
 // baseline's plain Alloc/Free: no cookies, no shed registration, no
 // event spine — the lifecycle contract holds regardless.

@@ -34,6 +34,8 @@ type CPU struct {
 	remoteMisses uint64
 	busWait      int64
 	spinWait     int64
+	restarts     uint64 // rseq sequences aborted and re-run (rseq.go)
+	casRetries   uint64 // lock-free CAS commits that had to retry
 
 	// Optional per-access trace (Sim mode), used by the Analysis-section
 	// experiment to show how the worst few off-chip accesses dominate
@@ -250,6 +252,40 @@ func (c *CPU) Atomic(l Line) {
 	c.access(l, AtomicAccess)
 }
 
+// CAS charges a bus-locked compare-and-swap of line l — the commit
+// instruction of the lock-free Treiber stacks. It is the same coherence
+// transaction as Atomic (a locked RMW always crosses the bus on this
+// generation of hardware, taking the line exclusive) but is charged at
+// the CASCycles constant so the optimistic layer's cost model is
+// calibrated independently of the spinlock's test-and-set.
+func (c *CPU) CAS(l Line) {
+	if c.m.cfg.Mode != Sim {
+		return
+	}
+	c.insns++
+	c.clock += c.m.cfg.CyclesPerInsn
+	m := c.m
+	c.tlbCheck(l)
+	slot := &c.cache[uint64(l)%uint64(len(c.cache))]
+	dir := m.dirSlot(l)
+	c.atomics++
+	before := c.clock
+	c.clock = m.busTxn(c, c.remoteFor(l, *dir))
+	c.clock += m.cfg.CASCycles
+	*dir = int8(c.id)
+	*slot = l
+	if m.profile != nil {
+		m.noteProfile(l, true)
+	}
+	if c.tracing {
+		c.trace = append(c.trace, TraceEvent{Line: l, Kind: AtomicAccess, Cycles: c.clock - before})
+	}
+}
+
+// NoteCASRetry counts one failed lock-free commit attempt (the caller
+// charges the retry's traffic itself via CAS/Read).
+func (c *CPU) NoteCASRetry() { c.casRetries++ }
+
 // ReadAddr charges a load of the arena address addr.
 func (c *CPU) ReadAddr(addr uint64) {
 	if c.m.cfg.Mode != Sim {
@@ -299,6 +335,8 @@ type Stats struct {
 	RemoteMisses uint64
 	BusWait      int64
 	SpinWait     int64
+	Restarts     uint64
+	CASRetries   uint64
 }
 
 // Stats returns the CPU's counters.
@@ -313,6 +351,8 @@ func (c *CPU) Stats() Stats {
 		RemoteMisses: c.remoteMisses,
 		BusWait:      c.busWait,
 		SpinWait:     c.spinWait,
+		Restarts:     c.restarts,
+		CASRetries:   c.casRetries,
 	}
 }
 
@@ -320,4 +360,5 @@ func (c *CPU) Stats() Stats {
 func (c *CPU) ResetStats() {
 	c.insns, c.hits, c.misses, c.atomics, c.tlbMisses, c.remoteMisses = 0, 0, 0, 0, 0, 0
 	c.busWait, c.spinWait = 0, 0
+	c.restarts, c.casRetries = 0, 0
 }

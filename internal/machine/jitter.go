@@ -41,6 +41,19 @@ type JitterConfig struct {
 	LockEvery int
 	// MaxLockCycles bounds one injected lock-boundary delay (default 400).
 	MaxLockCycles int64
+
+	// RestartEvery is the mean number of restartable-sequence attempts
+	// between injected aborts (default 9). A restart-storm config sets
+	// this to 2 to abort sequences at a high rate; see Rseq.Run for how
+	// each abort picks an adversarial abort point. Only consulted while
+	// a sequence is running, so runs without Rseq enabled draw exactly
+	// the same jitter stream as before the knob existed.
+	RestartEvery int
+	// MaxRestartWork bounds the wasted straight-line instructions charged
+	// for one aborted attempt — the adversarial abort point is drawn in
+	// [1, MaxRestartWork], so a sequence can be aborted anywhere from its
+	// first instruction to just shy of its commit (default 16).
+	MaxRestartWork int64
 }
 
 func (c JitterConfig) withDefaults() JitterConfig {
@@ -55,6 +68,12 @@ func (c JitterConfig) withDefaults() JitterConfig {
 	}
 	if c.MaxLockCycles <= 0 {
 		c.MaxLockCycles = 400
+	}
+	if c.RestartEvery <= 0 {
+		c.RestartEvery = 9
+	}
+	if c.MaxRestartWork <= 0 {
+		c.MaxRestartWork = 16
 	}
 	return c
 }
@@ -116,6 +135,22 @@ func (m *Machine) lockJitter(c *CPU) {
 		return
 	}
 	c.clock += j.delay(j.cfg.MaxLockCycles)
+}
+
+// rseqAbort decides whether the next restartable-sequence attempt on c
+// is aborted, and if so at which point: it returns the number of wasted
+// straight-line instructions the aborted attempt executed before the
+// preemption hit. With jitter disarmed sequences never abort in Sim —
+// the conservative schedule has no preemption to restart from.
+func (m *Machine) rseqAbort(c *CPU) (abort bool, wasted int64) {
+	j := m.jit
+	if j == nil {
+		return false, 0
+	}
+	if j.next()%uint64(j.cfg.RestartEvery) != 0 {
+		return false, 0
+	}
+	return true, j.delay(j.cfg.MaxRestartWork)
 }
 
 // --- schedule hashing ----------------------------------------------------

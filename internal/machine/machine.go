@@ -101,6 +101,21 @@ type Config struct {
 	PageMapCycles  int64 // VM-system cost to map one physical page
 	PageZeroCycles int64 // cost to zero a freshly mapped page
 
+	// Atomic-op cost model for the optimistic-concurrency fast paths
+	// (restartable sequences, rseq.go, and the lock-free Treiber stacks
+	// in the allocator's global layer). A CAS is the same bus-locked
+	// read-modify-write transaction as AtomicCycles models; it gets its
+	// own constant so the lock-free layer's commit instruction can be
+	// calibrated independently of the spinlock's test-and-set. The
+	// commit store of a restartable sequence is the cheap one: a plain
+	// store to a line the CPU already owns, plus the abort-ip window
+	// check — this is what replaces the IntrLock enter/exit charge
+	// (2 insns + IntrCycles) on the per-CPU fast path.
+	CASCycles     int64 // bus-locked compare-and-swap (lock-free stack commit)
+	FenceCycles   int64 // store fence draining the write buffer
+	CommitCycles  int64 // rseq commit: single store to an owned line + ip check
+	RestartCycles int64 // rseq abort: vector to the abort handler + re-entry
+
 	// NUMA cycle costs, used only when Nodes > 1.
 	RemoteMissCycles   int64 // extra stall when a line transfer crosses nodes
 	InterconnectCycles int64 // interconnect occupancy per remote transaction
@@ -131,6 +146,11 @@ func DefaultConfig() Config {
 		SpinRetryGap:   50,
 		PageMapCycles:  1600,
 		PageZeroCycles: 1024,
+
+		CASCycles:     40,
+		FenceCycles:   12,
+		CommitCycles:  2,
+		RestartCycles: 80,
 
 		RemoteMissCycles:   60,
 		InterconnectCycles: 24,

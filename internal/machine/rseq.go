@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Rseq is a restartable per-CPU sequence region: the optimistic
+// replacement for IntrLock on the per-CPU fast paths. A critical
+// section entered through Run commits with a single store — no
+// interrupt disable, no lock word, no bus-locked instruction on the
+// fast path — and is *restarted* from the top, never blocked, when
+// preemption or a remote interferer lands inside it.
+//
+// In Sim mode the cost model is the point. An undisturbed sequence
+// charges:
+//
+//	begin:  1 insn   (arm the per-CPU critical-section descriptor)
+//	body:   whatever the body charges
+//	commit: 1 insn + CommitCycles (single store to an owned line,
+//	        plus the abort-ip window check)
+//
+// versus IntrLock's 2 insns + IntrCycles for the cli/sti pair — the
+// same instruction count, IntrCycles-CommitCycles fewer cycles, and no
+// window with interrupts off. Aborts are injected from the machine's
+// seeded jitter stream (JitterConfig.RestartEvery): an aborted attempt
+// charges the adversarially chosen slice of wasted body work plus
+// RestartCycles for the vector through the abort handler, then the
+// sequence re-runs. The body's side effects must therefore be confined
+// so that re-running it is harmless; the simulator models an aborted
+// attempt as pure wasted work (the published state is untouched), which
+// is exactly the contract a commit-store sequence provides.
+//
+// In Native mode Run is a real optimistic loop over atomics: the owner
+// samples the region's epoch, claims the region word with a CAS, and
+// re-checks the epoch — any interferer that got in between bumped it,
+// aborting the attempt and restarting the sequence. Interfere is the
+// remote side (cross-CPU drains): it claims the region word, bumps the
+// epoch so concurrent owner attempts abort, and runs under the claim.
+// The atomics give the race detector the happens-before edges the
+// mutex used to provide.
+type Rseq struct {
+	// Sim mode: the per-CPU descriptor/epoch word's cache line. The
+	// owner keeps it resident; interferers take it exclusive when they
+	// bump the epoch, which is what makes interference visible.
+	line Line
+
+	// Native mode.
+	claim    atomic.Int32  // 0 free, 1 owner, 2 interferer
+	epoch    atomic.Uint64 // bumped by every interferer
+	restarts atomic.Uint64 // aborted attempts (both modes)
+}
+
+// NewRseqOn returns a restartable-sequence region whose descriptor line
+// is homed on the given NUMA node (the owning CPU's node, so the owner
+// fast path stays node-local).
+func NewRseqOn(m *Machine, node int) *Rseq {
+	return &Rseq{line: m.NewMetaLineOn(node)}
+}
+
+// Run executes body as a restartable sequence on CPU c and returns the
+// number of aborted attempts; the same count is passed to body, so
+// callers can tally restarts into state the sequence itself protects
+// (in Native mode, writing shared counters after Run returns would race
+// with interferers). The body is invoked exactly once per call in Sim
+// mode (aborted attempts are charged as wasted work, see the type
+// comment); in Native mode it is invoked once the optimistic claim
+// succeeds with an unchanged epoch.
+func (q *Rseq) Run(c *CPU, body func(restarts int)) int {
+	m := c.m
+	aborted := 0
+	if m.cfg.Mode == Sim {
+		for {
+			abort, wasted := m.rseqAbort(c)
+			if !abort {
+				break
+			}
+			aborted++
+			q.restarts.Add(1)
+			c.restarts++
+			// The aborted attempt: begin, a jitter-chosen slice of the
+			// body, then the vector through the abort handler back to
+			// the sequence head.
+			c.Work(1 + wasted)
+			c.clock += m.cfg.RestartCycles
+		}
+		c.Work(1) // begin: arm the descriptor
+		body(aborted)
+		c.Work(1) // commit store
+		c.clock += m.cfg.CommitCycles
+		return aborted
+	}
+	for {
+		e := q.epoch.Load()
+		if !q.claim.CompareAndSwap(0, 1) {
+			runtime.Gosched()
+			continue
+		}
+		if q.epoch.Load() != e {
+			// An interferer completed between the epoch sample and the
+			// claim: abort and restart from the top.
+			q.claim.Store(0)
+			q.restarts.Add(1)
+			aborted++
+			continue
+		}
+		body(aborted)
+		q.claim.Store(0)
+		return aborted
+	}
+}
+
+// Interfere executes body against the region's per-CPU state from a
+// foreign CPU, aborting any sequence the owner starts meanwhile. In Sim
+// mode it charges the epoch bump — a bus-locked RMW on the descriptor
+// line (remote when the nodes differ) plus a fence to make the bump
+// globally visible before the body's writes.
+func (q *Rseq) Interfere(c *CPU, body func()) {
+	m := c.m
+	if m.cfg.Mode == Sim {
+		c.Atomic(q.line)
+		c.clock += m.cfg.FenceCycles
+		body()
+		return
+	}
+	for !q.claim.CompareAndSwap(0, 2) {
+		runtime.Gosched()
+	}
+	q.epoch.Add(1)
+	body()
+	q.claim.Store(0)
+}
+
+// Restarts returns the number of aborted attempts so far.
+func (q *Rseq) Restarts() uint64 { return q.restarts.Load() }

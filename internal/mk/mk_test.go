@@ -39,6 +39,21 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+// The concurrent conformance suite over the power-of-two freelists:
+// the shadow oracle must hold under all-CPU churn with jitter.
+func TestConcurrentGetPut(t *testing.T) {
+	alloctest.RunConcurrentGetPut(t, func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
+		a, m := newTest(t, ncpu, physPages)
+		return alloctest.Instance{
+			A:         allocif.RetryWait{Allocator: a},
+			M:         m,
+			MaxSize:   a.MaxSize(),
+			Coalesces: false,
+			Check:     a.CheckConsistency,
+		}
+	})
+}
+
 // The typed object-cache layer must degrade gracefully over this
 // baseline's plain Alloc/Free: no cookies, no shed registration, no
 // event spine — the lifecycle contract holds regardless.

@@ -92,6 +92,65 @@ type Opts struct {
 	// quarantined objects are pinned (never magazined, never released)
 	// and counted in Stats.Quarantined.
 	Harden *harden.Config
+
+	// Rseq replaces the magazine fast path's interrupt-disable pair with
+	// a restartable per-CPU sequence (machine.Rseq), mirroring core's
+	// Params.Rseq: the Get/Put common case commits with a single store
+	// and is restarted, not blocked, when a cross-CPU drain interferes.
+	// Same instruction count, IntrCycles-CommitCycles fewer cycles.
+	Rseq bool
+
+	// Adaptive, when non-nil, wires magazine capacity to a windowed
+	// depot-contention controller: sustained contention on a node depot's
+	// lock grows the capacity of newly built magazines (halving the depot
+	// trip rate per doubling), and sustained calm shrinks it back toward
+	// the configured MagSize, which is the ratchet floor no shrink passes.
+	Adaptive *MagTune
+}
+
+// MagTune configures the magazine-capacity controller (Opts.Adaptive).
+// The signal is the fraction of depot exchanges whose lock acquisition
+// had to spin (Sim mode's LastWait; Native depots rarely contend long
+// enough to matter and simply stay at the configured size). The zero
+// value of every field selects a default.
+type MagTune struct {
+	// Window is the number of depot exchanges per evaluation window
+	// (default 32).
+	Window int
+	// GrowPct grows capacity (doubling, bounded by MaxMag) when the
+	// window's contended percentage reaches it (default 25).
+	GrowPct int
+	// ShrinkPct marks a window calm when the contended percentage is at
+	// or below it (default 5); Holdoff consecutive calm windows shrink
+	// capacity one halving step, never below the configured MagSize —
+	// the ratchet floor (default Holdoff 4).
+	ShrinkPct int
+	Holdoff   int
+	// MaxMag bounds the capacity (default 16 * MagSize).
+	MaxMag int
+}
+
+func (t *MagTune) withDefaults(magSize int) MagTune {
+	out := *t
+	if out.Window <= 0 {
+		out.Window = 32
+	}
+	if out.GrowPct <= 0 {
+		out.GrowPct = 25
+	}
+	if out.ShrinkPct <= 0 {
+		out.ShrinkPct = 5
+	}
+	if out.Holdoff <= 0 {
+		out.Holdoff = 4
+	}
+	if out.MaxMag <= 0 {
+		out.MaxMag = 16 * magSize
+	}
+	if out.MaxMag < magSize {
+		out.MaxMag = magSize
+	}
+	return out
 }
 
 // cookieBacking is the fast-path interface of the paper's allocator:
@@ -126,10 +185,24 @@ type sizeBacking interface {
 // cache lines, mirroring core's paddedIntrLock.
 type cpuMags struct {
 	il     machine.IntrLock
-	line   machine.Line // synthetic metadata line for the pair
+	rs     *machine.Rseq // non-nil under Opts.Rseq; replaces il on every path
+	line   machine.Line  // synthetic metadata line for the pair
 	loaded []arena.Addr
 	prev   []arena.Addr
 	_      [64]byte
+}
+
+// depot is one node's magazine depot: full magazines awaiting a CPU on
+// that node, plus the bounded recycled-empty pool. One depot per node
+// (rather than one per cache) keeps magazine exchanges node-local — the
+// single-depot design serialized every node's slow path on one lock and
+// bounced its line across the interconnect. The lock and metadata line
+// are placed on the depot's home node.
+type depot struct {
+	lk    *machine.SpinLock
+	ln    machine.Line
+	full  [][]arena.Addr
+	empty [][]arena.Addr // recycled empty magazines (bounded)
 }
 
 // Stats is a point-in-time snapshot of one cache's counters.
@@ -143,8 +216,17 @@ type Stats struct {
 	Releases  uint64 // buffers returned to the backing allocator
 	Sheds     uint64 // shed passes that released at least one buffer
 	Live      uint64 // buffers currently carved (in magazines, depot, or in use)
-	DepotFull int    // full magazines currently in the depot
+	DepotFull int    // full magazines currently retained, summed over node depots
 	Colors    int    // distinct colors the backing slack allows
+
+	// Optimistic fast path and depot contention.
+	RseqRestarts    uint64 // magazine sequences restarted (zero with Opts.Rseq off)
+	DepotWaitCycles uint64 // cycles spent spinning on depot locks
+
+	// Magazine-capacity controller (static MagSize with Opts.Adaptive nil).
+	MagCap     int    // capacity newly built magazines currently get
+	MagGrows   uint64 // controller grow steps taken
+	MagShrinks uint64 // controller shrink steps taken
 
 	// Hardening (all zero with Opts.Harden nil).
 	Detections  uint64 // corruption reports filed by this cache
@@ -179,14 +261,29 @@ type Cache struct {
 
 	mags []cpuMags
 
-	// Depot of magazines, and the carve bookkeeping it shares a lock
-	// with is kept separate (objMu) so sheds can walk carves without
-	// contending with magazine exchanges.
-	depotLk   *machine.SpinLock
-	depotLn   machine.Line
-	full      [][]arena.Addr
-	emptyMag  [][]arena.Addr // recycled empty magazines (bounded)
-	depotFull atomic.Int32   // len(full) mirror for CPU-less Stats reads
+	// Per-node magazine depots. The carve bookkeeping is kept under a
+	// separate lock (objMu) so sheds can walk carves without contending
+	// with magazine exchanges. depotFull mirrors the summed retained
+	// full-magazine count for CPU-less Stats reads.
+	depots    []depot
+	depotFull atomic.Int32
+
+	// Magazine-capacity controller state (tune nil when Opts.Adaptive
+	// is). magCap is the capacity newly built magazines get; existing
+	// magazines retire through the depot at their birth capacity and the
+	// recycle pool drops stale-sized empties, so a capacity change
+	// propagates within a few exchanges.
+	tune       *MagTune
+	magCap     atomic.Int32
+	tuneMu     sync.Mutex
+	tuneOps    int // depot exchanges in the current window
+	tuneHits   int // of those, how many found the depot lock contended
+	tuneCalm   int // consecutive calm windows
+	magGrows   atomic.Uint64
+	magShrinks atomic.Uint64
+
+	rseqRestarts atomic.Uint64 // magazine sequences restarted (Opts.Rseq)
+	depotWait    atomic.Uint64 // cycles spent spinning on depot locks
 
 	// obj -> backing base, for releases. Bookkeeping memory (a kernel
 	// would keep this in the slab header); uncharged, slow-path only.
@@ -282,9 +379,17 @@ func New(m *machine.Machine, back allocif.Allocator, name string, size, align ui
 		magSize:  o.MagSize,
 		depotCap: o.DepotMags,
 		colorInc: uint64(1) << m.Config().LineShift,
-		depotLk:  machine.NewSpinLock(m),
-		depotLn:  m.NewMetaLine(),
 		objs:     make(map[arena.Addr]arena.Addr),
+	}
+	k.magCap.Store(int32(o.MagSize))
+	if o.Adaptive != nil {
+		t := o.Adaptive.withDefaults(o.MagSize)
+		k.tune = &t
+	}
+	k.depots = make([]depot, m.NumNodes())
+	for n := range k.depots {
+		k.depots[n].lk = machine.NewSpinLockOn(m, n)
+		k.depots[n].ln = m.NewMetaLineOn(n)
 	}
 
 	// Backing request: the object, worst-case alignment pad (backing
@@ -348,6 +453,9 @@ func New(m *machine.Machine, back allocif.Allocator, name string, size, align ui
 		k.mags[i].line = m.NewMetaLineOn(m.NodeOf(i))
 		k.mags[i].loaded = make([]arena.Addr, 0, k.magSize)
 		k.mags[i].prev = make([]arena.Addr, 0, k.magSize)
+		if o.Rseq {
+			k.mags[i].rs = machine.NewRseqOn(m, m.NodeOf(i))
+		}
 	}
 	if eb, ok := back.(eventBacking); ok {
 		k.events = eb
@@ -374,26 +482,125 @@ func (k *Cache) NumColors() int { return k.nColors }
 // ColorInc returns the coloring step (the machine's cache line size).
 func (k *Cache) ColorInc() uint64 { return k.colorInc }
 
+// magRun executes body as CPU c's magazine critical section: a
+// restartable sequence under Opts.Rseq (commit-store discipline, aborted
+// and restarted on interference), the interrupt-disable pair otherwise.
+// The restart tally is safe outside the sequence — it is this cache's
+// own atomic, not state the sequence protects.
+func (k *Cache) magRun(c *machine.CPU, pc *cpuMags, body func()) {
+	if pc.rs != nil {
+		if n := pc.rs.Run(c, func(int) { body() }); n > 0 {
+			k.rseqRestarts.Add(uint64(n))
+		}
+		return
+	}
+	pc.il.Acquire(c)
+	body()
+	pc.il.Release(c)
+}
+
+// magInterfere executes body as a cross-CPU access to pc's magazines
+// (drains), aborting the owner's in-flight sequence under Opts.Rseq.
+func (k *Cache) magInterfere(c *machine.CPU, pc *cpuMags, body func()) {
+	if pc.rs != nil {
+		pc.rs.Interfere(c, body)
+		return
+	}
+	pc.il.Acquire(c)
+	body()
+	pc.il.Release(c)
+}
+
+// depotOf returns the calling CPU's node depot.
+func (k *Cache) depotOf(c *machine.CPU) *depot { return &k.depots[c.Node()] }
+
+// noteDepotLock accounts the spin the Acquire immediately preceding it
+// paid for d's lock: the cycles surface through the allocator's event
+// spine (EvLockWait, like every charged lock in core) and feed the
+// magazine-capacity controller's contention signal. Returns whether the
+// acquire was contended.
+func (k *Cache) noteDepotLock(d *depot) bool {
+	w := d.lk.LastWait()
+	if w > 0 {
+		k.depotWait.Add(uint64(w))
+		if k.events != nil {
+			k.events.EmitCacheEvent(core.EvLockWait, int(w))
+		}
+	}
+	return w > 0
+}
+
+// curMagCap returns the capacity newly built magazines get.
+func (k *Cache) curMagCap() int { return int(k.magCap.Load()) }
+
+// noteExchange feeds one depot exchange into the capacity controller:
+// every Window exchanges the contended fraction either grows capacity
+// (doubling toward MaxMag), counts toward a shrink (Holdoff calm windows
+// halve it, floored at the configured MagSize — the ratchet floor), or
+// resets the calm streak.
+func (k *Cache) noteExchange(contended bool) {
+	if k.tune == nil {
+		return
+	}
+	k.tuneMu.Lock()
+	k.tuneOps++
+	if contended {
+		k.tuneHits++
+	}
+	if k.tuneOps >= k.tune.Window {
+		pct := 100 * k.tuneHits / k.tuneOps
+		k.tuneOps, k.tuneHits = 0, 0
+		cur := int(k.magCap.Load())
+		switch {
+		case pct >= k.tune.GrowPct && cur < k.tune.MaxMag:
+			nc := cur * 2
+			if nc > k.tune.MaxMag {
+				nc = k.tune.MaxMag
+			}
+			k.magCap.Store(int32(nc))
+			k.tuneCalm = 0
+			k.magGrows.Add(1)
+		case pct <= k.tune.ShrinkPct:
+			k.tuneCalm++
+			if k.tuneCalm >= k.tune.Holdoff {
+				if cur > k.magSize {
+					nc := cur / 2
+					if nc < k.magSize {
+						nc = k.magSize
+					}
+					k.magCap.Store(int32(nc))
+					k.magShrinks.Add(1)
+				}
+				k.tuneCalm = 0
+			}
+		default:
+			k.tuneCalm = 0
+		}
+	}
+	k.tuneMu.Unlock()
+}
+
 // Get returns a constructed object. The common case pops the CPU's
-// loaded magazine under its interrupt lock — no shared locks, and
-// instruction-for-instruction the cost of a cookie alloc. Misses fall
-// through to the depot and finally to a fresh carve (the only point the
-// constructor runs).
+// loaded magazine under its interrupt lock (or as a restartable sequence
+// under Opts.Rseq) — no shared locks, and instruction-for-instruction
+// the cost of a cookie alloc. Misses fall through to the node's depot
+// and finally to a fresh carve (the only point the constructor runs).
 func (k *Cache) Get(c *machine.CPU) (arena.Addr, error) {
 	if k.destroyed.Load() {
 		return arena.NilAddr, ErrDestroyed
 	}
 	pc := &k.mags[c.ID()]
-	pc.il.Acquire(c)
-	if obj, ok := k.getFast(c, pc); ok {
-		pc.il.Release(c)
+	var obj arena.Addr
+	var ok bool
+	k.magRun(c, pc, func() { obj, ok = k.getFast(c, pc) })
+	if ok {
 		return obj, nil
 	}
-	pc.il.Release(c)
 	return k.getSlow(c, pc)
 }
 
-// getFast pops from the magazine pair. Caller holds pc.il.
+// getFast pops from the magazine pair. Caller is inside the magazine
+// critical section (magRun/magInterfere).
 func (k *Cache) getFast(c *machine.CPU, pc *cpuMags) (arena.Addr, bool) {
 	c.Read(pc.line)
 	for {
@@ -428,38 +635,48 @@ func (k *Cache) getFast(c *machine.CPU, pc *cpuMags) (arena.Addr, bool) {
 	}
 }
 
-// getSlow refills from the depot, or carves and constructs a fresh
-// buffer. Runs with no cache locks held across backing-allocator calls,
-// so a carve that triggers reclaim may re-enter this cache's shed.
+// getSlow refills from the calling CPU's node depot, or carves and
+// constructs a fresh buffer. Runs with no cache locks held across
+// backing-allocator calls, so a carve that triggers reclaim may re-enter
+// this cache's shed.
 func (k *Cache) getSlow(c *machine.CPU, pc *cpuMags) (arena.Addr, error) {
 	// Try to exchange the empty loaded magazine for a full one.
-	k.depotLk.Acquire(c)
-	c.Read(k.depotLn)
+	d := k.depotOf(c)
+	d.lk.Acquire(c)
+	contended := k.noteDepotLock(d)
+	c.Read(d.ln)
 	var full []arena.Addr
-	if n := len(k.full); n > 0 {
-		full = k.full[n-1]
-		k.full = k.full[:n-1]
+	if n := len(d.full); n > 0 {
+		full = d.full[n-1]
+		d.full = d.full[:n-1]
 		k.depotFull.Add(-1)
-		c.Write(k.depotLn)
+		c.Write(d.ln)
 	}
 	c.Work(insnDepot)
-	k.depotLk.Release(c)
+	d.lk.Release(c)
+	k.noteExchange(contended)
 
 	if full != nil {
-		pc.il.Acquire(c)
-		// A Put may have refilled the pair while the depot lock was
-		// held; prefer the magazines and return the depot's magazine.
-		if obj, ok := k.getFast(c, pc); ok {
-			pc.il.Release(c)
+		var obj arena.Addr
+		var ok bool
+		k.magRun(c, pc, func() {
+			// A Put may have refilled the pair while the depot lock was
+			// held; prefer the magazines and return the depot's magazine.
+			if obj, ok = k.getFast(c, pc); ok {
+				return
+			}
+			// Install the full magazine; the empty loaded becomes spare.
+			spare := pc.prev
+			pc.prev = pc.loaded
+			pc.loaded = full
+			full = spare
+			obj, _ = k.getFast(c, pc)
+		})
+		if ok {
 			k.putDepotFull(c, full)
-			return obj, nil
+		} else {
+			k.recycleEmpty(c, full)
 		}
-		// Install the full magazine; the empty loaded becomes spare.
-		k.recycleEmpty(c, pc.prev)
-		pc.prev = pc.loaded
-		pc.loaded = full
-		obj, _ := k.getFast(c, pc)
-		pc.il.Release(c)
 		return obj, nil
 	}
 
@@ -531,16 +748,16 @@ func (k *Cache) Put(c *machine.CPU, obj arena.Addr) {
 		return
 	}
 	pc := &k.mags[c.ID()]
-	pc.il.Acquire(c)
-	if k.putFast(c, pc, obj) {
-		pc.il.Release(c)
+	var ok bool
+	k.magRun(c, pc, func() { ok = k.putFast(c, pc, obj) })
+	if ok {
 		return
 	}
-	pc.il.Release(c)
 	k.putSlow(c, pc, obj)
 }
 
-// putFast pushes onto the magazine pair. Caller holds pc.il.
+// putFast pushes onto the magazine pair. Caller is inside the magazine
+// critical section (magRun/magInterfere).
 func (k *Cache) putFast(c *machine.CPU, pc *cpuMags, obj arena.Addr) bool {
 	c.Read(pc.line)
 	if len(pc.loaded) == cap(pc.loaded) {
@@ -568,66 +785,81 @@ func (k *Cache) putSlow(c *machine.CPU, pc *cpuMags, obj arena.Addr) {
 	}
 	// Take an empty magazine (recycled or fresh), then swap it in for
 	// the older full one.
-	k.depotLk.Acquire(c)
-	c.Read(k.depotLn)
+	d := k.depotOf(c)
+	d.lk.Acquire(c)
+	contended := k.noteDepotLock(d)
+	c.Read(d.ln)
 	var empty []arena.Addr
-	if n := len(k.emptyMag); n > 0 {
-		empty = k.emptyMag[n-1]
-		k.emptyMag = k.emptyMag[:n-1]
+	if n := len(d.empty); n > 0 {
+		empty = d.empty[n-1]
+		d.empty = d.empty[:n-1]
 	}
 	c.Work(insnDepot)
-	k.depotLk.Release(c)
+	d.lk.Release(c)
+	k.noteExchange(contended)
 	if empty == nil {
-		empty = make([]arena.Addr, 0, k.magSize)
+		empty = make([]arena.Addr, 0, k.curMagCap())
 	}
 
-	pc.il.Acquire(c)
-	if k.putFast(c, pc, obj) { // raced: room appeared
-		pc.il.Release(c)
+	var full []arena.Addr
+	k.magRun(c, pc, func() {
+		full = nil
+		if k.putFast(c, pc, obj) { // raced: room appeared
+			return
+		}
+		full = pc.prev
+		pc.prev = pc.loaded
+		pc.loaded = empty
+		k.putFast(c, pc, obj)
+	})
+	if full == nil {
 		k.recycleEmpty(c, empty)
 		return
 	}
-	full := pc.prev
-	pc.prev = pc.loaded
-	pc.loaded = empty
-	k.putFast(c, pc, obj)
-	pc.il.Release(c)
-
 	k.putDepotFull(c, full)
 }
 
-// putDepotFull deposits a full magazine, releasing the oldest one when
-// the depot exceeds its bound (the cache's working-set limit).
+// putDepotFull deposits a full magazine in the calling CPU's node depot,
+// releasing the oldest one when the depot exceeds its bound (the cache's
+// per-node working-set limit).
 func (k *Cache) putDepotFull(c *machine.CPU, full []arena.Addr) {
 	var victim []arena.Addr
-	k.depotLk.Acquire(c)
-	c.Read(k.depotLn)
-	k.full = append(k.full, full)
-	if len(k.full) > k.depotCap {
-		victim = k.full[0]
-		k.full = k.full[1:]
+	d := k.depotOf(c)
+	d.lk.Acquire(c)
+	contended := k.noteDepotLock(d)
+	c.Read(d.ln)
+	d.full = append(d.full, full)
+	if len(d.full) > k.depotCap {
+		victim = d.full[0]
+		d.full = d.full[1:]
 	} else {
 		k.depotFull.Add(1)
 	}
-	c.Write(k.depotLn)
+	c.Write(d.ln)
 	c.Work(insnDepot)
-	k.depotLk.Release(c)
+	d.lk.Release(c)
+	k.noteExchange(contended)
 	if victim != nil {
 		n := k.releaseMag(c, victim)
 		k.noteShed(n)
 	}
 }
 
-// recycleEmpty returns an empty magazine to the bounded spare pool.
+// recycleEmpty returns an empty magazine to the node depot's bounded
+// spare pool. Magazines whose capacity no longer matches the
+// controller's current choice are dropped, so a capacity change
+// propagates instead of old sizes circulating forever.
 func (k *Cache) recycleEmpty(c *machine.CPU, mag []arena.Addr) {
-	if mag == nil || len(mag) != 0 {
+	if mag == nil || len(mag) != 0 || cap(mag) != k.curMagCap() {
 		return
 	}
-	k.depotLk.Acquire(c)
-	if len(k.emptyMag) < k.depotCap {
-		k.emptyMag = append(k.emptyMag, mag)
+	d := k.depotOf(c)
+	d.lk.Acquire(c)
+	k.noteDepotLock(d)
+	if len(d.empty) < k.depotCap {
+		d.empty = append(d.empty, mag)
 	}
-	k.depotLk.Release(c)
+	d.lk.Release(c)
 }
 
 // releaseMag destructs and releases every object in mag; returns the
@@ -711,38 +943,46 @@ func (k *Cache) publishSkips() {
 	}
 }
 
-// shrinkDepot releases every full magazine in the depot.
+// shrinkDepot releases every full magazine in every node depot.
 func (k *Cache) shrinkDepot(c *machine.CPU) int {
 	var n int
-	for {
-		k.depotLk.Acquire(c)
-		c.Read(k.depotLn)
-		var mag []arena.Addr
-		if l := len(k.full); l > 0 {
-			mag = k.full[l-1]
-			k.full = k.full[:l-1]
-			k.depotFull.Add(-1)
-			c.Write(k.depotLn)
+	for di := range k.depots {
+		d := &k.depots[di]
+		for {
+			d.lk.Acquire(c)
+			k.noteDepotLock(d)
+			c.Read(d.ln)
+			var mag []arena.Addr
+			if l := len(d.full); l > 0 {
+				mag = d.full[l-1]
+				d.full = d.full[:l-1]
+				k.depotFull.Add(-1)
+				c.Write(d.ln)
+			}
+			c.Work(insnDepot)
+			d.lk.Release(c)
+			if mag == nil {
+				break
+			}
+			n += k.releaseMag(c, mag)
 		}
-		c.Work(insnDepot)
-		k.depotLk.Release(c)
-		if mag == nil {
-			return n
-		}
-		n += k.releaseMag(c, mag)
 	}
+	return n
 }
 
-// drainMags flushes every CPU's magazine pair.
+// drainMags flushes every CPU's magazine pair. Under Opts.Rseq the swap
+// runs as an interference on the owner CPU — its in-flight sequence, if
+// any, restarts rather than observing the half-drained pair.
 func (k *Cache) drainMags(c *machine.CPU) int {
 	var n int
 	for i := range k.mags {
 		pc := &k.mags[i]
-		pc.il.Acquire(c)
-		loaded, prev := pc.loaded, pc.prev
-		pc.loaded = make([]arena.Addr, 0, k.magSize)
-		pc.prev = make([]arena.Addr, 0, k.magSize)
-		pc.il.Release(c)
+		var loaded, prev []arena.Addr
+		k.magInterfere(c, pc, func() {
+			loaded, prev = pc.loaded, pc.prev
+			pc.loaded = make([]arena.Addr, 0, k.curMagCap())
+			pc.prev = make([]arena.Addr, 0, k.curMagCap())
+		})
 		runDtor := !k.poisonMode()
 		for _, obj := range loaded {
 			k.releaseObj(c, obj, runDtor)
@@ -810,6 +1050,13 @@ func (k *Cache) Stats() Stats {
 		Live:      uint64(live),
 		DepotFull: int(k.depotFull.Load()),
 		Colors:    k.nColors,
+
+		RseqRestarts:    k.rseqRestarts.Load(),
+		DepotWaitCycles: k.depotWait.Load(),
+
+		MagCap:     int(k.magCap.Load()),
+		MagGrows:   k.magGrows.Load(),
+		MagShrinks: k.magShrinks.Load(),
 	}
 	if k.hd != nil {
 		s.Detections = k.hd.detections.Load()

@@ -1,0 +1,235 @@
+package objcache_test
+
+import (
+	"testing"
+
+	"kmem/internal/allocif"
+	"kmem/internal/arena"
+	"kmem/internal/core"
+	"kmem/internal/machine"
+	"kmem/internal/objcache"
+)
+
+func newNodedKMA(t *testing.T, ncpu, nodes int) (*machine.Machine, allocif.Allocator) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.NumCPUs = ncpu
+	cfg.Nodes = nodes
+	cfg.MemBytes = 16 << 20
+	m := machine.New(cfg)
+	a, err := core.New(m, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, allocif.NewKMA{Allocator: a}
+}
+
+// TestPerNodeDepots: magazine exchanges stay node-local. A CPU filling
+// its node's depot leaves other nodes' depots empty, so a first Get on
+// another node carves instead of raiding a remote depot — and the
+// remote depot's stock is untouched afterwards.
+func TestPerNodeDepots(t *testing.T) {
+	m, kma := newNodedKMA(t, 4, 2)
+	const size = 64
+	k, err := objcache.New(m, kma, "test:depots", size, 8, nil, nil, objcache.Opts{MagSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := m.CPU(0) // node 0
+	var c1 *machine.CPU
+	for i := 0; i < m.NumCPUs(); i++ {
+		if m.NodeOf(i) != c0.Node() {
+			c1 = m.CPU(i)
+			break
+		}
+	}
+	if c1 == nil {
+		t.Fatal("no second node")
+	}
+
+	// Fill node 0's depot: get a working set, put it all back so full
+	// magazines retire into the depot.
+	var held []arena.Addr
+	for i := 0; i < 64; i++ {
+		obj, err := k.Get(c0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, obj)
+	}
+	for _, obj := range held {
+		k.Put(c0, obj)
+	}
+	stocked := k.Stats().DepotFull
+	if stocked == 0 {
+		t.Fatal("put burst retired no full magazines into the depot")
+	}
+	carves := k.Stats().Carves
+
+	// Node 1's Gets must not consume node 0's stock.
+	held = held[:0]
+	for i := 0; i < 16; i++ {
+		obj, err := k.Get(c1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, obj)
+	}
+	st := k.Stats()
+	if st.DepotFull != stocked {
+		t.Errorf("node 1 Gets drained the remote depot: %d -> %d full magazines", stocked, st.DepotFull)
+	}
+	if st.Carves == carves {
+		t.Error("node 1 Gets carved nothing despite an empty home depot")
+	}
+	for _, obj := range held {
+		k.Put(c1, obj)
+	}
+
+	// A node-0 CPU still enjoys the stock: its next misses exchange, not
+	// carve.
+	carves = k.Stats().Carves
+	for i := 0; i < 16; i++ {
+		obj, err := k.Get(c0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held[i] = obj
+	}
+	if got := k.Stats().Carves; got != carves {
+		t.Errorf("node 0 Gets carved %d buffers despite %d stocked magazines", got-carves, stocked)
+	}
+	for _, obj := range held {
+		k.Put(c0, obj)
+	}
+}
+
+// cacheChurn drives every CPU through Get/Put churn with a small held
+// window, forcing regular depot exchanges.
+func cacheChurn(t *testing.T, m *machine.Machine, k *objcache.Cache, opsPerCPU int) {
+	t.Helper()
+	ncpu := m.NumCPUs()
+	held := make([][]arena.Addr, ncpu)
+	ops := make([]int, ncpu)
+	m.Run(func(c *machine.CPU) bool {
+		id := c.ID()
+		if ops[id] >= opsPerCPU {
+			for _, obj := range held[id] {
+				k.Put(c, obj)
+			}
+			held[id] = nil
+			return false
+		}
+		ops[id]++
+		obj, err := k.Get(c)
+		if err != nil {
+			t.Fatalf("cpu %d: %v", id, err)
+		}
+		held[id] = append(held[id], obj)
+		if len(held[id]) > 6 {
+			k.Put(c, held[id][0])
+			held[id] = held[id][1:]
+		}
+		return true
+	})
+}
+
+// TestCacheRseqRestarts: under Opts.Rseq with aggressive restart jitter
+// the magazine sequences observably restart, the cache stays coherent
+// (every Get still returns a constructed object), and cross-CPU drains
+// ride the interference path.
+func TestCacheRseqRestarts(t *testing.T) {
+	m, kma := newNodedKMA(t, 4, 1)
+	m.SetScheduleJitter(&machine.JitterConfig{Seed: 11, RestartEvery: 3})
+	const size = 96
+	k, err := objcache.New(m, kma, "test:rseq", size, 8, patternCtor(size), nil,
+		objcache.Opts{MagSize: 4, Rseq: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheChurn(t, m, k, 500)
+	st := k.Stats()
+	if st.RseqRestarts == 0 {
+		t.Fatal("no magazine sequence restarts under RestartEvery=3 jitter")
+	}
+	// The interference path: a drain aborts in-flight sequences rather
+	// than deadlocking or tearing the pair.
+	k.Drain(m.CPU(0))
+	obj, err := k.Get(m.CPU(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConstructed(t, m.Mem(), obj, size)
+	k.Put(m.CPU(0), obj)
+	if got, want := k.Stats().Gets, st.Gets+1; got != want {
+		t.Errorf("gets = %d, want %d", got, want)
+	}
+}
+
+// TestMagTuneConvergence mirrors the PR 1 ratchet-floor test for the
+// magazine-capacity controller: a depot-contended phase must grow
+// capacity (cutting depot trips per object), a calm phase must shrink it
+// back exactly to the configured MagSize — the ratchet floor — and hold
+// there without limit-cycling.
+func TestMagTuneConvergence(t *testing.T) {
+	m, kma := newNodedKMA(t, 4, 1)
+	const size = 64
+	tune := &objcache.MagTune{Window: 16, GrowPct: 10, ShrinkPct: 5, Holdoff: 2, MaxMag: 16}
+	k, err := objcache.New(m, kma, "test:tune", size, 8, nil, nil,
+		objcache.Opts{MagSize: 2, Adaptive: tune})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Contended phase: four CPUs exchanging two-object magazines hammer
+	// the single node depot.
+	cacheChurn(t, m, k, 2000)
+	st := k.Stats()
+	if st.DepotWaitCycles == 0 {
+		t.Fatal("churn produced no depot lock contention; the signal is dead")
+	}
+	if st.MagGrows == 0 {
+		t.Fatal("controller never grew magazine capacity under sustained depot contention")
+	}
+	if st.MagCap <= 2 || st.MagCap > tune.MaxMag {
+		t.Fatalf("grown capacity %d not in (2, %d]", st.MagCap, tune.MaxMag)
+	}
+
+	// Calm phase: one CPU alone cannot contend the depot, but its bursts
+	// still exchange magazines — uncontended windows that must walk
+	// capacity back down to the floor and stop.
+	c := m.CPU(0)
+	calmBurst := func(rounds int) {
+		held := make([]arena.Addr, 0, 48)
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < 48; i++ {
+				obj, err := k.Get(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				held = append(held, obj)
+			}
+			for _, obj := range held {
+				k.Put(c, obj)
+			}
+			held = held[:0]
+		}
+	}
+	calmBurst(600)
+	st = k.Stats()
+	if st.MagShrinks == 0 {
+		t.Fatal("controller never shrank capacity through a long calm phase")
+	}
+	if st.MagCap != 2 {
+		t.Fatalf("calm capacity = %d, want the ratchet floor %d", st.MagCap, 2)
+	}
+
+	// Floor stability: more calm churn moves nothing.
+	shrinks := st.MagShrinks
+	calmBurst(100)
+	st = k.Stats()
+	if st.MagCap != 2 || st.MagShrinks != shrinks {
+		t.Fatalf("controller still moving at the floor: cap=%d shrinks=%d->%d",
+			st.MagCap, shrinks, st.MagShrinks)
+	}
+}

@@ -40,6 +40,22 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+// The concurrent conformance suite holds for the single-lock baseline
+// too: the shadow oracle and consistency audits must survive all-CPU
+// churn even though every op serializes on the global lock.
+func TestConcurrentGetPut(t *testing.T) {
+	alloctest.RunConcurrentGetPut(t, func(t *testing.T, ncpu int, physPages int64) alloctest.Instance {
+		a, m := newTest(t, ncpu, physPages)
+		return alloctest.Instance{
+			A:         allocif.RetryWait{Allocator: a},
+			M:         m,
+			MaxSize:   4096,
+			Coalesces: true,
+			Check:     a.CheckConsistency,
+		}
+	})
+}
+
 // The typed object-cache layer must degrade gracefully over this
 // baseline's plain Alloc/Free: no cookies, no shed registration, no
 // event spine — the lifecycle contract holds regardless.

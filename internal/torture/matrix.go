@@ -1,7 +1,8 @@
 package torture
 
 // The config matrix: CPUs × nodes × pressure × faultpoints × shards ×
-// adaptive × lazy spans × object caches × hardening. The small matrix is
+// adaptive × lazy spans × object caches × hardening × optimistic fast
+// paths (rseq + lock-free global layer). The small matrix is
 // the PR-smoke set — every dimension exercised at least once on a
 // multi-node topology, plus one planted corruption per kind, cheap
 // enough for every push. The full matrix is the nightly cross product
@@ -32,6 +33,14 @@ func MatrixSmall() []Config {
 		{CPUs: 4, Nodes: 2, Harden: true},
 		{CPUs: 4, Nodes: 2, Harden: true, Pressure: true},
 		{CPUs: 8, Nodes: 4, Harden: true, Lazy: true, ObjCache: true},
+		// Optimistic fast paths: restartable sequences (with the
+		// restart-storm adversary aborting them at every other
+		// opportunity) and the CAS-based lock-free global layer, alone
+		// and stacked with pressure and caches.
+		{CPUs: 4, Nodes: 2, Rseq: true},
+		{CPUs: 4, Nodes: 2, Rseq: true, RestartStorm: true, ObjCache: true},
+		{CPUs: 8, Nodes: 4, LockFree: true},
+		{CPUs: 8, Nodes: 4, Rseq: true, LockFree: true, RestartStorm: true, Pressure: true},
 		// Planted corruptions: each kind must be detected, attributed to
 		// the plant's site tags, and contained in quarantine.
 		{CPUs: 4, Nodes: 2, Harden: true, Plant: "overrun"},
@@ -58,13 +67,19 @@ func MatrixFull() []Config {
 						for _, lazy := range []bool{false, true} {
 							for _, objCache := range []bool{false, true} {
 								for _, hard := range []bool{false, true} {
-									out = append(out, Config{
-										CPUs: tp.cpus, Nodes: tp.nodes,
-										Pressure: pressure, Faults: faults,
-										DisableShards: noShards, Adaptive: adaptive,
-										Lazy: lazy, ObjCache: objCache,
-										Harden: hard,
-									})
+									// The optimistic dimension flips both fast
+									// paths together (restart-storm is a
+									// directed scenario; small matrix only).
+									for _, opt := range []bool{false, true} {
+										out = append(out, Config{
+											CPUs: tp.cpus, Nodes: tp.nodes,
+											Pressure: pressure, Faults: faults,
+											DisableShards: noShards, Adaptive: adaptive,
+											Lazy: lazy, ObjCache: objCache,
+											Harden: hard,
+											Rseq:   opt, LockFree: opt,
+										})
+									}
 								}
 							}
 						}

@@ -50,6 +50,56 @@ func TestMutationDropRightMergeBugCaught(t *testing.T) {
 	}
 }
 
+// lfMutationCfg is the detection config for the lock-free stack's ABA
+// plant: the bug only fires on a contended CAS pop (a commit that had to
+// retry), so it needs many CPUs sharing one node's global pools, the
+// lock-free layer on, and a jittered schedule to interleave the commit
+// windows.
+// The tight working set and small max size concentrate traffic in a few
+// size classes, so global-pool commits overlap often enough for retried
+// pops — the only ops the plant corrupts — to stack up inside N = 2000.
+var lfMutationCfg = Config{
+	CPUs: 8, Nodes: 1, Ops: 2000, Seed: 7,
+	LockFree: true, WorkingSet: 384, MaxSize: 512,
+}
+
+func TestMutationLFStackABABugCaught(t *testing.T) {
+	core.SetTortureBug(core.TortureBugLFStackABA, true)
+	defer core.SetTortureBug(core.TortureBugLFStackABA, false)
+	rep, err := New(lfMutationCfg).Run()
+	if err == nil {
+		t.Fatalf("planted lock-free ABA bug went undetected in %d ops", rep.OpsExecuted)
+	}
+	t.Logf("caught in %d ops: %v", rep.OpsExecuted, err)
+	if !strings.Contains(err.Error(), "leak") && !strings.Contains(err.Error(), "consistency") &&
+		!strings.Contains(err.Error(), "block") {
+		t.Errorf("failure does not look like the planted lost update: %v", err)
+	}
+}
+
+// TestMutationLFStackABAShrinks runs the failure pipeline on the ABA
+// plant: catch, delta-debug, and confirm the shrunk repro still
+// reproduces and is materially smaller.
+func TestMutationLFStackABAShrinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking replays the harness many times")
+	}
+	core.SetTortureBug(core.TortureBugLFStackABA, true)
+	defer core.SetTortureBug(core.TortureBugLFStackABA, false)
+	r := ReproOf(New(lfMutationCfg))
+	if !r.Fails() {
+		t.Fatal("armed ABA bug did not fail the full repro")
+	}
+	shrunk := ShrinkFailure(r)
+	if !shrunk.Fails() {
+		t.Fatal("shrunk ABA repro no longer reproduces")
+	}
+	if len(shrunk.Ops) > len(r.Ops)/4 {
+		t.Errorf("shrink only reached %d of %d ops", len(shrunk.Ops), len(r.Ops))
+	}
+	t.Logf("shrunk %d ops -> %d", len(r.Ops), len(shrunk.Ops))
+}
+
 // TestMutationShrinksToSmallRepro runs the full failure pipeline on a
 // planted bug: catch it, delta-debug the op sequence, and confirm the
 // shrunk repro still reproduces and is materially smaller.
@@ -90,6 +140,7 @@ func TestCommittedReprosCatchPlantedBugs(t *testing.T) {
 	cases := map[string]int{
 		"shardflush": core.TortureBugSkipShardFlush,
 		"rightmerge": core.TortureBugDropRightMerge,
+		"lfstackaba": core.TortureBugLFStackABA,
 	}
 	for prefix, bug := range cases {
 		paths, err := filepath.Glob(filepath.Join("testdata", prefix+"-*.torture.json"))

@@ -83,6 +83,19 @@ type Config struct {
 	// run with the same seeds.
 	Plant string `json:"plant,omitempty"`
 
+	// Rseq runs the per-CPU layers (core and the torture object cache)
+	// on restartable sequences instead of interrupt-disable sections
+	// (core.Params.Rseq, objcache.Opts.Rseq).
+	Rseq bool `json:"rseq,omitempty"`
+	// LockFree rebuilds the global layer on CAS freelists with the
+	// tagged ABA guard (core.Params.LockFree).
+	LockFree bool `json:"lockfree,omitempty"`
+	// RestartStorm arms the adversarial restart mode: with a nonzero
+	// JitterSeed, restartable sequences abort at every other
+	// opportunity (machine.JitterConfig.RestartEvery = 2), hammering
+	// the retry paths instead of the happy ones.
+	RestartStorm bool `json:"restart_storm,omitempty"`
+
 	// WorkingSet caps the live handles; allocs at the cap are skipped.
 	WorkingSet int `json:"working_set,omitempty"`
 	// MaxSize bounds request sizes (covers the large path when > 4096).
@@ -151,6 +164,15 @@ func (c Config) Name() string {
 	}
 	if c.Harden {
 		n += "-harden"
+	}
+	if c.Rseq {
+		n += "-rseq"
+	}
+	if c.LockFree {
+		n += "-lockfree"
+	}
+	if c.RestartStorm {
+		n += "-storm"
 	}
 	if c.Plant != "" {
 		n += "-plant-" + c.Plant
@@ -225,7 +247,11 @@ func (r *Runner) Run() (Report, error) {
 	mcfg.PhysPages = cfg.PhysPages
 	m := machine.New(mcfg)
 	if cfg.JitterSeed != 0 {
-		m.SetScheduleJitter(&machine.JitterConfig{Seed: cfg.JitterSeed})
+		jc := &machine.JitterConfig{Seed: cfg.JitterSeed}
+		if cfg.RestartStorm {
+			jc.RestartEvery = 2
+		}
+		m.SetScheduleJitter(jc)
 	}
 	m.EnableSchedHash()
 
@@ -234,6 +260,8 @@ func (r *Runner) Run() (Report, error) {
 		Poison:              true,
 		LazySpans:           cfg.Lazy,
 		DisableRemoteShards: cfg.DisableShards,
+		Rseq:                cfg.Rseq,
+		LockFree:            cfg.LockFree,
 		// Keep blocked allocations cheap in virtual time: a few short
 		// waits, then the typed error (a legal outcome for the oracle).
 		Wait: &core.WaitConfig{MaxWaits: 3, BaseBackoffCycles: 512, MaxBackoffCycles: 8192},
@@ -290,7 +318,7 @@ func (r *Runner) Run() (Report, error) {
 			}
 		}
 		kc, err := objcache.New(m, allocif.NewKMA{Allocator: a}, "torture:obj",
-			objCacheSize, 8, ctor, dtor, objcache.Opts{})
+			objCacheSize, 8, ctor, dtor, objcache.Opts{Rseq: cfg.Rseq})
 		if err != nil {
 			return Report{}, fmt.Errorf("torture: objcache: %w", err)
 		}
