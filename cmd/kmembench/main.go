@@ -72,6 +72,8 @@ func main() {
 		err = cmdHarden(args)
 	case "projection":
 		err = cmdProjection(args)
+	case "serve":
+		err = cmdServe(args)
 	case "all":
 		err = cmdAll()
 	case "help", "-h", "--help":
@@ -104,6 +106,7 @@ func usage() {
   objcache   STREAMS triple pair over named object caches vs the plain cookie path (ctor-skip win)
   harden     corruption-hardening overhead: alloc/free pair with redzones+poison off vs on
   projection scaling under a widening CPU/memory gap (the paper's closing claim)
+  serve      serving simulation: session traces with per-phase alloc/free latency quantiles
   all        everything above with default settings`)
 }
 
@@ -714,5 +717,40 @@ func cmdAll() error {
 		return err
 	}
 	fmt.Println("\n=== Scaling sweep: remote-free shards and lock accounting ============")
-	return cmdScaling(nil)
+	if err := cmdScaling(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Serving simulation: per-phase tail latency =======================")
+	return cmdServe(nil)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	cfg := bench.ServeDefaults()
+	seed := fs.Uint64("seed", cfg.Seed, "trace seed")
+	cpus := fs.Int("cpus", cfg.CPUs, "CPU count of the trace and the machines")
+	sessions := fs.Int("sessions", cfg.Sessions, "steady-state open-session target")
+	ops := fs.Int("ops", cfg.OpsPerPhase, "operations per phase")
+	nodes := fs.String("nodes", "1,2,4", "comma-separated node counts")
+	jsonOut := fs.Bool("json", false, "emit the result as one JSON object")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg.Seed = *seed
+	cfg.CPUs = *cpus
+	cfg.Sessions = *sessions
+	cfg.OpsPerPhase = *ops
+	nodeCounts, err := parseInts(*nodes)
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunServe(cfg, nodeCounts)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return emitJSON("serve", res)
+	}
+	res.Table().Fprint(os.Stdout)
+	return nil
 }

@@ -92,6 +92,10 @@ type Allocator struct {
 	// Corruption-hardening state (harden.go). Nil unless Params.Harden
 	// is set, so every hardening hook is one nil test when off.
 	hd *hardenState
+
+	// Per-op latency recorder (latency.go). Nil unless Params.Latency,
+	// so the alloc/free boundaries pay one nil test when off.
+	lat *latencyRecorder
 }
 
 // classState groups one size class's parameters and upper layers. target
@@ -218,6 +222,10 @@ func New(m *machine.Machine, params Params) (*Allocator, error) {
 		for cpu := 0; cpu < n; cpu++ {
 			a.rseq[cpu] = machine.NewRseqOn(m, m.NodeOf(cpu))
 		}
+	}
+
+	if p.Latency {
+		a.lat = newLatencyRecorder(n)
 	}
 
 	a.waitCfg = p.Wait.withDefaults()
@@ -398,12 +406,14 @@ func (a *Allocator) pcpuInterfere(c *machine.CPU, cpu int, body func()) {
 
 // --- per-class operations -------------------------------------------------
 
-// allocClass allocates one block of class cls on CPU c: per-CPU cache
+// allocClassOp allocates one block of class cls on CPU c: per-CPU cache
 // first, then the global layer, then the low-memory reclaim path. Under
 // PressureCritical the reclaim retries are incremental — a budget of
 // reclaimSteps() single-CPU/single-pool steps, each followed by a retry —
-// instead of the one stop-the-world flush used otherwise.
-func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
+// instead of the one stop-the-world flush used otherwise. Callers go
+// through allocClass (latency.go), which stamps the op when the latency
+// recorder is armed.
+func (a *Allocator) allocClassOp(c *machine.CPU, cls int) (arena.Addr, error) {
 	if a.params.DebugOwnership {
 		defer c.EndExclusive(c.BeginExclusive())
 	}
@@ -506,8 +516,10 @@ func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
 	}
 }
 
-// freeClass frees one block of class cls on CPU c.
-func (a *Allocator) freeClass(c *machine.CPU, cls int, addr arena.Addr) {
+// freeClassOp frees one block of class cls on CPU c. Callers go through
+// freeClass (latency.go), which stamps the op when the latency recorder
+// is armed.
+func (a *Allocator) freeClassOp(c *machine.CPU, cls int, addr arena.Addr) {
 	if addr == arena.NilAddr {
 		panic("kmem: free of nil address")
 	}

@@ -1,0 +1,103 @@
+package core
+
+// Per-op alloc/free latency recording, armed by Params.Latency. The
+// recorder sits at the EvAlloc/EvFree operation boundaries — around the
+// whole of allocClass/freeClass, so a sample covers everything from the
+// warm 13-instruction hit to a refill that fell through to reclaim —
+// and is observation-only: it reads two cycle stamps (machine.CPU.Stamp)
+// and touches nothing simulated, so an armed run schedules
+// byte-identically to an unarmed one. With Params.Latency off the fast
+// path pays exactly one nil pointer test, preserving the instruction
+// budgets and every cycle golden.
+
+import (
+	"sync"
+
+	"kmem/internal/arena"
+	"kmem/internal/machine"
+)
+
+// Latency kinds index a latencySlot's histograms.
+const (
+	latAlloc = iota
+	latFree
+	numLatKinds
+)
+
+// latencySlot is one CPU's latency histograms. The mutex is host-side
+// bookkeeping, not part of the simulated machine — taking it charges no
+// instructions, cycles, or memory traffic. It exists for Native mode,
+// where the recording CPU's goroutine races snapshot readers: each slot
+// is written and copied as one consistent unit — the same
+// one-lock-per-CPU discipline Stats uses for the per-CPU class counters
+// — so a snapshot taken during an in-flight record or merge can never
+// observe torn bucket counts (TestLatencySnapshotRace).
+type latencySlot struct {
+	mu   sync.Mutex
+	hist [numLatKinds]LatencyHist
+}
+
+// latencyRecorder is the armed recorder: one slot per CPU, written by
+// the owning CPU's instruction stream, merged on demand.
+type latencyRecorder struct {
+	slots []latencySlot
+}
+
+func newLatencyRecorder(ncpu int) *latencyRecorder {
+	return &latencyRecorder{slots: make([]latencySlot, ncpu)}
+}
+
+func (lr *latencyRecorder) record(cpu, kind int, cycles int64) {
+	s := &lr.slots[cpu]
+	s.mu.Lock()
+	s.hist[kind].Record(cycles)
+	s.mu.Unlock()
+}
+
+// LatencyStats merges the per-CPU latency histograms into one snapshot;
+// zero-valued with Params.Latency off. Each CPU's slot is copied under
+// its recorder lock, so one CPU's alloc and free histograms are
+// mutually consistent; the cross-CPU merge is relaxed exactly like
+// Stats (monotone counters, exact when quiescent).
+func (a *Allocator) LatencyStats() LatencyStats {
+	var out LatencyStats
+	if a.lat == nil {
+		return out
+	}
+	for i := range a.lat.slots {
+		s := &a.lat.slots[i]
+		s.mu.Lock()
+		h := s.hist
+		s.mu.Unlock()
+		out.Alloc.Add(&h[latAlloc])
+		out.Free.Add(&h[latFree])
+	}
+	return out
+}
+
+// allocClass allocates one block of class cls on CPU c, stamping the
+// operation's latency when the recorder is armed. Failed allocations
+// are not samples — exhaustion is an outcome, not a latency.
+func (a *Allocator) allocClass(c *machine.CPU, cls int) (arena.Addr, error) {
+	if a.lat == nil {
+		return a.allocClassOp(c, cls)
+	}
+	t0 := c.Stamp()
+	b, err := a.allocClassOp(c, cls)
+	if err == nil {
+		a.lat.record(c.ID(), latAlloc, c.Stamp()-t0)
+	}
+	return b, err
+}
+
+// freeClass frees one block of class cls on CPU c, stamping the
+// operation's latency when the recorder is armed.
+func (a *Allocator) freeClass(c *machine.CPU, cls int, addr arena.Addr) {
+	if a.lat == nil {
+		a.freeClassOp(c, cls, addr)
+		return
+	}
+	t0 := c.Stamp()
+	a.freeClassOp(c, cls, addr)
+	a.lat.record(c.ID(), latFree, c.Stamp()-t0)
+}

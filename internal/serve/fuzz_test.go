@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzServeTrace hardens the trace decoder: arbitrary input must
+// either be rejected with an error or decode to a trace that
+// re-encodes and re-decodes to the same value. It must never panic,
+// and the fixed allocation caps mean hostile length fields cannot
+// balloon memory.
+func FuzzServeTrace(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteTrace(&valid, Generate(GenConfig{Seed: 11, CPUs: 2, Sessions: 8, OpsPerPhase: 48})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("KMSV"))
+	bad := append([]byte(nil), valid.Bytes()...)
+	bad[0] ^= 0xff // magic
+	f.Add(bad)
+	trunc := append([]byte(nil), valid.Bytes()[:len(valid.Bytes())/2]...)
+	f.Add(trunc)
+	dup := append([]byte(nil), valid.Bytes()...)
+	if len(dup) > headerBytes+3*phaseHeaderBytes+2*recordBytes {
+		// Duplicate the first record over the second: usually a
+		// duplicate-open discipline violation.
+		off := headerBytes + 3*phaseHeaderBytes
+		copy(dup[off+recordBytes:off+2*recordBytes], dup[off:off+recordBytes])
+		f.Add(dup)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteTrace(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := ReadTrace(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		var out2 bytes.Buffer
+		if err := WriteTrace(&out2, tr2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatal("accepted trace did not round-trip byte-identically")
+		}
+	})
+}

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"fmt"
+
+	"kmem/internal/arena"
+	"kmem/internal/core"
+	"kmem/internal/dlm"
+	"kmem/internal/machine"
+	"kmem/internal/streams"
+)
+
+// PhaseResult is one phase's latency window and throughput, extracted
+// from the difference of allocator-wide histogram snapshots taken at
+// the phase barriers.
+type PhaseResult struct {
+	Phase string
+	Ops   int
+	Opens int
+	Drops int
+
+	Cycles    int64
+	OpsPerSec float64
+
+	AllocCount uint64
+	FreeCount  uint64
+	AllocP50   int64
+	AllocP99   int64
+	AllocP999  int64
+	FreeP50    int64
+	FreeP99    int64
+	FreeP999   int64
+
+	AllocBuckets []uint64
+	FreeBuckets  []uint64
+}
+
+// Result is a full serving run: per-phase windows plus whole-run
+// identity (the schedule hash) and totals.
+type Result struct {
+	SchedHash uint64
+	TotalOps  int
+	TotalOpen int
+	Drops     int
+	Phases    []PhaseResult
+}
+
+// heldBlock is one OpHold allocation a session still owns.
+type heldBlock struct {
+	addr arena.Addr
+	size uint64
+}
+
+// session is the runner's per-session state.
+type session struct {
+	open    bool
+	payload arena.Addr
+	paySize uint64
+	pipe    streams.Msg
+	lock    arena.Addr
+	held    []heldBlock
+}
+
+// runner executes a validated trace against one allocator.
+type runner struct {
+	m   *machine.Machine
+	a   *core.Allocator
+	st  *streams.Subsystem
+	dm  *dlm.Manager
+	s   []session
+	pat []byte
+	buf []byte
+}
+
+// resID maps a session id to its DLM resource id (nonzero, unique).
+func resID(sess uint32) uint64 { return uint64(sess) + 1 }
+
+// Run executes the trace on machine m against allocator a, which should
+// have been built with Params.Latency so per-phase quantiles are
+// populated (a run without the recorder still executes, with empty
+// histograms). The machine must have at least tr.NCPU CPUs. In Sim mode
+// the run is deterministic: same trace, same machine configuration,
+// same allocator parameters — byte-identical Result.
+func Run(m *machine.Machine, a *core.Allocator, tr *Trace) (*Result, error) {
+	if m.NumCPUs() < tr.NCPU {
+		return nil, fmt.Errorf("serve: trace wants %d CPUs, machine has %d", tr.NCPU, m.NumCPUs())
+	}
+	maxSess := tr.MaxSession()
+	r := &runner{
+		m:   m,
+		a:   a,
+		s:   make([]session, maxSess+1),
+		pat: make([]byte, 4096),
+		buf: make([]byte, 4096),
+	}
+	for i := range r.pat {
+		r.pat[i] = byte(i*131 + 17)
+	}
+	var err error
+	if r.st, err = streams.New(a); err != nil {
+		return nil, fmt.Errorf("serve: streams: %w", err)
+	}
+	if r.dm, err = dlm.NewManager(a, 256); err != nil {
+		return nil, fmt.Errorf("serve: dlm: %w", err)
+	}
+
+	res := &Result{}
+	prev := a.LatencyStats()
+	for pi := range tr.Phases {
+		ph := &tr.Phases[pi]
+		start := m.SyncClocks()
+		opens, drops := r.runPhase(ph)
+		end := m.SyncClocks()
+
+		cur := a.LatencyStats()
+		win := core.LatencyStats{
+			Alloc: cur.Alloc.Sub(prev.Alloc),
+			Free:  cur.Free.Sub(prev.Free),
+		}
+		prev = cur
+
+		cycles := end - start
+		pr := PhaseResult{
+			Phase:        ph.Kind.String(),
+			Ops:          len(ph.Ops),
+			Opens:        opens,
+			Drops:        drops,
+			Cycles:       cycles,
+			AllocCount:   win.Alloc.Count(),
+			FreeCount:    win.Free.Count(),
+			AllocP50:     win.Alloc.P50(),
+			AllocP99:     win.Alloc.P99(),
+			AllocP999:    win.Alloc.P999(),
+			FreeP50:      win.Free.P50(),
+			FreeP99:      win.Free.P99(),
+			FreeP999:     win.Free.P999(),
+			AllocBuckets: append([]uint64(nil), win.Alloc.Buckets[:]...),
+			FreeBuckets:  append([]uint64(nil), win.Free.Buckets[:]...),
+		}
+		if sec := m.CyclesToSeconds(cycles); sec > 0 {
+			pr.OpsPerSec = float64(len(ph.Ops)) / sec
+		}
+		res.TotalOps += pr.Ops
+		res.TotalOpen += opens
+		res.Drops += drops
+		res.Phases = append(res.Phases, pr)
+	}
+	res.SchedHash = m.SchedHash()
+
+	// Teardown happens after the last snapshot so it never pollutes a
+	// measured window: close leftover sessions in id order on CPU 0,
+	// then drain the caching layers so leak audits see a quiet heap.
+	c := m.CPU(0)
+	for id := range r.s {
+		if r.s[id].open {
+			r.closeSession(c, uint32(id))
+		}
+	}
+	r.a.DrainAll(c)
+	return res, nil
+}
+
+// runPhase drives one phase through the machine scheduler. Trace order
+// is program order: a single cursor walks the records, each executing
+// on its record's CPU; other CPUs idle forward until the owner's clock
+// lets it run. The schedule — and with it the hash — is a pure function
+// of the trace and the machine.
+func (r *runner) runPhase(ph *Phase) (opens, drops int) {
+	cursor := 0
+	remaining := make([]int, r.m.NumCPUs())
+	for i := range ph.Ops {
+		remaining[ph.Ops[i].CPU]++
+	}
+	r.m.Run(func(c *machine.CPU) bool {
+		id := c.ID()
+		if remaining[id] == 0 {
+			return false
+		}
+		if cursor >= len(ph.Ops) || int(ph.Ops[cursor].CPU) != id {
+			// Not this CPU's turn: idle a beat and retry. The step is a
+			// fixed cost, so the interleaving stays deterministic.
+			c.Idle(64)
+			return true
+		}
+		op := ph.Ops[cursor]
+		cursor++
+		remaining[id]--
+		opened, dropped := r.exec(c, op)
+		if opened {
+			opens++
+		}
+		if dropped {
+			drops++
+		}
+		return remaining[id] > 0
+	})
+	return opens, drops
+}
+
+// exec runs one record. A drop is an operation abandoned because an
+// allocation failed (or because the session it targets failed to open
+// earlier); drops are deterministic outcomes, not errors.
+func (r *runner) exec(c *machine.CPU, op Op) (opened, dropped bool) {
+	s := &r.s[op.Sess]
+	switch op.Kind {
+	case OpOpen:
+		payload, err := r.a.Alloc(c, uint64(op.Arg))
+		if err != nil {
+			return false, true
+		}
+		pipe, err := r.st.Allocb(c, 128)
+		if err != nil {
+			r.a.Free(c, payload, uint64(op.Arg))
+			return false, true
+		}
+		lk, status, err := r.dm.Lock(c, resID(op.Sess), dlm.PR, c.ID())
+		if err != nil || status != dlm.Granted {
+			r.st.Freemsg(c, pipe)
+			r.a.Free(c, payload, uint64(op.Arg))
+			return false, true
+		}
+		*s = session{open: true, payload: payload, paySize: uint64(op.Arg), pipe: pipe, lock: lk}
+		return true, false
+
+	case OpClose:
+		if !s.open {
+			return false, true
+		}
+		r.closeSession(c, op.Sess)
+		return false, false
+
+	case OpMsg:
+		if !s.open {
+			return false, true
+		}
+		mb, err := r.st.Allocb(c, uint64(op.Arg))
+		if err != nil {
+			return false, true
+		}
+		n := int(op.Arg)
+		if n > len(r.pat) {
+			n = len(r.pat)
+		}
+		if err := r.st.Write(c, mb, r.pat[:n]); err == nil {
+			r.st.Read(c, mb, r.buf[:n])
+		}
+		r.st.Freemsg(c, mb)
+		return false, false
+
+	case OpHold:
+		if !s.open {
+			return false, true
+		}
+		b, err := r.a.Alloc(c, uint64(op.Arg))
+		if err != nil {
+			return false, true
+		}
+		s.held = append(s.held, heldBlock{b, uint64(op.Arg)})
+		return false, false
+
+	case OpRelease:
+		if !s.open {
+			return false, true
+		}
+		if len(s.held) > 0 {
+			h := s.held[0]
+			s.held = s.held[1:]
+			r.a.Free(c, h.addr, h.size)
+		}
+		return false, false
+
+	case OpLockX:
+		if !s.open {
+			return false, true
+		}
+		status, _ := r.dm.Convert(c, s.lock, dlm.EX, nil)
+		if status == dlm.Granted {
+			r.dm.Convert(c, s.lock, dlm.PR, nil)
+		}
+		return false, false
+	}
+	return false, false
+}
+
+// closeSession releases everything session id owns.
+func (r *runner) closeSession(c *machine.CPU, id uint32) {
+	s := &r.s[id]
+	for _, h := range s.held {
+		r.a.Free(c, h.addr, h.size)
+	}
+	s.held = nil
+	r.st.Freemsg(c, s.pipe)
+	r.dm.Unlock(c, s.lock, nil)
+	r.a.Free(c, s.payload, s.paySize)
+	s.open = false
+}

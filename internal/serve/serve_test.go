@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kmem/internal/core"
+	"kmem/internal/machine"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func testGen() GenConfig {
+	return GenConfig{Seed: 7, CPUs: 4, Sessions: 192, OpsPerPhase: 3000}
+}
+
+func runOnce(t *testing.T, cfg GenConfig, tr *Trace) *Result {
+	t.Helper()
+	mcfg := machine.DefaultConfig()
+	mcfg.NumCPUs = cfg.CPUs
+	mcfg.Nodes = 2
+	m := machine.New(mcfg)
+	m.EnableSchedHash()
+	a, err := core.New(m, core.Params{RadixSort: true, Latency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, a, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestServeDeterministic is the reproducibility contract: two fresh
+// runs of the same seed produce identical histograms and the same
+// schedule hash, and the run replays the committed golden
+// byte-identically — any schedule or codec drift fails loudly.
+func TestServeDeterministic(t *testing.T) {
+	cfg := testGen()
+	tr := Generate(cfg)
+
+	// The trace itself is byte-reproducible.
+	var b1, b2 bytes.Buffer
+	if err := WriteTrace(&b1, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&b2, Generate(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("same seed generated different trace bytes")
+	}
+
+	r1 := runOnce(t, cfg, tr)
+	r2 := runOnce(t, cfg, tr)
+	if r1.SchedHash != r2.SchedHash {
+		t.Errorf("schedule hash differs across fresh runs: %#x vs %#x", r1.SchedHash, r2.SchedHash)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("results differ across fresh runs")
+	}
+
+	got, err := json.MarshalIndent(r1, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "golden_serve.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("run diverged from committed golden %s (re-run with -update if intended)", golden)
+	}
+}
+
+// TestServeRunShape checks the functional contract of a run: every
+// trace op executes, drops stay rare outside the pressure wave, the
+// latency windows are populated, and quantiles are ordered.
+func TestServeRunShape(t *testing.T) {
+	cfg := testGen()
+	tr := Generate(cfg)
+	res := runOnce(t, cfg, tr)
+
+	if res.TotalOps != tr.NumOps() {
+		t.Errorf("ran %d ops, trace has %d", res.TotalOps, tr.NumOps())
+	}
+	if res.TotalOpen == 0 {
+		t.Error("no sessions opened")
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("got %d phases", len(res.Phases))
+	}
+	names := []string{"steady", "spike", "pressure"}
+	for i, pr := range res.Phases {
+		if pr.Phase != names[i] {
+			t.Errorf("phase %d named %q, want %q", i, pr.Phase, names[i])
+		}
+		if pr.AllocCount == 0 || pr.FreeCount == 0 {
+			t.Errorf("phase %s: empty latency window (%d allocs, %d frees)", pr.Phase, pr.AllocCount, pr.FreeCount)
+		}
+		if pr.AllocP50 > pr.AllocP99 || pr.AllocP99 > pr.AllocP999 {
+			t.Errorf("phase %s: alloc quantiles not ordered: %d/%d/%d", pr.Phase, pr.AllocP50, pr.AllocP99, pr.AllocP999)
+		}
+		if pr.FreeP50 > pr.FreeP99 || pr.FreeP99 > pr.FreeP999 {
+			t.Errorf("phase %s: free quantiles not ordered: %d/%d/%d", pr.Phase, pr.FreeP50, pr.FreeP99, pr.FreeP999)
+		}
+		if pr.Cycles <= 0 || pr.OpsPerSec <= 0 {
+			t.Errorf("phase %s: cycles %d ops/sec %f", pr.Phase, pr.Cycles, pr.OpsPerSec)
+		}
+		if i < 2 && pr.Drops > pr.Ops/100 {
+			t.Errorf("phase %s: %d drops in %d ops before the pressure wave", pr.Phase, pr.Drops, pr.Ops)
+		}
+	}
+}
+
+// TestServeTeardownBalances verifies the post-run teardown returns
+// every block: after Run (which closes leftover sessions and drains),
+// class allocs and frees balance exactly except for blocks pinned in
+// the STREAMS and DLM object caches.
+func TestServeTeardownBalances(t *testing.T) {
+	cfg := testGen()
+	tr := Generate(cfg)
+	mcfg := machine.DefaultConfig()
+	mcfg.NumCPUs = cfg.CPUs
+	m := machine.New(mcfg)
+	a, err := core.New(m, core.Params{RadixSort: true, Latency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, a, tr); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats(m.CPU(0))
+	var allocs, frees uint64
+	for _, cs := range st.Classes {
+		allocs += cs.Allocs
+		frees += cs.Frees
+	}
+	if allocs == 0 {
+		t.Fatal("no class allocations recorded")
+	}
+	outstanding := allocs - frees
+	// Object caches (streams mblks/dblks, dlm locks/resources) retain
+	// constructed objects; everything else must have come back.
+	if outstanding > allocs/4 {
+		t.Errorf("%d of %d class blocks outstanding after teardown", outstanding, allocs)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 3, CPUs: 3, Sessions: 32, OpsPerPhase: 400})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Error("trace did not round-trip")
+	}
+}
+
+// TestReadTraceRejects covers the decoder's validation: every
+// malformed shape errors with the right sentinel and never panics.
+func TestReadTraceRejects(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		tr := Generate(GenConfig{Seed: 1, CPUs: 2, Sessions: 8, OpsPerPhase: 64})
+		if err := WriteTrace(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad magic", append([]byte{0, 0, 0, 0}, valid()[4:]...), ErrBadMagic},
+		{"bad version", func() []byte { b := valid(); b[4] = 99; return b }(), ErrBadVersion},
+		{"zero cpus", func() []byte { b := valid(); b[5] = 0; return b }(), ErrBadHeader},
+		{"truncated records", valid()[:headerBytes+3*phaseHeaderBytes+4], ErrTruncated},
+		{"trailing bytes", append(valid(), 0xff), ErrBadHeader},
+		{"bad op kind", func() []byte {
+			b := valid()
+			b[headerBytes+3*phaseHeaderBytes] = 200
+			return b
+		}(), ErrBadOp},
+		{"cpu out of range", func() []byte {
+			b := valid()
+			b[headerBytes+3*phaseHeaderBytes+1] = 7
+			return b
+		}(), ErrBadOp},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTrace(bytes.NewReader(tc.data)); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Session discipline: duplicate open, op on unopened, close of
+	// unopened — each must be rejected.
+	mk := func(ops []Op) []byte {
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, &Trace{NCPU: 2, Phases: []Phase{{Kind: PhaseSteady, Ops: ops}}}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	bad := [][]Op{
+		{{Kind: OpOpen, Sess: 1, Arg: 64}, {Kind: OpOpen, Sess: 1, Arg: 64}},
+		{{Kind: OpMsg, Sess: 1, Arg: 64}},
+		{{Kind: OpClose, Sess: 1}},
+		{{Kind: OpOpen, Sess: 1, Arg: 64}, {Kind: OpClose, Sess: 1}, {Kind: OpHold, Sess: 1, Arg: 64}},
+	}
+	for i, ops := range bad {
+		if _, err := ReadTrace(bytes.NewReader(mk(ops))); !errors.Is(err, ErrSession) {
+			t.Errorf("session case %d: got %v, want ErrSession", i, err)
+		}
+	}
+}

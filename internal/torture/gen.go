@@ -90,6 +90,12 @@ var smallSizes = []uint32{
 // committed repro artifacts keep drawing the identical RNG stream.
 func generate(cfg Config) []Op {
 	r := newRng(cfg.Seed)
+	if cfg.Serve {
+		// The serve dimension replaces the distribution wholesale; the
+		// branch sits after rng creation so non-serve configs keep
+		// drawing the identical stream they always have.
+		return generateServe(cfg, r)
+	}
 	ops := make([]Op, 0, cfg.Ops)
 	for i := 0; i < cfg.Ops; i++ {
 		op := Op{CPU: uint8(r.intn(cfg.CPUs))}
@@ -126,6 +132,82 @@ func generate(cfg Config) []Op {
 			op.Arg = uint32(r.intn(cfg.CPUs))
 		}
 		ops = append(ops, op)
+	}
+	return ops
+}
+
+// generateServe materializes session-lifetime traffic from the same op
+// vocabulary: an open is a burst of allocations on one home CPU, a
+// close is a burst of frees — one in four on a foreign CPU, and biased
+// toward the oldest live handles so lifetime skew actually lands on
+// remotely-allocated blocks — and the open-session population follows a
+// two-cycle day/night wave. All ops still resolve handles at execution
+// time, so any subsequence delta-debugs exactly like the uniform mix.
+func generateServe(cfg Config, r *rng) []Op {
+	type sess struct {
+		home   uint8
+		blocks int
+	}
+	var open []sess
+	ops := make([]Op, 0, cfg.Ops)
+	lo := 2 + cfg.WorkingSet/16
+	hi := lo + 1 + cfg.WorkingSet/8
+	for len(ops) < cfg.Ops {
+		// Two triangle-wave day/night cycles across the run.
+		pos := len(ops) * 4 % (2 * cfg.Ops)
+		if pos > cfg.Ops {
+			pos = 2*cfg.Ops - pos
+		}
+		tgt := lo + (hi-lo)*pos/cfg.Ops
+		switch {
+		case len(open) < tgt:
+			// Session open: a burst of 3-8 allocations on the home CPU.
+			home := uint8(r.intn(cfg.CPUs))
+			n := 3 + r.intn(6)
+			for j := 0; j < n && len(ops) < cfg.Ops; j++ {
+				ops = append(ops, Op{Kind: OpAlloc, CPU: home, Size: genSize(r, cfg.MaxSize)})
+			}
+			open = append(open, sess{home: home, blocks: n})
+		case len(open) > tgt:
+			// Session close: free about as many blocks as it opened,
+			// old-handle-biased, sometimes from a foreign CPU.
+			i := r.intn(len(open))
+			s := open[i]
+			open[i] = open[len(open)-1]
+			open = open[:len(open)-1]
+			cpu := s.home
+			if r.intn(4) == 0 {
+				cpu = uint8(r.intn(cfg.CPUs))
+			}
+			for j := 0; j < s.blocks && len(ops) < cfg.Ops; j++ {
+				ops = append(ops, Op{Kind: OpFree, CPU: cpu, Arg: uint32(r.intn(32))})
+			}
+		default:
+			// Churn on a random open session's home CPU.
+			cpu := open[r.intn(len(open))].home
+			op := Op{CPU: cpu}
+			roll := r.intn(100)
+			switch {
+			case cfg.ObjCache && roll < 20:
+				op.Kind = OpCacheGet
+			case cfg.ObjCache && roll < 35:
+				op.Kind = OpCachePut
+				op.Arg = uint32(r.next())
+			case roll < 55:
+				op.Kind = OpAlloc
+				op.Size = genSize(r, cfg.MaxSize)
+			case roll < 85:
+				op.Kind = OpFree
+				op.Arg = uint32(r.next())
+			case roll < 92:
+				op.Kind = OpAllocWait
+				op.Size = genSize(r, cfg.MaxSize)
+			default:
+				op.Kind = OpDrain
+				op.Arg = uint32(r.intn(cfg.CPUs))
+			}
+			ops = append(ops, op)
+		}
 	}
 	return ops
 }

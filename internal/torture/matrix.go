@@ -2,7 +2,7 @@ package torture
 
 // The config matrix: CPUs × nodes × pressure × faultpoints × shards ×
 // adaptive × lazy spans × object caches × hardening × optimistic fast
-// paths (rseq + lock-free global layer). The small matrix is
+// paths (rseq + lock-free global layer) × serving traces. The small matrix is
 // the PR-smoke set — every dimension exercised at least once on a
 // multi-node topology, plus one planted corruption per kind, cheap
 // enough for every push. The full matrix is the nightly cross product
@@ -41,6 +41,11 @@ func MatrixSmall() []Config {
 		{CPUs: 4, Nodes: 2, Rseq: true, RestartStorm: true, ObjCache: true},
 		{CPUs: 8, Nodes: 4, LockFree: true},
 		{CPUs: 8, Nodes: 4, Rseq: true, LockFree: true, RestartStorm: true, Pressure: true},
+		// Serving traces: session open/churn/close lifetimes instead of
+		// uniform random ops, so skewed lifetimes concentrate cross-CPU
+		// frees on the shard and depot paths.
+		{CPUs: 4, Nodes: 2, Serve: true},
+		{CPUs: 8, Nodes: 4, Serve: true, ObjCache: true, Pressure: true},
 		// Planted corruptions: each kind must be detected, attributed to
 		// the plant's site tags, and contained in quarantine.
 		{CPUs: 4, Nodes: 2, Harden: true, Plant: "overrun"},
@@ -71,14 +76,17 @@ func MatrixFull() []Config {
 									// paths together (restart-storm is a
 									// directed scenario; small matrix only).
 									for _, opt := range []bool{false, true} {
-										out = append(out, Config{
-											CPUs: tp.cpus, Nodes: tp.nodes,
-											Pressure: pressure, Faults: faults,
-											DisableShards: noShards, Adaptive: adaptive,
-											Lazy: lazy, ObjCache: objCache,
-											Harden: hard,
-											Rseq:   opt, LockFree: opt,
-										})
+										for _, serve := range []bool{false, true} {
+											out = append(out, Config{
+												CPUs: tp.cpus, Nodes: tp.nodes,
+												Pressure: pressure, Faults: faults,
+												DisableShards: noShards, Adaptive: adaptive,
+												Lazy: lazy, ObjCache: objCache,
+												Harden: hard,
+												Rseq:   opt, LockFree: opt,
+												Serve: serve,
+											})
+										}
 									}
 								}
 							}

@@ -96,6 +96,15 @@ type Config struct {
 	// the retry paths instead of the happy ones.
 	RestartStorm bool `json:"restart_storm,omitempty"`
 
+	// Serve draws the op sequence from session-lifetime traces instead
+	// of the uniform random mix: sessions open as a burst of allocations
+	// on a home CPU, churn, and close as a burst of frees — often on a
+	// different CPU and biased toward the oldest live handles — under a
+	// day/night population wave. The lifetime skew concentrates frees of
+	// remotely-allocated blocks, hammering the shard, depot, and
+	// cross-CPU drain paths that uniform random traffic rarely lines up.
+	Serve bool `json:"serve,omitempty"`
+
 	// WorkingSet caps the live handles; allocs at the cap are skipped.
 	WorkingSet int `json:"working_set,omitempty"`
 	// MaxSize bounds request sizes (covers the large path when > 4096).
@@ -173,6 +182,9 @@ func (c Config) Name() string {
 	}
 	if c.RestartStorm {
 		n += "-storm"
+	}
+	if c.Serve {
+		n += "-serve"
 	}
 	if c.Plant != "" {
 		n += "-plant-" + c.Plant

@@ -168,7 +168,7 @@ func TestCorpusEncodings(t *testing.T) {
 func TestMatrixShapes(t *testing.T) {
 	small := MatrixSmall()
 	var pressure, faults, noShards, adaptive, lazy, objCache, hardened, multiNode bool
-	var rseq, lockFree, storm bool
+	var rseq, lockFree, storm, serve bool
 	plants := map[string]bool{}
 	for _, c := range small {
 		pressure = pressure || c.Pressure
@@ -182,6 +182,7 @@ func TestMatrixShapes(t *testing.T) {
 		rseq = rseq || c.Rseq
 		lockFree = lockFree || c.LockFree
 		storm = storm || c.RestartStorm
+		serve = serve || c.Serve
 		if c.Plant != "" {
 			plants[c.Plant] = true
 		}
@@ -190,16 +191,16 @@ func TestMatrixShapes(t *testing.T) {
 		t.Errorf("small matrix misses a dimension: pressure=%v faults=%v noShards=%v adaptive=%v lazy=%v objCache=%v harden=%v multiNode=%v",
 			pressure, faults, noShards, adaptive, lazy, objCache, hardened, multiNode)
 	}
-	if !rseq || !lockFree || !storm {
-		t.Errorf("small matrix misses an optimistic dimension: rseq=%v lockFree=%v storm=%v",
-			rseq, lockFree, storm)
+	if !rseq || !lockFree || !storm || !serve {
+		t.Errorf("small matrix misses an optimistic or serve dimension: rseq=%v lockFree=%v storm=%v serve=%v",
+			rseq, lockFree, storm, serve)
 	}
 	if !plants["overrun"] || !plants["doublefree"] || !plants["latewrite"] {
 		t.Errorf("small matrix misses a planted corruption kind: have %v", plants)
 	}
 	// (2 single-node topologies x 64 flag combos + 2 multi-node x 128)
-	// x 2 for the optimistic dimension.
-	if got, want := len(MatrixFull()), 768; got != want {
+	// x 2 for the optimistic dimension x 2 for the serve dimension.
+	if got, want := len(MatrixFull()), 1536; got != want {
 		t.Errorf("full matrix has %d configs, want %d", got, want)
 	}
 }
